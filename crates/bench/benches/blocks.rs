@@ -1,0 +1,150 @@
+//! Criterion benchmarks of the paper's four blocks plus the sorting and
+//! RNG substrates (block-level counterparts of Tables 1–7).
+
+use aqfp_sc_bitstream::{Bipolar, BitStream, ColumnCounter, Sng, ThermalRng};
+use aqfp_sc_core::baseline;
+use aqfp_sc_core::{AveragePooling, FeatureExtraction, MajorityChain, RngMatrix, SngBlock};
+use aqfp_sc_sorting::{Direction, SortingNetwork};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const N: usize = 1024;
+
+fn streams(m: usize, n: usize, seed: u64) -> Vec<BitStream> {
+    let mut sng = Sng::new(10, ThermalRng::with_seed(seed));
+    (0..m)
+        .map(|i| sng.generate(Bipolar::clamped(0.4 - 0.07 * (i % 9) as f64), n))
+        .collect()
+}
+
+fn bench_sorting_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorting_network_apply_words");
+    group.sample_size(20);
+    for m in [9usize, 25, 121] {
+        let net = SortingNetwork::bitonic_sorter(m, Direction::Descending);
+        let words: Vec<u64> = (0..m).map(|i| 0x5A5A_5A5A_5A5Au64.rotate_left(i as u32)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let mut w = words.clone();
+                net.apply_words(&mut w);
+                black_box(w)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_extraction_table1_sizes");
+    group.sample_size(15);
+    for m in [9usize, 25, 49, 81, 121] {
+        let products = streams(m, N, 7);
+        let fe = FeatureExtraction::new(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(fe.run(&products).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_vs_apc_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_vs_cmos_apc_baseline");
+    group.sample_size(15);
+    let products = streams(25, N, 9);
+    let fe = FeatureExtraction::new(25);
+    group.bench_function("sorter_fe_25", |b| {
+        b.iter(|| black_box(fe.run(&products).unwrap()))
+    });
+    group.bench_function("apc_btanh_25", |b| {
+        b.iter(|| {
+            black_box(
+                baseline::apc_feature_extraction(&products, baseline::btanh_states(25)).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_pooling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("average_pooling_table2_sizes");
+    group.sample_size(20);
+    for m in [4usize, 16, 36] {
+        let window = streams(m, N, 11);
+        let pool = AveragePooling::new(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(pool.run(&window).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_categorization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("majority_chain_table3_sizes");
+    group.sample_size(15);
+    for k in [100usize, 500, 800] {
+        let products = streams(k, N, 13);
+        let chain = MajorityChain::new(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(chain.run(&products).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sng_generation_table4_sizes");
+    group.sample_size(15);
+    for outputs in [100usize, 500, 800] {
+        let values = vec![Bipolar::clamped(0.3); outputs];
+        group.bench_with_input(BenchmarkId::from_parameter(outputs), &outputs, |b, _| {
+            b.iter(|| {
+                let mut block = SngBlock::new(outputs, 10, 17);
+                black_box(block.generate(&values, N))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rng_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_matrix_step");
+    group.sample_size(30);
+    for n in [9usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut m = RngMatrix::new(n, 5);
+            b.iter(|| black_box(m.step()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_column_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("column_counter_vertical_popcount");
+    group.sample_size(20);
+    for m in [32usize, 288, 800] {
+        let ss = streams(m, N, 19);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let mut cc = ColumnCounter::new(N);
+                for s in &ss {
+                    cc.add(s).unwrap();
+                }
+                black_box(cc.counts())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sorting_networks,
+    bench_feature_extraction,
+    bench_feature_vs_apc_baseline,
+    bench_pooling,
+    bench_categorization,
+    bench_sng,
+    bench_rng_matrix,
+    bench_column_counter,
+);
+criterion_main!(benches);

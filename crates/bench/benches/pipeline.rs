@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the cross-crate pipelines: gate-level
+//! simulation, majority synthesis, and one SC inference step (the Table 9
+//! machinery).
+
+use aqfp_sc_circuit::PipelinedSim;
+use aqfp_sc_core::FeatureExtraction;
+use aqfp_sc_network::{build_model, ActivationStyle, CompiledNetwork, NetworkSpec};
+use aqfp_sc_nn::Tensor;
+use aqfp_sc_sorting::{Direction, SortingNetwork};
+use aqfp_sc_synth::{synthesize, SynthOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_gate_level_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_level_pipeline_sim");
+    group.sample_size(15);
+    let network = SortingNetwork::bitonic_sorter(9, Direction::Descending);
+    let net = aqfp_sc_core::sorting_network_netlist(&network);
+    group.bench_function("sorter9_1024_cycles", |b| {
+        b.iter(|| {
+            let mut sim = PipelinedSim::new(&net, 1).unwrap();
+            let mut ones = 0usize;
+            for cycle in 0..1024u32 {
+                let bits: Vec<bool> = (0..9).map(|i| (cycle >> (i % 10)) & 1 == 1).collect();
+                ones += sim.step(&bits).iter().filter(|&&b| b).count();
+            }
+            black_box(ones)
+        })
+    });
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("majority_synthesis");
+    group.sample_size(10);
+    for m in [9usize, 25] {
+        let fe = FeatureExtraction::new(m);
+        group.bench_function(format!("fe_netlist_m{m}"), |b| {
+            b.iter(|| black_box(fe.netlist().report))
+        });
+    }
+    // Synthesis pass alone on a pre-built raw netlist.
+    let raw = {
+        let mut net = aqfp_sc_circuit::Netlist::new();
+        let inputs: Vec<_> = (0..16).map(|i| net.input(format!("i{i}"))).collect();
+        let mut layer = inputs;
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|p| if p.len() == 2 { net.maj(p[0], p[1], p[0]) } else { p[0] })
+                .collect();
+        }
+        net.output("y", layer[0]);
+        net
+    };
+    group.bench_function("synthesize_maj_tree_16", |b| {
+        b.iter(|| black_box(synthesize(&raw, &SynthOptions::default()).report))
+    });
+    group.finish();
+}
+
+fn bench_sc_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_inference_tiny_network");
+    group.sample_size(10);
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 21);
+    let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+    let image = Tensor::from_vec(vec![1, 8, 8], (0..64).map(|i| (i % 7) as f32 / 7.0).collect());
+    group.bench_function("tiny_aqfp_n256", |b| {
+        b.iter(|| black_box(compiled.classify_aqfp(&image, 256, 3)))
+    });
+    group.bench_function("tiny_cmos_n256", |b| {
+        b.iter(|| black_box(compiled.classify_cmos(&image, 256, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_level_sim, bench_synthesis, bench_sc_inference);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Benchmark-only crate: see `benches/` for the Criterion harnesses that
+//! time every block of the framework (one bench group per paper table).

@@ -1,0 +1,176 @@
+use crate::{BitStream, BitstreamError};
+
+/// Stochastic computing correlation (SCC) between two streams.
+///
+/// SCC (Alaghi & Hayes) is +1 for maximally overlapping streams, −1 for
+/// maximally anti-overlapping streams, and ~0 for independent streams — the
+/// property the paper's shared RNG matrix must preserve ("each two output
+/// random numbers only share a single bit in common", Fig. 8).
+///
+/// Returns 0 when either stream is constant (the metric is undefined there).
+///
+/// # Errors
+///
+/// Returns [`BitstreamError::LengthMismatch`] when lengths differ and
+/// [`BitstreamError::Empty`] for zero-length streams.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::{scc, BitStream};
+///
+/// # fn main() -> Result<(), aqfp_sc_bitstream::BitstreamError> {
+/// let a = BitStream::from_bits([true, true, false, false]);
+/// assert_eq!(scc(&a, &a)?, 1.0); // identical streams: maximal correlation
+/// assert_eq!(scc(&a, &a.not())?, -1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn scc(a: &BitStream, b: &BitStream) -> Result<f64, BitstreamError> {
+    if a.len() != b.len() {
+        return Err(BitstreamError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    if a.is_empty() {
+        return Err(BitstreamError::Empty);
+    }
+    let n = a.len() as f64;
+    let pa = a.count_ones() as f64 / n;
+    let pb = b.count_ones() as f64 / n;
+    let pab = a.and(b)?.count_ones() as f64 / n;
+    let delta = pab - pa * pb;
+    let denom = if delta > 0.0 {
+        pa.min(pb) - pa * pb
+    } else {
+        pa * pb - (pa + pb - 1.0).max(0.0)
+    };
+    if denom.abs() < 1e-15 {
+        return Ok(0.0);
+    }
+    Ok(delta / denom)
+}
+
+/// Pearson correlation coefficient of two bit-streams (bits as 0/1).
+///
+/// Returns 0 when either stream is constant.
+///
+/// # Errors
+///
+/// Returns [`BitstreamError::LengthMismatch`] when lengths differ and
+/// [`BitstreamError::Empty`] for zero-length streams.
+pub fn pearson_correlation(a: &BitStream, b: &BitStream) -> Result<f64, BitstreamError> {
+    if a.len() != b.len() {
+        return Err(BitstreamError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    if a.is_empty() {
+        return Err(BitstreamError::Empty);
+    }
+    let n = a.len() as f64;
+    let pa = a.count_ones() as f64 / n;
+    let pb = b.count_ones() as f64 / n;
+    let pab = a.and(b)?.count_ones() as f64 / n;
+    let var_a = pa * (1.0 - pa);
+    let var_b = pb * (1.0 - pb);
+    if var_a < 1e-15 || var_b < 1e-15 {
+        return Ok(0.0);
+    }
+    Ok((pab - pa * pb) / (var_a * var_b).sqrt())
+}
+
+/// Chi-square statistic (divided by degrees of freedom) for uniformity of
+/// `bits`-wide random words over their `2^bits` buckets.
+///
+/// Values near 1.0 indicate a healthy uniform source; values far above 1
+/// indicate bias. Used to validate the AQFP RNG-matrix word outputs.
+///
+/// # Panics
+///
+/// Panics when `bits` is 0 or exceeds 20 (bucket table would not fit), or
+/// when `values` is empty.
+pub fn uniformity_chi_square(values: &[u64], bits: u32) -> f64 {
+    assert!(bits > 0 && bits <= 20, "bits must be in 1..=20, got {bits}");
+    assert!(!values.is_empty(), "need at least one sample");
+    let buckets = 1usize << bits;
+    let mut hist = vec![0u64; buckets];
+    for &v in values {
+        hist[(v as usize) & (buckets - 1)] += 1;
+    }
+    let expected = values.len() as f64 / buckets as f64;
+    let chi2: f64 = hist
+        .iter()
+        .map(|&h| {
+            let d = h as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    chi2 / (buckets as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitSource, ThermalRng, WordSource};
+    use crate::sng::ThermalWordSource;
+
+    #[test]
+    fn scc_of_independent_streams_is_near_zero() {
+        let mut r1 = ThermalRng::with_seed(1);
+        let mut r2 = ThermalRng::with_seed(2);
+        let a = BitStream::from_fn(16_384, |_| r1.next_bit());
+        let b = BitStream::from_fn(16_384, |_| r2.next_bit());
+        let c = scc(&a, &b).unwrap();
+        assert!(c.abs() < 0.06, "scc = {c}");
+    }
+
+    #[test]
+    fn scc_handles_constant_streams() {
+        let ones = BitStream::ones(64);
+        let mixed = BitStream::alternating(64);
+        assert_eq!(scc(&ones, &mixed).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn scc_errors_on_mismatch_and_empty() {
+        let a = BitStream::zeros(4);
+        let b = BitStream::zeros(5);
+        assert!(scc(&a, &b).is_err());
+        let e = BitStream::zeros(0);
+        assert!(scc(&e, &e).is_err());
+    }
+
+    #[test]
+    fn pearson_identical_is_one() {
+        let s = BitStream::alternating(128);
+        assert!((pearson_correlation(&s, &s).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_independent_is_near_zero() {
+        let mut r1 = ThermalRng::with_seed(10);
+        let mut r2 = ThermalRng::with_seed(20);
+        let a = BitStream::from_fn(16_384, |_| r1.next_bit());
+        let b = BitStream::from_fn(16_384, |_| r2.next_bit());
+        assert!(pearson_correlation(&a, &b).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn chi_square_accepts_thermal_words() {
+        let mut src = ThermalWordSource::new(8, 42);
+        let values: Vec<u64> = (0..50_000).map(|_| src.next_value()).collect();
+        let stat = uniformity_chi_square(&values, 8);
+        assert!(stat < 1.4, "chi2/df = {stat}");
+    }
+
+    #[test]
+    fn chi_square_flags_biased_source() {
+        let values: Vec<u64> = (0..10_000).map(|i| (i % 16) as u64).collect();
+        // Only 16 of 256 buckets are ever hit: strongly non-uniform.
+        let stat = uniformity_chi_square(&values, 8);
+        assert!(stat > 5.0, "chi2/df = {stat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn chi_square_rejects_empty() {
+        let _ = uniformity_chi_square(&[], 8);
+    }
+}

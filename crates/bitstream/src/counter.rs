@@ -1,0 +1,252 @@
+use crate::{BitStream, BitstreamError, WORD_BITS};
+
+/// Bit-sliced "vertical" counter: accumulates many bit-streams and yields the
+/// per-cycle column popcount.
+///
+/// The sorter-based blocks of the paper consume, every clock cycle, the
+/// *column* of an `M × N` product matrix `SP` (Algorithm 1/2). Extracting
+/// columns bit-by-bit would cost `O(M · N)` per block; this counter instead
+/// keeps `⌈log2(M+1)⌉` carry-save bit planes and adds whole 64-cycle words at
+/// a time, which is what makes full-network SC simulation tractable.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::{BitStream, ColumnCounter};
+///
+/// # fn main() -> Result<(), aqfp_sc_bitstream::BitstreamError> {
+/// let mut cc = ColumnCounter::new(4);
+/// cc.add(&BitStream::from_bits([true, true, false, false]))?;
+/// cc.add(&BitStream::from_bits([true, false, true, false]))?;
+/// cc.add(&BitStream::from_bits([true, true, true, false]))?;
+/// assert_eq!(cc.counts(), vec![3, 2, 2, 0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ColumnCounter {
+    /// `planes[k][w]` holds bit `k` of the count for the 64 cycles of word `w`.
+    planes: Vec<Vec<u64>>,
+    words: usize,
+    len: usize,
+    added: usize,
+}
+
+impl ColumnCounter {
+    /// Creates a counter for streams of `len` bits.
+    pub fn new(len: usize) -> Self {
+        ColumnCounter {
+            planes: Vec::new(),
+            words: len.div_ceil(WORD_BITS),
+            len,
+            added: 0,
+        }
+    }
+
+    /// Stream length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the configured stream length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of streams accumulated so far.
+    pub fn streams_added(&self) -> usize {
+        self.added
+    }
+
+    /// Adds one stream to every column count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::LengthMismatch`] when the stream length
+    /// differs from the counter's.
+    pub fn add(&mut self, stream: &BitStream) -> Result<(), BitstreamError> {
+        if stream.len() != self.len {
+            return Err(BitstreamError::LengthMismatch { left: self.len, right: stream.len() });
+        }
+        self.add_words(stream.words());
+        Ok(())
+    }
+
+    /// Adds a raw word slice (used by hot paths that compute product words on
+    /// the fly instead of materialising a [`BitStream`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `words.len()` differs from the counter's word count.
+    pub fn add_words(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.words, "word count mismatch");
+        for (w, &word) in words.iter().enumerate() {
+            let mut carry = word;
+            let mut k = 0;
+            while carry != 0 {
+                if k == self.planes.len() {
+                    self.planes.push(vec![0u64; self.words]);
+                }
+                let plane = &mut self.planes[k][w];
+                let sum = *plane ^ carry;
+                carry &= *plane;
+                *plane = sum;
+                k += 1;
+            }
+        }
+        self.added += 1;
+    }
+
+    /// The count of 1s in the given cycle's column.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cycle >= len`.
+    pub fn count_at(&self, cycle: usize) -> u32 {
+        assert!(cycle < self.len, "cycle {cycle} out of range {}", self.len);
+        let w = cycle / WORD_BITS;
+        let b = cycle % WORD_BITS;
+        let mut count = 0u32;
+        for (k, plane) in self.planes.iter().enumerate() {
+            count |= (((plane[w] >> b) & 1) as u32) << k;
+        }
+        count
+    }
+
+    /// All per-cycle counts, cycle 0 first.
+    pub fn counts(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.len];
+        for (k, plane) in self.planes.iter().enumerate() {
+            for (w, &pw) in plane.iter().enumerate() {
+                let mut bits = pw;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    let cycle = w * WORD_BITS + b;
+                    if cycle < self.len {
+                        out[cycle] |= 1 << k;
+                    }
+                    bits &= bits - 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Resets the counter to the empty state, keeping its configured length.
+    pub fn clear(&mut self) {
+        self.planes.clear();
+        self.added = 0;
+    }
+}
+
+/// One-shot helper: per-cycle column counts over a set of equal-length
+/// streams.
+///
+/// # Errors
+///
+/// Returns [`BitstreamError::Empty`] when `streams` is empty and
+/// [`BitstreamError::LengthMismatch`] when lengths differ.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::{column_counts, BitStream};
+///
+/// # fn main() -> Result<(), aqfp_sc_bitstream::BitstreamError> {
+/// let streams = vec![BitStream::ones(3), BitStream::zeros(3), BitStream::ones(3)];
+/// assert_eq!(column_counts(&streams)?, vec![2, 2, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn column_counts(streams: &[BitStream]) -> Result<Vec<u32>, BitstreamError> {
+    let first = streams.first().ok_or(BitstreamError::Empty)?;
+    let mut cc = ColumnCounter::new(first.len());
+    for s in streams {
+        cc.add(s)?;
+    }
+    Ok(cc.counts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitSource, ThermalRng};
+
+    fn naive_counts(streams: &[BitStream]) -> Vec<u32> {
+        let len = streams[0].len();
+        (0..len)
+            .map(|i| streams.iter().filter(|s| s.get(i) == Some(true)).count() as u32)
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_counting_on_random_streams() {
+        let mut rng = ThermalRng::with_seed(17);
+        for m in [1usize, 2, 3, 9, 31, 64, 130] {
+            let streams: Vec<BitStream> = (0..m)
+                .map(|_| BitStream::from_fn(200, |_| rng.next_bit()))
+                .collect();
+            assert_eq!(
+                column_counts(&streams).unwrap(),
+                naive_counts(&streams),
+                "m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_at_agrees_with_counts() {
+        let mut rng = ThermalRng::with_seed(23);
+        let streams: Vec<BitStream> =
+            (0..13).map(|_| BitStream::from_fn(77, |_| rng.next_bit())).collect();
+        let mut cc = ColumnCounter::new(77);
+        for s in &streams {
+            cc.add(s).unwrap();
+        }
+        let counts = cc.counts();
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(cc.count_at(i), c, "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(column_counts(&[]), Err(BitstreamError::Empty));
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        let mut cc = ColumnCounter::new(10);
+        let bad = BitStream::zeros(11);
+        assert!(cc.add(&bad).is_err());
+    }
+
+    #[test]
+    fn all_ones_saturates_every_cycle() {
+        let mut cc = ColumnCounter::new(130);
+        for _ in 0..7 {
+            cc.add(&BitStream::ones(130)).unwrap();
+        }
+        assert!(cc.counts().iter().all(|&c| c == 7));
+        assert_eq!(cc.streams_added(), 7);
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut cc = ColumnCounter::new(8);
+        cc.add(&BitStream::ones(8)).unwrap();
+        cc.clear();
+        assert_eq!(cc.streams_added(), 0);
+        assert!(cc.counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn add_words_matches_add() {
+        let s = BitStream::from_fn(100, |i| i % 3 != 0);
+        let mut a = ColumnCounter::new(100);
+        let mut b = ColumnCounter::new(100);
+        a.add(&s).unwrap();
+        b.add_words(s.words());
+        assert_eq!(a.counts(), b.counts());
+    }
+}

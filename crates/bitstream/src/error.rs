@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by stream construction and stream arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BitstreamError {
+    /// Two streams that must have equal length did not.
+    LengthMismatch {
+        /// Length of the left-hand stream in bits.
+        left: usize,
+        /// Length of the right-hand stream in bits.
+        right: usize,
+    },
+    /// A value was outside the representable range of its encoding.
+    ValueOutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound of the encoding.
+        min: f64,
+        /// Inclusive upper bound of the encoding.
+        max: f64,
+    },
+    /// A bit index was past the end of the stream.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Stream length in bits.
+        len: usize,
+    },
+    /// An operation that needs at least one stream received none.
+    Empty,
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::LengthMismatch { left, right } => {
+                write!(f, "stream lengths differ: {left} vs {right}")
+            }
+            BitstreamError::ValueOutOfRange { value, min, max } => {
+                write!(f, "value {value} outside encoding range [{min}, {max}]")
+            }
+            BitstreamError::IndexOutOfBounds { index, len } => {
+                write!(f, "bit index {index} out of bounds for stream of length {len}")
+            }
+            BitstreamError::Empty => write!(f, "operation requires at least one stream"),
+        }
+    }
+}
+
+impl Error for BitstreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            BitstreamError::LengthMismatch { left: 1, right: 2 },
+            BitstreamError::ValueOutOfRange { value: 2.0, min: -1.0, max: 1.0 },
+            BitstreamError::IndexOutOfBounds { index: 9, len: 4 },
+            BitstreamError::Empty,
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(BitstreamError::Empty);
+    }
+}

@@ -1,0 +1,371 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-cycle source of single random bits.
+///
+/// One AQFP buffer with zero input current emits one truly random bit per
+/// clock cycle (paper Fig. 7): the output flux direction is decided by thermal
+/// noise. [`ThermalRng`] models that cell; [`Lfsr`] models the pseudo-random
+/// shift registers a CMOS implementation would use instead.
+pub trait BitSource {
+    /// Draws the next bit.
+    fn next_bit(&mut self) -> bool;
+
+    /// Draws 64 bits packed LSB-first into a word.
+    ///
+    /// The default implementation calls [`BitSource::next_bit`] 64 times;
+    /// implementors may override it with something faster.
+    fn next_word(&mut self) -> u64 {
+        let mut w = 0u64;
+        for i in 0..64 {
+            if self.next_bit() {
+                w |= 1 << i;
+            }
+        }
+        w
+    }
+}
+
+/// A per-cycle source of `n`-bit random words (for comparator-based SNGs).
+pub trait WordSource {
+    /// Number of bits per emitted word.
+    fn bits(&self) -> u32;
+
+    /// Draws the next word; only the low [`WordSource::bits`] bits are used.
+    fn next_value(&mut self) -> u64;
+}
+
+/// Model of the AQFP 1-bit true random number generator (paper Fig. 7, 9).
+///
+/// A zero-input AQFP buffer resolves to 0 or 1 per cycle depending on thermal
+/// noise. `bias` models asymmetric excitation flux: the probability of
+/// emitting a 1. A fabricated cell targets `bias = 0.5`; the simulator seeds a
+/// deterministic PRNG so experiments are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::{BitSource, ThermalRng};
+///
+/// let mut rng = ThermalRng::with_seed(42);
+/// let ones: u32 = (0..10_000).filter(|_| rng.next_bit()).count() as u32;
+/// assert!((4_700..5_300).contains(&ones)); // ≈ 50/50, Fig. 7b
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalRng {
+    rng: StdRng,
+    bias: f64,
+}
+
+impl ThermalRng {
+    /// Creates an unbiased cell from a seed.
+    pub fn with_seed(seed: u64) -> Self {
+        ThermalRng { rng: StdRng::seed_from_u64(seed), bias: 0.5 }
+    }
+
+    /// Creates a biased cell: `bias` is the probability of emitting 1,
+    /// modelling fabrication asymmetry in the excitation inductances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bias ∉ [0, 1]`.
+    pub fn with_bias(seed: u64, bias: f64) -> Self {
+        assert!((0.0..=1.0).contains(&bias), "bias {bias} outside [0, 1]");
+        ThermalRng { rng: StdRng::seed_from_u64(seed), bias }
+    }
+
+    /// The configured probability of emitting a 1.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+impl BitSource for ThermalRng {
+    fn next_bit(&mut self) -> bool {
+        self.rng.gen_bool(self.bias)
+    }
+
+    fn next_word(&mut self) -> u64 {
+        if self.bias == 0.5 {
+            self.rng.gen()
+        } else {
+            let mut w = 0u64;
+            for i in 0..64 {
+                if self.rng.gen_bool(self.bias) {
+                    w |= 1 << i;
+                }
+            }
+            w
+        }
+    }
+}
+
+/// A Fibonacci linear-feedback shift register.
+///
+/// This is the classic CMOS pseudo-random generator; the paper's CMOS SC
+/// baseline pays 40–60 % of its area for a bank of these, which is exactly
+/// the overhead the AQFP true RNG removes (§3). Maximal-length taps are
+/// built in for widths 3–16.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::Lfsr;
+/// use aqfp_sc_bitstream::WordSource;
+///
+/// let mut lfsr = Lfsr::maximal(10, 1);
+/// let first = lfsr.next_value();
+/// // Period of a maximal 10-bit LFSR is 2^10 - 1.
+/// for _ in 0..1022 {
+///     assert_ne!(lfsr.next_value(), first);
+/// }
+/// assert_eq!(lfsr.next_value(), first);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lfsr {
+    state: u64,
+    taps: u64,
+    bits: u32,
+}
+
+/// Maximal-length tap masks for register widths 3..=16.
+///
+/// The register shifts right and the parity of `state & taps` enters at the
+/// MSB, so the recurrence has characteristic polynomial
+/// `x^n + Σ_{j ∈ taps} x^j`; each mask below encodes a primitive polynomial
+/// with mask bit `j` standing for the `x^j` term (the `x^n` term is
+/// implicit). Maximality of every entry is asserted by a unit test.
+const MAXIMAL_TAPS: [u64; 14] = [
+    0x0003,  // 3:  x^3  + x    + 1
+    0x0003,  // 4:  x^4  + x    + 1
+    0x0005,  // 5:  x^5  + x^2  + 1
+    0x0003,  // 6:  x^6  + x    + 1
+    0x0003,  // 7:  x^7  + x    + 1
+    0x001D,  // 8:  x^8  + x^4  + x^3 + x^2 + 1
+    0x0011,  // 9:  x^9  + x^4  + 1
+    0x0009,  // 10: x^10 + x^3  + 1
+    0x0005,  // 11: x^11 + x^2  + 1
+    0x0053,  // 12: x^12 + x^6  + x^4 + x   + 1
+    0x001B,  // 13: x^13 + x^4  + x^3 + x   + 1
+    0x0443,  // 14: x^14 + x^10 + x^6 + x   + 1
+    0x0003,  // 15: x^15 + x    + 1
+    0x100B,  // 16: x^16 + x^12 + x^3 + x   + 1
+];
+
+impl Lfsr {
+    /// Creates a maximal-length LFSR of width `bits` (3..=16) from a nonzero
+    /// seed (the seed is reduced modulo the register width; an all-zero state
+    /// is replaced by 1 because it is a fixed point).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is outside `3..=16`.
+    pub fn maximal(bits: u32, seed: u64) -> Self {
+        assert!(
+            (3..=16).contains(&bits),
+            "maximal taps are tabulated for widths 3..=16, got {bits}"
+        );
+        let mask = (1u64 << bits) - 1;
+        let mut state = seed & mask;
+        if state == 0 {
+            state = 1;
+        }
+        Lfsr { state, taps: MAXIMAL_TAPS[(bits - 3) as usize], bits }
+    }
+
+    /// Creates an LFSR with explicit taps (XOR of tapped bits feeds bit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is 0 or exceeds 63, or the seed reduces to zero.
+    pub fn with_taps(bits: u32, taps: u64, seed: u64) -> Self {
+        assert!(bits > 0 && bits < 64, "width must be in 1..=63, got {bits}");
+        let mask = (1u64 << bits) - 1;
+        let state = seed & mask;
+        assert!(state != 0, "seed must be nonzero modulo the register width");
+        Lfsr { state, taps: taps & mask, bits }
+    }
+
+    /// Advances one step and returns the bit shifted out.
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        let feedback = ((self.state & self.taps).count_ones() & 1) as u64;
+        self.state = (self.state >> 1) | (feedback << (self.bits - 1));
+        out
+    }
+
+    /// The current register contents.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+impl BitSource for Lfsr {
+    fn next_bit(&mut self) -> bool {
+        self.step()
+    }
+}
+
+impl WordSource for Lfsr {
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn next_value(&mut self) -> u64 {
+        let v = self.state;
+        self.step();
+        v
+    }
+}
+
+/// A tiny, fast, seedable 64-bit mixer (SplitMix64), used where many
+/// independent cheap generators are needed (e.g. one per RNG-matrix cell).
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Draws the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl BitSource for SplitMix64 {
+    fn next_bit(&mut self) -> bool {
+        // Use the top bit of each draw; SplitMix64 output is equidistributed.
+        self.next_u64() >> 63 == 1
+    }
+
+    fn next_word(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_rng_is_deterministic_per_seed() {
+        let mut a = ThermalRng::with_seed(3);
+        let mut b = ThermalRng::with_seed(3);
+        for _ in 0..100 {
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
+    }
+
+    #[test]
+    fn thermal_rng_bias_shifts_density() {
+        let mut rng = ThermalRng::with_bias(11, 0.9);
+        let ones = (0..10_000).filter(|_| rng.next_bit()).count();
+        assert!(ones > 8_700 && ones < 9_300, "ones = {ones}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn thermal_rng_rejects_bad_bias() {
+        let _ = ThermalRng::with_bias(0, 1.5);
+    }
+
+    #[test]
+    fn thermal_next_word_matches_bit_density() {
+        let mut rng = ThermalRng::with_seed(5);
+        let ones: u32 = (0..100).map(|_| rng.next_word().count_ones()).sum();
+        // 6400 bits, expect ~3200.
+        assert!((2_900..3_500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn lfsr_maximal_periods() {
+        for bits in 3..=16u32 {
+            let mut lfsr = Lfsr::maximal(bits, 1);
+            let start = lfsr.state();
+            let period = (1u64 << bits) - 1;
+            let mut count = 0u64;
+            loop {
+                lfsr.step();
+                count += 1;
+                if lfsr.state() == start {
+                    break;
+                }
+                assert!(count <= period, "width {bits} exceeded maximal period");
+            }
+            assert_eq!(count, period, "width {bits} is not maximal");
+        }
+    }
+
+    #[test]
+    fn lfsr_never_reaches_zero() {
+        let mut lfsr = Lfsr::maximal(8, 77);
+        for _ in 0..1_000 {
+            lfsr.step();
+            assert_ne!(lfsr.state(), 0);
+        }
+    }
+
+    #[test]
+    fn lfsr_zero_seed_is_fixed_up() {
+        let lfsr = Lfsr::maximal(8, 0);
+        assert_ne!(lfsr.state(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths 3..=16")]
+    fn lfsr_rejects_unsupported_width() {
+        let _ = Lfsr::maximal(20, 1);
+    }
+
+    #[test]
+    fn lfsr_values_cover_range_uniformly() {
+        let mut lfsr = Lfsr::maximal(10, 123);
+        let mut seen = vec![false; 1024];
+        for _ in 0..1023 {
+            seen[lfsr.next_value() as usize] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert_eq!(covered, 1023); // every nonzero value exactly once
+    }
+
+    #[test]
+    fn splitmix_bits_are_balanced() {
+        let mut rng = SplitMix64::new(99);
+        let ones = (0..20_000).filter(|_| rng.next_bit()).count();
+        assert!((9_400..10_600).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn default_next_word_packs_lsb_first() {
+        // A source that emits 1,0,1,0,... must produce 0b...0101.
+        struct Alt(bool);
+        impl BitSource for Alt {
+            fn next_bit(&mut self) -> bool {
+                self.0 = !self.0;
+                self.0
+            }
+        }
+        let mut alt = Alt(false);
+        let w = alt.next_word();
+        assert_eq!(w & 0b1111, 0b0101);
+    }
+}

@@ -1,0 +1,336 @@
+use crate::{Bipolar, BitSource, BitStream, Lfsr, ThermalRng, Unipolar, WordSource};
+
+/// Adapter: `n` independent AQFP 1-bit true RNG cells form an `n`-bit word
+/// source (paper §4.1: "an n-bit true RNG can be implemented using n 1-bit
+/// true RNGs").
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::{ThermalWordSource, WordSource};
+///
+/// let mut src = ThermalWordSource::new(10, 42);
+/// assert_eq!(src.bits(), 10);
+/// assert!(src.next_value() < 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalWordSource {
+    cells: Vec<ThermalRng>,
+}
+
+impl ThermalWordSource {
+    /// Creates `bits` independent unbiased cells, seeded from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is 0 or exceeds 63.
+    pub fn new(bits: u32, seed: u64) -> Self {
+        assert!(bits > 0 && bits < 64, "width must be in 1..=63, got {bits}");
+        let cells = (0..bits)
+            .map(|i| ThermalRng::with_seed(seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64)))
+            .collect();
+        ThermalWordSource { cells }
+    }
+
+    /// Creates a word source over externally constructed cells (used by the
+    /// shared RNG matrix, where cells are reused by several sources).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells` is empty or wider than 63.
+    pub fn from_cells(cells: Vec<ThermalRng>) -> Self {
+        assert!(!cells.is_empty() && cells.len() < 64, "need 1..=63 cells");
+        ThermalWordSource { cells }
+    }
+}
+
+impl WordSource for ThermalWordSource {
+    fn bits(&self) -> u32 {
+        self.cells.len() as u32
+    }
+
+    fn next_value(&mut self) -> u64 {
+        let mut v = 0u64;
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            if cell.next_bit() {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+}
+
+/// Adapter: an [`Lfsr`] used as the word source of a CMOS-style SNG.
+///
+/// This is what the prior-art CMOS SC-DCNN design pays 40–60 % of its
+/// hardware for; it exists here so the baseline can be simulated faithfully
+/// (pseudo-random, periodic, cross-correlated when seeds are shared).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LfsrWordSource {
+    lfsr: Lfsr,
+}
+
+impl LfsrWordSource {
+    /// Wraps an LFSR.
+    pub fn new(lfsr: Lfsr) -> Self {
+        LfsrWordSource { lfsr }
+    }
+
+    /// Convenience constructor: maximal-length LFSR of width `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is outside `3..=16` (see [`Lfsr::maximal`]).
+    pub fn maximal(bits: u32, seed: u64) -> Self {
+        LfsrWordSource { lfsr: Lfsr::maximal(bits, seed) }
+    }
+}
+
+impl WordSource for LfsrWordSource {
+    fn bits(&self) -> u32 {
+        WordSource::bits(&self.lfsr)
+    }
+
+    fn next_value(&mut self) -> u64 {
+        self.lfsr.next_value()
+    }
+}
+
+/// Adapter making any [`BitSource`] usable as an `n`-bit [`WordSource`]
+/// (`n` fresh bits are drawn per word, LSB first).
+#[derive(Debug, Clone)]
+pub struct BitsAsWords<S> {
+    source: S,
+    bits: u32,
+}
+
+impl<S: BitSource> BitsAsWords<S> {
+    /// Wraps a bit source into a word source of width `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is 0 or exceeds 63.
+    pub fn new(bits: u32, source: S) -> Self {
+        assert!(bits > 0 && bits < 64, "width must be in 1..=63, got {bits}");
+        BitsAsWords { source, bits }
+    }
+}
+
+impl<S: BitSource> WordSource for BitsAsWords<S> {
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn next_value(&mut self) -> u64 {
+        let mut v = 0u64;
+        for i in 0..self.bits {
+            if self.source.next_bit() {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+}
+
+/// Adapter making any [`WordSource`] usable where a [`BitSource`] is needed
+/// (bits are peeled LSB-first from successive words).
+#[derive(Debug, Clone)]
+pub struct WordsAsBits<S> {
+    source: S,
+    buffer: u64,
+    remaining: u32,
+}
+
+impl<S: WordSource> WordsAsBits<S> {
+    /// Wraps a word source.
+    pub fn new(source: S) -> Self {
+        WordsAsBits { source, buffer: 0, remaining: 0 }
+    }
+}
+
+impl<S: WordSource> BitSource for WordsAsBits<S> {
+    fn next_bit(&mut self) -> bool {
+        if self.remaining == 0 {
+            self.buffer = self.source.next_value();
+            self.remaining = self.source.bits();
+        }
+        let bit = self.buffer & 1 == 1;
+        self.buffer >>= 1;
+        self.remaining -= 1;
+        bit
+    }
+}
+
+/// Comparator-based stochastic number generator (paper §4.1).
+///
+/// Converts an `n`-bit binary magnitude into a stochastic stream by comparing
+/// it against a fresh random word every cycle: the output bit is 1 when
+/// `random < level`. With a uniform word source the produced stream has
+/// `P(1) = level / 2^n`.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::{Bipolar, Sng, ThermalRng};
+///
+/// # fn main() -> Result<(), aqfp_sc_bitstream::BitstreamError> {
+/// let mut sng = Sng::new(10, ThermalRng::with_seed(7));
+/// let s = sng.generate(Bipolar::new(0.25)?, 8192);
+/// assert!((s.bipolar_value().get() - 0.25).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sng<S> {
+    source: S,
+    bits: u32,
+}
+
+impl<S: BitSource> Sng<BitsAsWords<S>> {
+    /// Creates an SNG of width `bits` over a 1-bit source; `bits` independent
+    /// draws form each comparison word (this matches stacking `bits` AQFP
+    /// true-RNG cells, paper Fig. 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is 0 or exceeds 63.
+    pub fn new(bits: u32, source: S) -> Self {
+        Sng { source: BitsAsWords::new(bits, source), bits }
+    }
+}
+
+impl<S: WordSource> Sng<S> {
+    /// Creates an SNG over an existing word source (LFSR, RNG-matrix row, …).
+    pub fn from_word_source(source: S) -> Self {
+        let bits = source.bits();
+        Sng { source, bits }
+    }
+
+    /// Generates the stochastic stream of a bipolar value.
+    pub fn generate(&mut self, value: Bipolar, len: usize) -> BitStream {
+        let level = self.quantize(value);
+        self.generate_level(level, len)
+    }
+
+    /// Generates the stochastic stream of a unipolar value.
+    pub fn generate_unipolar(&mut self, value: Unipolar, len: usize) -> BitStream {
+        let scale = (1u64 << self.bits) as f64;
+        let level = (value.get() * scale).round().min(scale) as u64;
+        self.generate_level(level, len)
+    }
+
+    /// Generates a stream from a raw comparator level in `0..=2^n`.
+    ///
+    /// A level of `2^n` yields the all-ones stream (bipolar +1).
+    pub fn generate_level(&mut self, level: u64, len: usize) -> BitStream {
+        let source = &mut self.source;
+        BitStream::from_fn(len, |_| source.next_value() < level)
+    }
+}
+
+impl<S> Sng<S> {
+    /// Comparator width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Quantises a bipolar value to the comparator level `round(p · 2^n)`.
+    pub fn quantize(&self, value: Bipolar) -> u64 {
+        let scale = (1u64 << self.bits) as f64;
+        (value.probability() * scale).round().min(scale) as u64
+    }
+
+    /// The exact bipolar value the quantised level represents.
+    pub fn dequantize(&self, level: u64) -> Bipolar {
+        let scale = (1u64 << self.bits) as f64;
+        Bipolar::clamped(2.0 * (level as f64 / scale) - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitstreamError;
+
+    #[test]
+    fn sng_value_converges_with_length() -> Result<(), BitstreamError> {
+        let mut sng = Sng::new(10, ThermalRng::with_seed(1));
+        let target = Bipolar::new(0.4)?;
+        let short = sng.generate(target, 128);
+        let long = sng.generate(target, 16_384);
+        let err_short = (short.bipolar_value().get() - 0.4).abs();
+        let err_long = (long.bipolar_value().get() - 0.4).abs();
+        assert!(err_long < 0.05);
+        assert!(err_long <= err_short + 0.02);
+        Ok(())
+    }
+
+    #[test]
+    fn sng_extremes_are_exact() -> Result<(), BitstreamError> {
+        let mut sng = Sng::new(8, ThermalRng::with_seed(2));
+        let plus = sng.generate(Bipolar::new(1.0)?, 256);
+        let minus = sng.generate(Bipolar::new(-1.0)?, 256);
+        assert_eq!(plus.count_ones(), 256);
+        assert_eq!(minus.count_ones(), 0);
+        Ok(())
+    }
+
+    #[test]
+    fn quantize_round_trips_on_grid_points() {
+        let sng = Sng::new(8, ThermalRng::with_seed(0));
+        for level in [0u64, 1, 64, 128, 200, 255, 256] {
+            let v = sng.dequantize(level);
+            assert_eq!(sng.quantize(v), level);
+        }
+    }
+
+    #[test]
+    fn lfsr_word_source_sng_is_deterministic() {
+        let mut a = Sng::from_word_source(LfsrWordSource::maximal(10, 5));
+        let mut b = Sng::from_word_source(LfsrWordSource::maximal(10, 5));
+        let va = a.generate(Bipolar::clamped(0.3), 512);
+        let vb = b.generate(Bipolar::clamped(0.3), 512);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn lfsr_sng_density_tracks_level() {
+        // Over a full period the LFSR visits each nonzero value once, so the
+        // density is (level - 1)/1023 ... level/1023 — close to level/1024.
+        let mut sng = Sng::from_word_source(LfsrWordSource::maximal(10, 9));
+        let s = sng.generate_level(512, 1023);
+        let ones = s.count_ones();
+        assert!((510..=513).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn thermal_word_source_values_fit_width() {
+        let mut src = ThermalWordSource::new(6, 3);
+        for _ in 0..100 {
+            assert!(src.next_value() < 64);
+        }
+    }
+
+    #[test]
+    fn words_as_bits_preserves_density() {
+        let src = LfsrWordSource::maximal(8, 21);
+        let mut bits = WordsAsBits::new(src);
+        let ones = (0..8_000).filter(|_| bits.next_bit()).count();
+        assert!((3_600..4_400).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn bits_as_words_respects_width() {
+        let mut src = BitsAsWords::new(5, ThermalRng::with_seed(3));
+        for _ in 0..200 {
+            assert!(src.next_value() < 32);
+        }
+    }
+
+    #[test]
+    fn generate_unipolar_density_matches() {
+        let mut sng = Sng::new(10, ThermalRng::with_seed(8));
+        let s = sng.generate_unipolar(Unipolar::new(0.25).unwrap(), 8_192);
+        assert!((s.unipolar_value().get() - 0.25).abs() < 0.03);
+    }
+}

@@ -1,0 +1,203 @@
+use std::fmt;
+
+use crate::BitstreamError;
+
+/// A real value in `[-1, 1]` under the bipolar SC encoding.
+///
+/// A bipolar stream representing `x` has `P(bit = 1) = (x + 1) / 2`
+/// (paper §2.2). Weights and activations of the SC-DNN are bipolar because
+/// they can be negative.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::Bipolar;
+///
+/// # fn main() -> Result<(), aqfp_sc_bitstream::BitstreamError> {
+/// let x = Bipolar::new(-0.5)?;
+/// assert_eq!(x.probability(), 0.25);
+/// assert_eq!(Bipolar::clamped(7.0).get(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Bipolar(f64);
+
+impl Bipolar {
+    /// Wraps a value, validating it lies in `[-1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::ValueOutOfRange`] for values outside the
+    /// range or NaN.
+    pub fn new(value: f64) -> Result<Self, BitstreamError> {
+        if value.is_nan() || !(-1.0..=1.0).contains(&value) {
+            return Err(BitstreamError::ValueOutOfRange { value, min: -1.0, max: 1.0 });
+        }
+        Ok(Bipolar(value))
+    }
+
+    /// Wraps a value, saturating to `[-1, 1]` — the `clip` of paper Eq. (1).
+    pub fn clamped(value: f64) -> Self {
+        Bipolar(value.clamp(-1.0, 1.0))
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The probability that a bit of the encoding stream is 1: `(x + 1) / 2`.
+    pub fn probability(self) -> f64 {
+        (self.0 + 1.0) / 2.0
+    }
+
+    /// Reconstructs the value from a bit probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::ValueOutOfRange`] when `p ∉ [0, 1]`.
+    pub fn from_probability(p: f64) -> Result<Self, BitstreamError> {
+        if p.is_nan() || !(0.0..=1.0).contains(&p) {
+            return Err(BitstreamError::ValueOutOfRange { value: p, min: 0.0, max: 1.0 });
+        }
+        Ok(Bipolar(2.0 * p - 1.0))
+    }
+}
+
+impl fmt::Display for Bipolar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.4}", self.0)
+    }
+}
+
+impl From<Bipolar> for f64 {
+    fn from(b: Bipolar) -> f64 {
+        b.get()
+    }
+}
+
+/// A real value in `[0, 1]` under the unipolar SC encoding.
+///
+/// A unipolar stream representing `x` has `P(bit = 1) = x`.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::Unipolar;
+///
+/// # fn main() -> Result<(), aqfp_sc_bitstream::BitstreamError> {
+/// let x = Unipolar::new(0.4)?;
+/// assert_eq!(x.get(), 0.4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Unipolar(f64);
+
+impl Unipolar {
+    /// Wraps a value, validating it lies in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::ValueOutOfRange`] for values outside the
+    /// range or NaN.
+    pub fn new(value: f64) -> Result<Self, BitstreamError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            return Err(BitstreamError::ValueOutOfRange { value, min: 0.0, max: 1.0 });
+        }
+        Ok(Unipolar(value))
+    }
+
+    /// Wraps a value, saturating to `[0, 1]`.
+    pub fn clamped(value: f64) -> Self {
+        Unipolar(value.clamp(0.0, 1.0))
+    }
+
+    /// The wrapped value (which equals the bit probability).
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the bipolar encoding of the same real value.
+    ///
+    /// Note this is a *re-encoding* of the number, not a probability map:
+    /// unipolar `0.4` becomes bipolar `0.4`.
+    pub fn to_bipolar(self) -> Bipolar {
+        Bipolar(self.0)
+    }
+}
+
+impl fmt::Display for Unipolar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+impl From<Unipolar> for f64 {
+    fn from(u: Unipolar) -> f64 {
+        u.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipolar_accepts_bounds() {
+        assert!(Bipolar::new(-1.0).is_ok());
+        assert!(Bipolar::new(1.0).is_ok());
+        assert!(Bipolar::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn bipolar_rejects_out_of_range_and_nan() {
+        assert!(Bipolar::new(1.0001).is_err());
+        assert!(Bipolar::new(-1.0001).is_err());
+        assert!(Bipolar::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn bipolar_probability_matches_paper_examples() {
+        // Paper §2.2: 0.4 → P = 0.7; -0.5 → P = 0.25.
+        assert!((Bipolar::new(0.4).unwrap().probability() - 0.7).abs() < 1e-12);
+        assert!((Bipolar::new(-0.5).unwrap().probability() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bipolar_probability_round_trips() {
+        for v in [-1.0, -0.3, 0.0, 0.77, 1.0] {
+            let b = Bipolar::new(v).unwrap();
+            let back = Bipolar::from_probability(b.probability()).unwrap();
+            assert!((back.get() - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamped_saturates() {
+        assert_eq!(Bipolar::clamped(5.0).get(), 1.0);
+        assert_eq!(Bipolar::clamped(-5.0).get(), -1.0);
+        assert_eq!(Unipolar::clamped(5.0).get(), 1.0);
+        assert_eq!(Unipolar::clamped(-5.0).get(), 0.0);
+    }
+
+    #[test]
+    fn unipolar_validates() {
+        assert!(Unipolar::new(0.0).is_ok());
+        assert!(Unipolar::new(1.0).is_ok());
+        assert!(Unipolar::new(-0.1).is_err());
+        assert!(Unipolar::new(1.1).is_err());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!Bipolar::default().to_string().is_empty());
+        assert!(!Unipolar::default().to_string().is_empty());
+    }
+
+    #[test]
+    fn unipolar_to_bipolar_preserves_value() {
+        assert_eq!(Unipolar::new(0.4).unwrap().to_bipolar().get(), 0.4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the stochastic-computing substrate.
+
+use aqfp_sc_bitstream::{
+    column_counts, maj3_streams, scc, Bipolar, BitStream, ColumnCounter, Lfsr, Sng, ThermalRng,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn count_ones_matches_iteration(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let s = BitStream::from_bits(bits.clone());
+        let expect = bits.iter().filter(|&&b| b).count();
+        prop_assert_eq!(s.count_ones(), expect);
+        prop_assert_eq!(s.len(), bits.len());
+    }
+
+    #[test]
+    fn not_is_involutive(bits in prop::collection::vec(any::<bool>(), 1..300)) {
+        let s = BitStream::from_bits(bits);
+        prop_assert_eq!(s.not().not(), s);
+    }
+
+    #[test]
+    fn de_morgan_holds_on_streams(
+        a in prop::collection::vec(any::<bool>(), 1..200),
+        b in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let n = a.len().min(b.len());
+        let sa = BitStream::from_bits(a[..n].to_vec());
+        let sb = BitStream::from_bits(b[..n].to_vec());
+        let lhs = sa.and(&sb).unwrap().not();
+        let rhs = sa.not().or(&sb.not()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xnor_value_identity(
+        a in prop::collection::vec(any::<bool>(), 1..200),
+        b in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        // ones(a xnor b) = n - ones(a) - ones(b) + 2*ones(a and b)
+        let n = a.len().min(b.len());
+        let sa = BitStream::from_bits(a[..n].to_vec());
+        let sb = BitStream::from_bits(b[..n].to_vec());
+        let xnor = sa.xnor(&sb).unwrap().count_ones() as i64;
+        let and = sa.and(&sb).unwrap().count_ones() as i64;
+        let expect = n as i64 - sa.count_ones() as i64 - sb.count_ones() as i64 + 2 * and;
+        prop_assert_eq!(xnor, expect);
+    }
+
+    #[test]
+    fn maj3_bounded_by_and_or(
+        a in prop::collection::vec(any::<bool>(), 1..120),
+        b in prop::collection::vec(any::<bool>(), 1..120),
+        c in prop::collection::vec(any::<bool>(), 1..120),
+    ) {
+        let n = a.len().min(b.len()).min(c.len());
+        let sa = BitStream::from_bits(a[..n].to_vec());
+        let sb = BitStream::from_bits(b[..n].to_vec());
+        let sc_ = BitStream::from_bits(c[..n].to_vec());
+        let maj = maj3_streams(&sa, &sb, &sc_).unwrap();
+        // AND of any two ≤ MAJ ≤ OR of any two (monotone majority bounds).
+        let and_ab = sa.and(&sb).unwrap();
+        let or_ab = sa.or(&sb).unwrap();
+        prop_assert_eq!(and_ab.and(&maj).unwrap(), and_ab.clone());
+        prop_assert_eq!(or_ab.or(&maj).unwrap(), or_ab);
+    }
+
+    #[test]
+    fn column_counts_sum_to_total_ones(
+        rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 50..51), 1..40),
+    ) {
+        let streams: Vec<BitStream> =
+            rows.iter().map(|r| BitStream::from_bits(r.clone())).collect();
+        let counts = column_counts(&streams).unwrap();
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        let expect: u64 = streams.iter().map(|s| s.count_ones() as u64).sum();
+        prop_assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn counter_is_order_invariant(
+        rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 33..34), 2..20),
+    ) {
+        let streams: Vec<BitStream> =
+            rows.iter().map(|r| BitStream::from_bits(r.clone())).collect();
+        let mut forward = ColumnCounter::new(33);
+        for s in &streams {
+            forward.add(s).unwrap();
+        }
+        let mut backward = ColumnCounter::new(33);
+        for s in streams.iter().rev() {
+            backward.add(s).unwrap();
+        }
+        prop_assert_eq!(forward.counts(), backward.counts());
+    }
+
+    #[test]
+    fn sng_density_tracks_level(level in 0u64..=256, seed in any::<u64>()) {
+        let mut sng = Sng::new(8, ThermalRng::with_seed(seed));
+        let s = sng.generate_level(level, 4096);
+        let expect = level as f64 / 256.0;
+        let got = s.count_ones() as f64 / 4096.0;
+        prop_assert!((got - expect).abs() < 0.06, "level {}: got {}", level, got);
+    }
+
+    #[test]
+    fn scc_is_symmetric(
+        a in prop::collection::vec(any::<bool>(), 64..65),
+        b in prop::collection::vec(any::<bool>(), 64..65),
+    ) {
+        let sa = BitStream::from_bits(a);
+        let sb = BitStream::from_bits(b);
+        let ab = scc(&sa, &sb).unwrap();
+        let ba = scc(&sb, &sa).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn lfsr_state_stays_in_range(bits in 3u32..=16, seed in any::<u64>(), steps in 1usize..200) {
+        let mut lfsr = Lfsr::maximal(bits, seed);
+        for _ in 0..steps {
+            lfsr.step();
+            prop_assert!(lfsr.state() < (1 << bits));
+            prop_assert!(lfsr.state() != 0);
+        }
+    }
+
+    #[test]
+    fn bipolar_probability_is_affine(v in -1.0f64..=1.0) {
+        let b = Bipolar::new(v).unwrap();
+        prop_assert!((b.probability() - (v + 1.0) / 2.0).abs() < 1e-12);
+        let back = Bipolar::from_probability(b.probability()).unwrap();
+        prop_assert!((back.get() - v).abs() < 1e-12);
+    }
+}

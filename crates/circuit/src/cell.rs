@@ -1,0 +1,115 @@
+use std::fmt;
+
+/// The kind of an AQFP cell, without its connectivity.
+///
+/// Follows the minimalist cell library (paper §2.1, Fig. 2): every cell is a
+/// variation of the double-JJ buffer. Used for Josephson-junction counting
+/// and energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Primary input pin (no JJs of its own).
+    Input,
+    /// Constant 0/1 cell — a buffer with asymmetric excitation flux.
+    Const,
+    /// Buffer — the basic double-JJ SQUID cell (Fig. 1).
+    Buffer,
+    /// Inverter — a buffer with negated output-transformer coupling.
+    Inverter,
+    /// 3-input majority gate (Fig. 2a); AND/OR are majority with a constant.
+    Maj,
+    /// Splitter driving `ways` sinks (Fig. 2d); required for any fan-out.
+    Splitter {
+        /// Number of output branches (2 or 3 in the standard library).
+        ways: u8,
+    },
+    /// Zero-input buffer acting as a 1-bit true RNG (Fig. 7).
+    Rng,
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::Input => write!(f, "input"),
+            GateKind::Const => write!(f, "const"),
+            GateKind::Buffer => write!(f, "buffer"),
+            GateKind::Inverter => write!(f, "inverter"),
+            GateKind::Maj => write!(f, "maj3"),
+            GateKind::Splitter { ways } => write!(f, "splitter1to{ways}"),
+            GateKind::Rng => write!(f, "rng"),
+        }
+    }
+}
+
+/// Josephson-junction counts per cell kind.
+///
+/// Defaults follow the minimalist AQFP library: buffer-family cells
+/// (buffer, inverter, constant, RNG) are a 2-JJ SQUID; 3-input gates
+/// (MAJ and its AND/OR variants) combine three input buffers into a 6-JJ
+/// cell; a splitter is a buffer with `ways` output branches costing
+/// `2 · ways` JJs.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_circuit::{CellCosts, GateKind};
+///
+/// let costs = CellCosts::default();
+/// assert_eq!(costs.jj(GateKind::Buffer), 2);
+/// assert_eq!(costs.jj(GateKind::Maj), 6);
+/// assert_eq!(costs.jj(GateKind::Splitter { ways: 3 }), 6);
+/// assert_eq!(costs.jj(GateKind::Input), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellCosts {
+    /// JJs in a buffer / inverter / constant / RNG cell.
+    pub buffer_jj: u32,
+    /// JJs in a 3-input majority (also AND / OR) cell.
+    pub maj_jj: u32,
+    /// JJs per output branch of a splitter.
+    pub splitter_jj_per_way: u32,
+}
+
+impl Default for CellCosts {
+    fn default() -> Self {
+        CellCosts { buffer_jj: 2, maj_jj: 6, splitter_jj_per_way: 2 }
+    }
+}
+
+impl CellCosts {
+    /// JJ count of one cell of the given kind.
+    pub fn jj(&self, kind: GateKind) -> u32 {
+        match kind {
+            GateKind::Input => 0,
+            GateKind::Const | GateKind::Buffer | GateKind::Inverter | GateKind::Rng => {
+                self.buffer_jj
+            }
+            GateKind::Maj => self.maj_jj,
+            GateKind::Splitter { ways } => self.splitter_jj_per_way * ways as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_costs_match_minimalist_library() {
+        let c = CellCosts::default();
+        assert_eq!(c.jj(GateKind::Buffer), 2);
+        assert_eq!(c.jj(GateKind::Inverter), 2);
+        assert_eq!(c.jj(GateKind::Const), 2);
+        assert_eq!(c.jj(GateKind::Rng), 2);
+        assert_eq!(c.jj(GateKind::Maj), 6);
+        assert_eq!(c.jj(GateKind::Splitter { ways: 2 }), 4);
+        assert_eq!(c.jj(GateKind::Input), 0);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(GateKind::Maj.to_string(), "maj3");
+        assert_eq!(GateKind::Splitter { ways: 2 }.to_string(), "splitter1to2");
+        assert_eq!(GateKind::Rng.to_string(), "rng");
+    }
+}

@@ -1,0 +1,54 @@
+//! AQFP circuit substrate: cell library, netlist IR, structural validation,
+//! a cycle-accurate 4-phase clocked simulator, and hardware cost models.
+//!
+//! Adiabatic Quantum-Flux-Parametron (AQFP) logic has three structural rules
+//! that shape everything in this crate (paper §2.1):
+//!
+//! 1. **Every gate occupies one clock phase** of the 4-phase AC excitation
+//!    clock; a netlist is therefore a *deep pipeline* with one pipeline stage
+//!    per logic level.
+//! 2. **Fan-out requires splitters** — a gate output drives exactly one sink
+//!    unless routed through an explicit [`Gate::Splitter`] (Fig. 2d).
+//! 3. **All inputs of a gate must arrive at the same phase depth** — buffer
+//!    chains are inserted to equalise path lengths (the `aqfp-sc-synth`
+//!    crate automates this).
+//!
+//! The primitive cells follow the minimalist AQFP cell library: everything
+//! is a variation of the buffer (Fig. 1/2). A 3-input majority costs the
+//! same as AND/OR because AND = MAJ(a, b, 0) and OR = MAJ(a, b, 1).
+//! A zero-input buffer is a **true random number generator** — thermal noise
+//! decides the output (Fig. 7) — modelled by [`Gate::Rng`].
+//!
+//! # Example
+//!
+//! ```
+//! use aqfp_sc_circuit::{Netlist, PipelinedSim};
+//!
+//! // maj(a, b, 0) == and(a, b)
+//! let mut net = Netlist::new();
+//! let a = net.input("a");
+//! let b = net.input("b");
+//! let zero = net.constant(false);
+//! let m = net.maj(a, b, zero);
+//! net.output("y", m);
+//! let report = net.validate().expect("balanced, fanout-legal netlist");
+//! assert_eq!(report.depth, 1);
+//! let mut sim = PipelinedSim::new(&net, 1).unwrap();
+//! let outs = sim.run(&[vec![true, true], vec![true, true]]); // a=b=1, two cycles
+//! assert_eq!(outs.last().unwrap(), &[true]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod energy;
+mod netlist;
+mod sim;
+mod validate;
+
+pub use cell::{CellCosts, GateKind};
+pub use energy::{AqfpTech, BlockCost, CmosGateCounts, CmosTech, CostComparison};
+pub use netlist::{Gate, Netlist, NodeId};
+pub use sim::PipelinedSim;
+pub use validate::{NetlistError, ValidationReport};

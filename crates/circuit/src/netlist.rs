@@ -1,0 +1,469 @@
+use std::fmt;
+
+use crate::cell::GateKind;
+
+/// Handle to a node inside a [`Netlist`].
+///
+/// Node ids are only meaningful for the netlist that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a raw index.
+    ///
+    /// Node ids are assigned densely in construction order, so the `i`-th
+    /// gate of [`Netlist::gates`] has id `NodeId::from_index(i)`. The id is
+    /// only meaningful for netlists that actually contain such a node
+    /// (synthesis passes rely on this to walk netlists generically).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` exceeds `u32::MAX`.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("netlists are limited to u32::MAX nodes"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One AQFP cell instance with its connectivity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Gate {
+    /// Primary input, set externally every clock cycle.
+    Input {
+        /// Pin name.
+        name: String,
+    },
+    /// Constant cell (asymmetric excitation flux). Phase-flexible: a
+    /// constant re-emits its value every cycle so it aligns with any
+    /// consumer phase.
+    Const {
+        /// The constant value.
+        value: bool,
+    },
+    /// Buffer: one phase of delay.
+    Buffer {
+        /// Driver.
+        from: NodeId,
+    },
+    /// Inverter: negated output-transformer coupling.
+    Inverter {
+        /// Driver.
+        from: NodeId,
+    },
+    /// 3-input majority gate.
+    Maj {
+        /// First input.
+        a: NodeId,
+        /// Second input.
+        b: NodeId,
+        /// Third input.
+        c: NodeId,
+    },
+    /// 2-input AND — a majority cell with an internal constant-0 leg
+    /// (Fig. 2b), so it costs the same as [`Gate::Maj`].
+    And {
+        /// First input.
+        a: NodeId,
+        /// Second input.
+        b: NodeId,
+    },
+    /// 2-input OR — a majority cell with an internal constant-1 leg.
+    Or {
+        /// First input.
+        a: NodeId,
+        /// Second input.
+        b: NodeId,
+    },
+    /// 2-input NOR — two inverters plus an internal constant-1 leg
+    /// (Fig. 2c); same footprint as [`Gate::Maj`].
+    Nor {
+        /// First input.
+        a: NodeId,
+        /// Second input.
+        b: NodeId,
+    },
+    /// Splitter: one input, up to `ways` sinks (Fig. 2d).
+    Splitter {
+        /// Driver.
+        from: NodeId,
+        /// Maximum number of sinks this splitter supports.
+        ways: u8,
+    },
+    /// Zero-input buffer used as a 1-bit true RNG (Fig. 7). Phase-flexible:
+    /// it emits a fresh thermal-noise bit every cycle at whatever phase its
+    /// consumer needs.
+    Rng {
+        /// Seed of the simulated thermal noise (fabricated cells are seeded
+        /// by physics; the simulator needs reproducibility).
+        seed: u64,
+    },
+}
+
+impl Gate {
+    /// The cost/kind classification of this gate.
+    pub fn kind(&self) -> GateKind {
+        match self {
+            Gate::Input { .. } => GateKind::Input,
+            Gate::Const { .. } => GateKind::Const,
+            Gate::Buffer { .. } => GateKind::Buffer,
+            Gate::Inverter { .. } => GateKind::Inverter,
+            Gate::Maj { .. } | Gate::And { .. } | Gate::Or { .. } | Gate::Nor { .. } => {
+                GateKind::Maj
+            }
+            Gate::Splitter { ways, .. } => GateKind::Splitter { ways: *ways },
+            Gate::Rng { .. } => GateKind::Rng,
+        }
+    }
+
+    /// Input node ids of this gate.
+    pub fn fanin(&self) -> Vec<NodeId> {
+        match self {
+            Gate::Input { .. } | Gate::Const { .. } | Gate::Rng { .. } => Vec::new(),
+            Gate::Buffer { from } | Gate::Inverter { from } | Gate::Splitter { from, .. } => {
+                vec![*from]
+            }
+            Gate::And { a, b } | Gate::Or { a, b } | Gate::Nor { a, b } => vec![*a, *b],
+            Gate::Maj { a, b, c } => vec![*a, *b, *c],
+        }
+    }
+
+    /// `true` for cells whose output is time-invariant or regenerated every
+    /// cycle, and which therefore align with any consumer phase (constants
+    /// and RNG cells).
+    pub fn is_phase_flexible(&self) -> bool {
+        matches!(self, Gate::Const { .. } | Gate::Rng { .. })
+    }
+}
+
+/// A flat AQFP netlist: a DAG of cells plus named primary inputs/outputs.
+///
+/// Built incrementally with the builder methods ([`Netlist::input`],
+/// [`Netlist::maj`], …). The netlist may temporarily violate AQFP structural
+/// rules (fan-out without splitters, unbalanced input phases); call
+/// [`Netlist::validate`] to check, or use the `aqfp-sc-synth` crate to
+/// legalise automatically.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_circuit::Netlist;
+///
+/// let mut net = Netlist::new();
+/// let a = net.input("a");
+/// let b = net.input("b");
+/// let y = net.and2(a, b);
+/// net.output("y", y);
+/// assert_eq!(net.node_count(), 3);
+/// assert!(net.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    fn push(&mut self, gate: Gate) -> NodeId {
+        for dep in gate.fanin() {
+            assert!(
+                dep.index() < self.gates.len(),
+                "gate references unknown node {dep}"
+            );
+        }
+        let id = NodeId(self.gates.len() as u32);
+        self.gates.push(gate);
+        id
+    }
+
+    /// Adds a primary input pin.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.push(Gate::Input { name: name.into() });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant cell.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(Gate::Const { value })
+    }
+
+    /// Adds a buffer (one phase of delay).
+    pub fn buf(&mut self, from: NodeId) -> NodeId {
+        self.push(Gate::Buffer { from })
+    }
+
+    /// Adds an inverter.
+    pub fn inv(&mut self, from: NodeId) -> NodeId {
+        self.push(Gate::Inverter { from })
+    }
+
+    /// Adds a 3-input majority gate.
+    pub fn maj(&mut self, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+        self.push(Gate::Maj { a, b, c })
+    }
+
+    /// Adds a 2-input AND (majority with internal constant 0).
+    pub fn and2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::And { a, b })
+    }
+
+    /// Adds a 2-input OR (majority with internal constant 1).
+    pub fn or2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Or { a, b })
+    }
+
+    /// Adds a 2-input NOR (inverting majority variant, Fig. 2c).
+    pub fn nor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Nor { a, b })
+    }
+
+    /// Adds a splitter with `ways` output branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ways < 2` (a 1-way splitter is a buffer).
+    pub fn splitter(&mut self, from: NodeId, ways: u8) -> NodeId {
+        assert!(ways >= 2, "splitter needs at least 2 ways; use a buffer");
+        self.push(Gate::Splitter { from, ways })
+    }
+
+    /// Adds a 1-bit true-RNG cell.
+    pub fn rng(&mut self, seed: u64) -> NodeId {
+        self.push(Gate::Rng { seed })
+    }
+
+    /// Adds an XNOR function — the bipolar SC multiplier — composed from
+    /// minimalist-library cells:
+    /// `xnor(a, b) = or(and(a, b), nor(a, b))`, with the two input splitters
+    /// it needs. Three phases deep, five cells plus two splitters.
+    pub fn xnor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let sa = self.splitter(a, 2);
+        let sb = self.splitter(b, 2);
+        let t_and = self.and2(sa, sb);
+        let t_nor = self.nor2(sa, sb);
+        self.or2(t_and, t_nor)
+    }
+
+    /// Registers a named primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` does not belong to this netlist.
+    pub fn output(&mut self, name: impl Into<String>, node: NodeId) {
+        assert!(node.index() < self.gates.len(), "output references unknown node");
+        self.outputs.push((name.into(), node));
+    }
+
+    /// All gates, indexable by [`NodeId::index`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate behind a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn gate(&self, id: NodeId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Named primary outputs in declaration order.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Total number of nodes (including inputs).
+    pub fn node_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of cells of each kind, as `(kind, count)` pairs sorted by
+    /// kind name (deterministic for reports).
+    pub fn kind_histogram(&self) -> Vec<(GateKind, usize)> {
+        let mut pairs: Vec<(GateKind, usize)> = Vec::new();
+        for gate in &self.gates {
+            let kind = gate.kind();
+            match pairs.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => pairs.push((kind, 1)),
+            }
+        }
+        pairs.sort_by_key(|(k, _)| k.to_string());
+        pairs
+    }
+
+    /// Phase depth of every node. Inputs are at depth 0; phase-flexible
+    /// cells (constants, RNGs) are reported at the depth just below their
+    /// consumer (or 0 when dangling); every other cell is one deeper than
+    /// its deepest input.
+    pub fn depths(&self) -> Vec<u32> {
+        let mut depth = vec![0u32; self.gates.len()];
+        // First pass (ids are topologically ordered by construction).
+        for (i, gate) in self.gates.iter().enumerate() {
+            if gate.is_phase_flexible() || matches!(gate, Gate::Input { .. }) {
+                depth[i] = 0;
+            } else {
+                let d = gate
+                    .fanin()
+                    .iter()
+                    .map(|n| {
+                        if self.gates[n.index()].is_phase_flexible() {
+                            0 // flexible inputs do not constrain
+                        } else {
+                            depth[n.index()]
+                        }
+                    })
+                    .max()
+                    .unwrap_or(0);
+                depth[i] = d + 1;
+            }
+        }
+        // Second pass: place flexible cells just below their consumer.
+        for (i, gate) in self.gates.iter().enumerate() {
+            for dep in gate.fanin() {
+                if self.gates[dep.index()].is_phase_flexible() {
+                    depth[dep.index()] = depth[i].saturating_sub(1);
+                }
+            }
+        }
+        depth
+    }
+
+    /// Pipeline depth in phases: the maximum node depth.
+    pub fn depth(&self) -> u32 {
+        self.depths().into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of consumers of every node (outputs count as one consumer).
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.gates.len()];
+        for gate in &self.gates {
+            for dep in gate.fanin() {
+                counts[dep.index()] += 1;
+            }
+        }
+        for (_, node) in &self.outputs {
+            counts[node.index()] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(net.inputs(), &[a, b]);
+    }
+
+    #[test]
+    fn depths_increase_along_paths() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b1 = net.buf(a);
+        let b2 = net.buf(b1);
+        let b3 = net.buf(b2);
+        net.output("y", b3);
+        assert_eq!(net.depths(), vec![0, 1, 2, 3]);
+        assert_eq!(net.depth(), 3);
+    }
+
+    #[test]
+    fn flexible_cells_adopt_consumer_depth() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b1 = net.buf(a);
+        let b2 = net.buf(b1);
+        let c = net.constant(true);
+        let m = net.maj(b2, b2, c); // (fan-out violation, but depth math only)
+        net.output("y", m);
+        let depths = net.depths();
+        assert_eq!(depths[m.index()], 3);
+        assert_eq!(depths[c.index()], 2); // just below its consumer
+    }
+
+    #[test]
+    fn fanout_counts_include_outputs() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.buf(a);
+        net.output("y1", b);
+        net.output("y2", b);
+        assert_eq!(net.fanout_counts()[b.index()], 2);
+        assert_eq!(net.fanout_counts()[a.index()], 1);
+    }
+
+    #[test]
+    fn xnor_structure_costs_three_phases() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let y = net.xnor2(a, b);
+        net.output("y", y);
+        assert_eq!(net.depth(), 3);
+        // 2 inputs + 2 splitters + and + nor + or = 7 nodes.
+        assert_eq!(net.node_count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn cross_netlist_reference_panics() {
+        let mut a = Netlist::new();
+        let x = a.input("x");
+        let _ = a.buf(x);
+        let mut b = Netlist::new();
+        let _ = b.buf(x); // x does not exist in b
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ways")]
+    fn one_way_splitter_panics() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let _ = net.splitter(a, 1);
+    }
+
+    #[test]
+    fn kind_histogram_aggregates() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let m1 = net.and2(a, b);
+        let _ = net.buf(m1);
+        let hist = net.kind_histogram();
+        let get = |k: GateKind| hist.iter().find(|(kk, _)| *kk == k).map(|(_, n)| *n);
+        assert_eq!(get(GateKind::Input), Some(2));
+        assert_eq!(get(GateKind::Maj), Some(1));
+        assert_eq!(get(GateKind::Buffer), Some(1));
+    }
+}

@@ -1,0 +1,364 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::netlist::{Gate, Netlist};
+use crate::validate::NetlistError;
+
+/// Cycle-accurate simulator of a legalised AQFP netlist under the 4-phase
+/// AC clock (paper Fig. 3).
+///
+/// Every gate occupies one phase; a gate at depth `d` is clocked by phase
+/// `d mod 4` and fires once per clock cycle, so a data wavefront advances
+/// exactly four phase levels per cycle and a fresh input vector can be
+/// injected every cycle — the "deep pipelining" the paper builds on.
+/// RNG cells draw a fresh thermal-noise bit each cycle.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_circuit::{Netlist, PipelinedSim};
+///
+/// let mut net = Netlist::new();
+/// let a = net.input("a");
+/// let b = net.buf(a);
+/// net.output("y", b);
+/// let mut sim = PipelinedSim::new(&net, 0).unwrap();
+/// assert_eq!(sim.latency_cycles(), 1); // depth 1 rounds up to one cycle
+/// let outs = sim.run(&[vec![true], vec![false]]);
+/// assert_eq!(outs[0], vec![true]); // available at the end of cycle 0
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelinedSim<'a> {
+    netlist: &'a Netlist,
+    /// Current register value of every node.
+    values: Vec<bool>,
+    /// Node indices grouped by firing slot within a cycle: slot `s` holds
+    /// nodes whose depth `d >= 1` satisfies `d mod 4 == slots_phase[s]`.
+    slots: [Vec<u32>; 4],
+    /// Thermal-noise generators, one per RNG cell (indexed like nodes).
+    noise: Vec<Option<StdRng>>,
+    depth: u32,
+    cycles_run: u64,
+}
+
+impl<'a> PipelinedSim<'a> {
+    /// Prepares a simulator. The netlist must be structurally valid.
+    ///
+    /// `noise_salt` perturbs every RNG cell seed, so two simulators with
+    /// different salts model two different fabricated chips.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] when the netlist violates the
+    /// AQFP structural rules.
+    pub fn new(netlist: &'a Netlist, noise_salt: u64) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let depths = netlist.depths();
+        let depth = depths.iter().copied().max().unwrap_or(0);
+        // Firing order within a cycle: phase 1, 2, 3, 0 (inputs are phase 0
+        // at the cycle boundary). Within a slot, ascending depth.
+        let mut slots: [Vec<u32>; 4] = Default::default();
+        let mut order: Vec<u32> = (0..netlist.node_count() as u32).collect();
+        order.sort_by_key(|&i| depths[i as usize]);
+        for i in order {
+            let gate = &netlist.gates()[i as usize];
+            if matches!(gate, Gate::Input { .. }) {
+                continue;
+            }
+            let d = depths[i as usize];
+            let slot = match d % 4 {
+                1 => 0,
+                2 => 1,
+                3 => 2,
+                _ => 3, // phase 0 gates fire last in the cycle
+            };
+            slots[slot].push(i);
+        }
+        let mut noise: Vec<Option<StdRng>> = netlist
+            .gates()
+            .iter()
+            .map(|g| match g {
+                Gate::Rng { seed } => Some(StdRng::seed_from_u64(seed ^ noise_salt)),
+                _ => None,
+            })
+            .collect();
+        // Pre-charge registers: constants hold their value from power-up and
+        // depth-0 RNG cells have already emitted a bit when the first
+        // consumer fires.
+        let mut values = vec![false; netlist.node_count()];
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            match gate {
+                Gate::Const { value } => values[i] = *value,
+                Gate::Rng { .. } => {
+                    values[i] = noise[i].as_mut().expect("seeded above").gen();
+                }
+                _ => {}
+            }
+        }
+        Ok(PipelinedSim { netlist, values, slots, noise, depth, cycles_run: 0 })
+    }
+
+    /// Pipeline depth in phases.
+    pub fn depth_phases(&self) -> u32 {
+        self.depth
+    }
+
+    /// Pipeline fill latency in whole clock cycles (`⌈depth / 4⌉`).
+    pub fn latency_cycles(&self) -> u64 {
+        self.depth.div_ceil(4) as u64
+    }
+
+    /// Number of cycles simulated so far.
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles_run
+    }
+
+    /// Advances one clock cycle with the given primary-input bits and
+    /// returns the output bits registered at the end of the cycle.
+    ///
+    /// Output values correspond to the input injected
+    /// `latency_cycles() - 1` cycles earlier once the pipeline has filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len()` differs from the number of input pins.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let pins = self.netlist.inputs();
+        assert_eq!(inputs.len(), pins.len(), "wrong number of input bits");
+        for (pin, &bit) in pins.iter().zip(inputs) {
+            self.values[pin.index()] = bit;
+        }
+        for slot in 0..4 {
+            for idx in 0..self.slots[slot].len() {
+                let node = self.slots[slot][idx] as usize;
+                let v = self.eval(node);
+                self.values[node] = v;
+            }
+        }
+        self.cycles_run += 1;
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|(_, n)| self.values[n.index()])
+            .collect()
+    }
+
+    /// Runs one cycle per input vector, returning the per-cycle outputs.
+    pub fn run(&mut self, inputs_per_cycle: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        inputs_per_cycle.iter().map(|iv| self.step(iv)).collect()
+    }
+
+    /// Runs the pipeline until the wavefront of the *last* provided input
+    /// has reached the outputs, feeding zeros after the provided inputs,
+    /// and returns only the output vectors aligned with the provided
+    /// inputs (latency compensated).
+    pub fn run_aligned(&mut self, inputs_per_cycle: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let n_inputs = self.netlist.inputs().len();
+        let lat = self.latency_cycles() as usize;
+        let mut all = Vec::with_capacity(inputs_per_cycle.len() + lat);
+        for iv in inputs_per_cycle {
+            all.push(self.step(iv));
+        }
+        for _ in 0..lat {
+            all.push(self.step(&vec![false; n_inputs]));
+        }
+        all.split_off(lat.saturating_sub(1).min(all.len()))
+            .into_iter()
+            .take(inputs_per_cycle.len())
+            .collect()
+    }
+
+    fn eval(&mut self, node: usize) -> bool {
+        let v = &self.values;
+        match &self.netlist.gates()[node] {
+            Gate::Input { .. } => v[node],
+            Gate::Const { value } => *value,
+            Gate::Buffer { from } | Gate::Splitter { from, .. } => v[from.index()],
+            Gate::Inverter { from } => !v[from.index()],
+            Gate::Maj { a, b, c } => {
+                let (a, b, c) = (v[a.index()], v[b.index()], v[c.index()]);
+                (a & b) | (a & c) | (b & c)
+            }
+            Gate::And { a, b } => v[a.index()] & v[b.index()],
+            Gate::Or { a, b } => v[a.index()] | v[b.index()],
+            Gate::Nor { a, b } => !(v[a.index()] | v[b.index()]),
+            Gate::Rng { .. } => self
+                .noise[node]
+                .as_mut()
+                .expect("rng node has a noise source")
+                .gen(),
+        }
+    }
+}
+
+impl Netlist {
+    /// Evaluates the netlist combinationally (ignoring pipelining): one
+    /// output vector for one input vector. RNG cells draw from `rng_seed`.
+    ///
+    /// This is the functional reference used to cross-check the pipelined
+    /// simulator and the stream-level block models.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len()` differs from the number of input pins.
+    pub fn evaluate(&self, inputs: &[bool], rng_seed: u64) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.inputs().len(), "wrong number of input bits");
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let mut values = vec![false; self.node_count()];
+        for (pin, &bit) in self.inputs().iter().zip(inputs) {
+            values[pin.index()] = bit;
+        }
+        for i in 0..self.node_count() {
+            values[i] = match &self.gates()[i] {
+                Gate::Input { .. } => values[i],
+                Gate::Const { value } => *value,
+                Gate::Buffer { from } | Gate::Splitter { from, .. } => values[from.index()],
+                Gate::Inverter { from } => !values[from.index()],
+                Gate::Maj { a, b, c } => {
+                    let (a, b, c) = (values[a.index()], values[b.index()], values[c.index()]);
+                    (a & b) | (a & c) | (b & c)
+                }
+                Gate::And { a, b } => values[a.index()] & values[b.index()],
+                Gate::Or { a, b } => values[a.index()] | values[b.index()],
+                Gate::Nor { a, b } => !(values[a.index()] | values[b.index()]),
+                Gate::Rng { .. } => rng.gen(),
+            };
+        }
+        self.outputs().iter().map(|(_, n)| values[n.index()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Balanced 2-level circuit: y = maj(and(a,b), or(a,b), inv(c)).
+    fn sample_netlist() -> Netlist {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let sa = net.splitter(a, 2);
+        let sb = net.splitter(b, 2);
+        let t_and = net.and2(sa, sb);
+        let t_or = net.or2(sa, sb);
+        let ci = net.buf(c);
+        let ci2 = net.inv(ci);
+        let y = net.maj(t_and, t_or, ci2);
+        net.output("y", y);
+        net
+    }
+
+    fn reference(a: bool, b: bool, c: bool) -> bool {
+        let t_and = a & b;
+        let t_or = a | b;
+        let ci = !c;
+        (t_and & t_or) | (t_and & ci) | (t_or & ci)
+    }
+
+    #[test]
+    fn evaluate_matches_reference_truth_table() {
+        let net = sample_netlist();
+        for mask in 0..8u8 {
+            let a = mask & 1 != 0;
+            let b = mask & 2 != 0;
+            let c = mask & 4 != 0;
+            assert_eq!(net.evaluate(&[a, b, c], 0), vec![reference(a, b, c)], "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn pipelined_sim_matches_evaluate_after_latency() {
+        let net = sample_netlist();
+        let mut sim = PipelinedSim::new(&net, 0).unwrap();
+        // depth = 3 → latency 1 cycle; outputs of cycle k reflect inputs k.
+        assert_eq!(sim.latency_cycles(), 1);
+        let inputs: Vec<Vec<bool>> = (0..8u8)
+            .map(|m| vec![m & 1 != 0, m & 2 != 0, m & 4 != 0])
+            .collect();
+        let outs = sim.run(&inputs);
+        for (iv, ov) in inputs.iter().zip(&outs) {
+            assert_eq!(ov[0], reference(iv[0], iv[1], iv[2]));
+        }
+    }
+
+    #[test]
+    fn deep_pipeline_has_cycle_latency() {
+        // Chain of 9 buffers: depth 9 → latency ceil(9/4) = 3 cycles.
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let mut x = a;
+        for _ in 0..9 {
+            x = net.buf(x);
+        }
+        net.output("y", x);
+        let mut sim = PipelinedSim::new(&net, 0).unwrap();
+        assert_eq!(sim.latency_cycles(), 3);
+        // Send an impulse and watch it come out 2 cycles later (the output
+        // of cycle k is registered at the end of cycle k; the impulse
+        // traverses 4 stages per cycle: 4, 8, 9 → visible in cycle 2).
+        let mut outs = Vec::new();
+        outs.push(sim.step(&[true])[0]);
+        for _ in 0..5 {
+            outs.push(sim.step(&[false])[0]);
+        }
+        assert_eq!(outs, vec![false, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn run_aligned_compensates_latency() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let mut x = a;
+        for _ in 0..9 {
+            x = net.buf(x);
+        }
+        net.output("y", x);
+        let mut sim = PipelinedSim::new(&net, 0).unwrap();
+        let pattern: Vec<Vec<bool>> =
+            [true, false, true, true, false].iter().map(|&b| vec![b]).collect();
+        let outs = sim.run_aligned(&pattern);
+        let got: Vec<bool> = outs.iter().map(|o| o[0]).collect();
+        assert_eq!(got, vec![true, false, true, true, false]);
+    }
+
+    #[test]
+    fn invalid_netlist_is_rejected() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let x = net.buf(a);
+        let y = net.buf(a); // illegal fanout
+        net.output("x", x);
+        net.output("y", y);
+        assert!(PipelinedSim::new(&net, 0).is_err());
+    }
+
+    #[test]
+    fn rng_cells_differ_across_salts_but_not_within() {
+        let mut net = Netlist::new();
+        let r = net.rng(7);
+        let b = net.buf(r);
+        net.output("y", b);
+        let drive = |salt: u64| -> Vec<bool> {
+            let mut sim = PipelinedSim::new(&net, salt).unwrap();
+            (0..64).map(|_| sim.step(&[])[0]).collect()
+        };
+        assert_eq!(drive(1), drive(1));
+        assert_ne!(drive(1), drive(2));
+    }
+
+    #[test]
+    fn xnor_gate_behaves_as_xnor_through_pipeline() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let y = net.xnor2(a, b);
+        net.output("y", y);
+        let mut sim = PipelinedSim::new(&net, 0).unwrap();
+        let inputs: Vec<Vec<bool>> = (0..4u8).map(|m| vec![m & 1 != 0, m & 2 != 0]).collect();
+        let outs = sim.run(&inputs);
+        for (iv, ov) in inputs.iter().zip(&outs) {
+            assert_eq!(ov[0], iv[0] == iv[1]);
+        }
+    }
+}

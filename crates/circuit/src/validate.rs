@@ -1,0 +1,255 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::cell::{CellCosts, GateKind};
+use crate::netlist::{Netlist, NodeId};
+
+/// A structural violation of the AQFP design rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A node drives more sinks than it may (1 for ordinary cells, `ways`
+    /// for splitters). Fix by inserting a splitter tree.
+    FanoutViolation {
+        /// The overloaded node.
+        node: NodeId,
+        /// Number of sinks found.
+        sinks: u32,
+        /// Number of sinks allowed.
+        allowed: u32,
+    },
+    /// A gate's inputs arrive at different phase depths; AQFP clocking
+    /// requires equal delay from the primary inputs (paper §2.1). Fix by
+    /// inserting buffer chains.
+    UnbalancedInputs {
+        /// The offending gate.
+        node: NodeId,
+        /// Phase depth of each (non-flexible) input.
+        depths: Vec<u32>,
+    },
+    /// The netlist has no primary outputs, so it computes nothing.
+    NoOutputs,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::FanoutViolation { node, sinks, allowed } => write!(
+                f,
+                "node {node} drives {sinks} sinks but allows {allowed}; insert a splitter"
+            ),
+            NetlistError::UnbalancedInputs { node, depths } => write!(
+                f,
+                "gate {node} has inputs at unequal phase depths {depths:?}; insert buffers"
+            ),
+            NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Summary of a structurally valid netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Pipeline depth in clock phases.
+    pub depth: u32,
+    /// Total node count (including inputs).
+    pub nodes: usize,
+    /// Total Josephson-junction count under [`CellCosts::default`].
+    pub jj_count: u64,
+    /// Cells per kind.
+    pub histogram: Vec<(GateKind, usize)>,
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "valid netlist: {} nodes, {} JJs, depth {} phases",
+            self.nodes, self.jj_count, self.depth
+        )
+    }
+}
+
+impl Netlist {
+    /// Checks the AQFP structural rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns the *first* [`NetlistError`] found: fan-out without a wide
+    /// enough splitter, unbalanced gate input phases, or a missing output.
+    /// Use [`Netlist::validation_errors`] to collect all of them.
+    pub fn validate(&self) -> Result<ValidationReport, NetlistError> {
+        match self.validation_errors().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(self.report()),
+        }
+    }
+
+    /// Collects every structural violation (empty means valid).
+    pub fn validation_errors(&self) -> Vec<NetlistError> {
+        let mut errors = Vec::new();
+        if self.outputs().is_empty() {
+            errors.push(NetlistError::NoOutputs);
+        }
+        let fanout = self.fanout_counts();
+        for (i, gate) in self.gates().iter().enumerate() {
+            let allowed = match gate.kind() {
+                GateKind::Splitter { ways } => ways as u32,
+                _ => 1,
+            };
+            if fanout[i] > allowed {
+                errors.push(NetlistError::FanoutViolation {
+                    node: NodeId(i as u32),
+                    sinks: fanout[i],
+                    allowed,
+                });
+            }
+        }
+        let depths = self.depths();
+        for (i, gate) in self.gates().iter().enumerate() {
+            let input_depths: Vec<u32> = gate
+                .fanin()
+                .iter()
+                .filter(|n| !self.gate(**n).is_phase_flexible())
+                .map(|n| depths[n.index()])
+                .collect();
+            if input_depths.windows(2).any(|w| w[0] != w[1]) {
+                errors.push(NetlistError::UnbalancedInputs {
+                    node: NodeId(i as u32),
+                    depths: input_depths,
+                });
+            }
+        }
+        errors
+    }
+
+    /// Builds the summary report (regardless of validity).
+    pub fn report(&self) -> ValidationReport {
+        let costs = CellCosts::default();
+        let jj_count = self
+            .gates()
+            .iter()
+            .map(|g| costs.jj(g.kind()) as u64)
+            .sum();
+        ValidationReport {
+            depth: self.depth(),
+            nodes: self.node_count(),
+            jj_count,
+            histogram: self.kind_histogram(),
+        }
+    }
+
+    /// Total JJ count under the given cost table.
+    pub fn jj_count(&self, costs: &CellCosts) -> u64 {
+        self.gates().iter().map(|g| costs.jj(g.kind()) as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_and_gate_validates() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let y = net.and2(a, b);
+        net.output("y", y);
+        let report = net.validate().unwrap();
+        assert_eq!(report.depth, 1);
+        assert_eq!(report.jj_count, 6);
+    }
+
+    #[test]
+    fn fanout_without_splitter_is_rejected() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let x = net.buf(a);
+        let y = net.buf(a); // a drives two sinks directly
+        net.output("x", x);
+        net.output("y", y);
+        let err = net.validate().unwrap_err();
+        assert!(matches!(err, NetlistError::FanoutViolation { sinks: 2, allowed: 1, .. }));
+    }
+
+    #[test]
+    fn splitter_legalises_fanout() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let s = net.splitter(a, 2);
+        let x = net.buf(s);
+        let y = net.inv(s);
+        net.output("x", x);
+        net.output("y", y);
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn overloaded_splitter_is_rejected() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let s = net.splitter(a, 2);
+        let x = net.buf(s);
+        let y = net.buf(s);
+        let z = net.buf(s);
+        net.output("x", x);
+        net.output("y", y);
+        net.output("z", z);
+        let err = net.validate().unwrap_err();
+        assert!(matches!(err, NetlistError::FanoutViolation { sinks: 3, allowed: 2, .. }));
+    }
+
+    #[test]
+    fn unbalanced_inputs_are_rejected() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let d1 = net.buf(a); // depth 1
+        let y = net.and2(d1, b); // depths 1 and 0
+        net.output("y", y);
+        let err = net.validate().unwrap_err();
+        assert!(matches!(err, NetlistError::UnbalancedInputs { .. }));
+    }
+
+    #[test]
+    fn constants_do_not_unbalance() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let d1 = net.buf(a);
+        let d2 = net.buf(d1);
+        let c = net.constant(true);
+        let y = net.maj(d2, c, c); // const used twice is also a fanout issue
+        net.output("y", y);
+        // The constant violates fanout (2 sinks) but NOT balance.
+        let errors = net.validation_errors();
+        assert!(errors.iter().all(|e| matches!(e, NetlistError::FanoutViolation { .. })));
+    }
+
+    #[test]
+    fn missing_outputs_reported() {
+        let net = Netlist::new();
+        assert_eq!(net.validate().unwrap_err(), NetlistError::NoOutputs);
+    }
+
+    #[test]
+    fn report_counts_jjs() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let s = net.splitter(a, 2); // 4 JJ, depth 1
+        let b1 = net.buf(b); // 2 JJ, depth 1 — balances the majority inputs
+        let m = net.maj(s, s, b1); // 6 JJ; s drives 2 sinks, allowed 2
+        net.output("m", m);
+        assert!(net.validate().is_ok());
+        assert_eq!(net.report().jj_count, 4 + 2 + 6);
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        let e = NetlistError::FanoutViolation { node: NodeId(3), sinks: 4, allowed: 1 };
+        assert!(e.to_string().contains("splitter"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Prior-art CMOS SC-DCNN baseline blocks (Ren et al. \[35\]) and their
+//! 40 nm cost inventories.
+//!
+//! The paper's comparisons (Tables 4–7, 9 and Fig. 5) are against a CMOS
+//! stochastic-computing DNN built from: XNOR multipliers, an approximate
+//! parallel counter (APC) for summation, a saturating binary up/down
+//! counter (`Btanh`) for activation, a mux tree as the low-cost adder
+//! alternative with an `Stanh` FSM, mux-based average pooling, and
+//! LFSR-based stochastic number generators. These structures rely on
+//! accumulators/FSMs — precisely what AQFP's one-gate-per-phase pipeline
+//! cannot host efficiently (paper §3) — so they live here as *functional*
+//! models plus CMOS gate inventories.
+
+use aqfp_sc_bitstream::{mux_add, BitStream, BitstreamError, ColumnCounter};
+use aqfp_sc_circuit::CmosGateCounts;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// APC-based feature extraction with `Btanh` counter activation (the
+/// "higher accuracy" configuration of prior work, paper Fig. 5).
+///
+/// Per cycle, the APC counts the 1s among the `M` product bits; a
+/// saturating up/down counter integrates `2·count − M` and the output bit
+/// is the counter MSB. `states` is the counter range (prior work tunes it
+/// near `2M`; [`btanh_states`] supplies that default).
+///
+/// # Errors
+///
+/// Returns [`BitstreamError::Empty`] when `products` is empty or a length
+/// mismatch when stream lengths differ.
+pub fn apc_feature_extraction(
+    products: &[BitStream],
+    states: u32,
+) -> Result<BitStream, BitstreamError> {
+    let first = products.first().ok_or(BitstreamError::Empty)?;
+    let len = first.len();
+    let m = products.len() as i64;
+    let mut counter = ColumnCounter::new(len);
+    for p in products {
+        counter.add(p)?;
+    }
+    let max = states as i64 - 1;
+    let mut state = max / 2;
+    Ok(BitStream::from_bits(counter.counts().into_iter().map(|c| {
+        state = (state + 2 * c as i64 - m).clamp(0, max);
+        state > max / 2
+    })))
+}
+
+/// Default `Btanh` state count for an `M`-input APC neuron (prior work
+/// scales the counter with the input count; `2M` keeps the transfer close
+/// to `tanh`).
+pub fn btanh_states(m: usize) -> u32 {
+    (2 * m).max(4) as u32
+}
+
+/// `Stanh`: the classic K-state FSM tanh used after mux-tree adders.
+///
+/// The FSM walks up on 1 bits and down on 0 bits, saturating at the ends;
+/// the output is 1 in the upper half of the states. Approximates
+/// `tanh(K·x/2)` for a bipolar input of value `x`.
+pub fn stanh(stream: &BitStream, states: u32) -> BitStream {
+    let max = states.max(2) as i64 - 1;
+    let mut state = max / 2;
+    BitStream::from_bits(stream.iter().map(|bit| {
+        state = (state + if bit { 1 } else { -1 }).clamp(0, max);
+        state > max / 2
+    }))
+}
+
+/// Mux-tree feature extraction: scaled addition by an `M`-to-1 mux followed
+/// by `Stanh` activation (the "low hardware footprint" configuration of
+/// prior work). The mux scales the sum by `1/M`, which the FSM state count
+/// compensates for.
+///
+/// # Errors
+///
+/// Propagates [`mux_add`] errors (empty input, length mismatch).
+pub fn mux_tree_feature_extraction(
+    products: &[BitStream],
+    states: u32,
+    seed: u64,
+) -> Result<BitStream, BitstreamError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let summed = mux_add(products, &mut rng)?;
+    Ok(stanh(&summed, states))
+}
+
+/// Mux-based average pooling (the baseline the paper's sorter-based pooling
+/// replaces, §4.3): a random input is forwarded each cycle, so the output
+/// value is the window mean but with high variance for larger windows.
+///
+/// # Errors
+///
+/// Propagates [`mux_add`] errors (empty input, length mismatch).
+pub fn mux_average_pooling(streams: &[BitStream], seed: u64) -> Result<BitStream, BitstreamError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    mux_add(streams, &mut rng)
+}
+
+/// CMOS gate inventory of an `bits`-bit LFSR+comparator SNG (one stream).
+pub fn cmos_sng_counts(bits: u32) -> CmosGateCounts {
+    CmosGateCounts {
+        dff: bits as u64,              // LFSR register
+        xnor: 1,                       // LFSR feedback tap network (amortised)
+        comparator_bits: bits as u64,  // magnitude comparator slices
+        ..Default::default()
+    }
+}
+
+/// CMOS gate inventory of an `m`-input APC feature-extraction block with a
+/// `counter_bits`-bit activation counter.
+pub fn cmos_feature_counts(m: usize, counter_bits: u32) -> CmosGateCounts {
+    CmosGateCounts {
+        xnor: m as u64,                      // multipliers
+        full_adder: (m.saturating_sub(1)) as u64, // APC adder tree
+        dff: 2 * counter_bits as u64,        // up/down counter + output reg
+        nand: counter_bits as u64,           // counter control logic
+        ..Default::default()
+    }
+}
+
+/// Logic depth (levels) of the APC feature-extraction block, for the
+/// latency column of Table 5.
+pub fn cmos_feature_levels(m: usize) -> u32 {
+    // Adder tree depth + counter update.
+    (usize::BITS - m.leading_zeros()) + 4
+}
+
+/// CMOS gate inventory of an `m`-input mux-tree average-pooling block.
+pub fn cmos_pooling_counts(m: usize) -> CmosGateCounts {
+    let sel_bits = (usize::BITS - (m.max(2) - 1).leading_zeros()) as u64;
+    CmosGateCounts {
+        mux2: (m.saturating_sub(1)) as u64, // mux tree
+        dff: sel_bits,                      // select counter/LFSR bits
+        ..Default::default()
+    }
+}
+
+/// Logic depth of the mux pooling block.
+pub fn cmos_pooling_levels(m: usize) -> u32 {
+    usize::BITS - (m.max(2) - 1).leading_zeros() + 1
+}
+
+/// CMOS gate inventory of a `k`-input categorization (FC) block — prior
+/// work uses the same APC structure for FC layers.
+pub fn cmos_categorize_counts(k: usize) -> CmosGateCounts {
+    cmos_feature_counts(k, btanh_states(k).next_power_of_two().trailing_zeros().max(8))
+}
+
+/// Logic depth of the CMOS categorization block.
+pub fn cmos_categorize_levels(k: usize) -> u32 {
+    cmos_feature_levels(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_sc_bitstream::{Bipolar, Sng, ThermalRng};
+
+    fn streams_for(values: &[f64], n: usize, seed: u64) -> Vec<BitStream> {
+        let mut sng = Sng::new(10, ThermalRng::with_seed(seed));
+        values
+            .iter()
+            .map(|&v| sng.generate(Bipolar::clamped(v), n))
+            .collect()
+    }
+
+    #[test]
+    fn apc_neuron_saturates_with_sign_of_sum() {
+        let pos = streams_for(&[0.8, 0.7, 0.9, 0.6, 0.8], 4096, 1);
+        let out = apc_feature_extraction(&pos, btanh_states(5)).unwrap();
+        assert!(out.bipolar_value().get() > 0.8, "got {}", out.bipolar_value());
+        let neg = streams_for(&[-0.8, -0.7, -0.9, -0.6, -0.8], 4096, 2);
+        let out = apc_feature_extraction(&neg, btanh_states(5)).unwrap();
+        assert!(out.bipolar_value().get() < -0.8, "got {}", out.bipolar_value());
+    }
+
+    #[test]
+    fn apc_neuron_is_near_zero_for_balanced_sum() {
+        let streams = streams_for(&[0.5, -0.5, 0.3, -0.3, 0.0], 8192, 3);
+        let out = apc_feature_extraction(&streams, btanh_states(5)).unwrap();
+        assert!(out.bipolar_value().get().abs() < 0.25, "got {}", out.bipolar_value());
+    }
+
+    #[test]
+    fn stanh_compresses_towards_sign() {
+        let mut sng = Sng::new(10, ThermalRng::with_seed(4));
+        let s = sng.generate(Bipolar::clamped(0.4), 8192);
+        let out = stanh(&s, 16);
+        // tanh(16*0.4/2) ≈ 1.0: strongly positive.
+        assert!(out.bipolar_value().get() > 0.7, "got {}", out.bipolar_value());
+    }
+
+    #[test]
+    fn mux_tree_neuron_tracks_scaled_sum() {
+        let values = [0.9, 0.8, 0.85, 0.95];
+        let streams = streams_for(&values, 8192, 5);
+        let out = mux_tree_feature_extraction(&streams, 8, 42).unwrap();
+        // Mean 0.875 → stanh amplifies positive.
+        assert!(out.bipolar_value().get() > 0.5, "got {}", out.bipolar_value());
+    }
+
+    #[test]
+    fn mux_pooling_value_is_mean_but_noisy() {
+        let values = [1.0, 1.0, -1.0, -1.0];
+        let streams = streams_for(&values, 4096, 6);
+        let out = mux_average_pooling(&streams, 7).unwrap();
+        assert!(out.bipolar_value().get().abs() < 0.15, "got {}", out.bipolar_value());
+    }
+
+    #[test]
+    fn inventories_scale_with_inputs() {
+        let small = cmos_feature_counts(9, 10);
+        let large = cmos_feature_counts(121, 10);
+        assert!(large.xnor > small.xnor);
+        assert!(large.full_adder > small.full_adder);
+        assert!(cmos_pooling_counts(16).mux2 > cmos_pooling_counts(4).mux2);
+        assert!(cmos_sng_counts(10).dff == 10);
+        assert!(cmos_categorize_counts(800).full_adder > cmos_categorize_counts(100).full_adder);
+    }
+
+    #[test]
+    fn levels_grow_logarithmically() {
+        assert!(cmos_feature_levels(800) > cmos_feature_levels(9));
+        assert!(cmos_feature_levels(800) < 20);
+        assert!(cmos_pooling_levels(36) >= cmos_pooling_levels(4));
+        assert_eq!(cmos_categorize_levels(100), cmos_feature_levels(100));
+    }
+}

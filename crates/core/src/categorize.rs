@@ -1,0 +1,290 @@
+//! Majority-chain categorization for FC layers (paper §4.4, Fig. 15).
+
+use aqfp_sc_bitstream::{BitStream, BitstreamError};
+use aqfp_sc_circuit::Netlist;
+use aqfp_sc_synth::{synthesize, SynthOptions, SynthResult};
+
+/// The low-complexity categorization block.
+///
+/// FC layers have many inputs (hundreds), and what matters for
+/// classification is the *ranking* of the output scores, not their exact
+/// values. This block therefore replaces the exact inner-product sum with a
+/// chain of 3-input majority gates over the product column:
+///
+/// ```text
+/// y₀ = MAJ(p₀, p₁, p₂)
+/// yₖ = MAJ(yₖ₋₁, p₂ₖ₊₁, p₂ₖ₊₂)
+/// ```
+///
+/// A 3-input majority costs the same as a 2-input AND/OR in AQFP, so the
+/// chain needs only `(M−1)/2` gates of logic — but its output is an
+/// *approximation* of the wide majority (exact only for M ≤ 3); the
+/// approximation error is what Table 3 quantifies. Odd input counts are
+/// required; an even count is padded with a neutral alternating stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MajorityChain {
+    inputs: usize,
+    m: usize,
+}
+
+impl MajorityChain {
+    /// Creates a chain over `inputs` product streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs < 3`.
+    pub fn new(inputs: usize) -> Self {
+        assert!(inputs >= 3, "majority chain needs at least 3 inputs");
+        let m = if inputs % 2 == 0 { inputs + 1 } else { inputs };
+        MajorityChain { inputs, m }
+    }
+
+    /// Number of caller-provided product streams.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Effective (odd) width after neutral padding.
+    pub fn width(&self) -> usize {
+        self.m
+    }
+
+    /// Number of 3-input majority gates in the chain.
+    pub fn chain_length(&self) -> usize {
+        (self.m - 1) / 2
+    }
+
+    /// Runs the chain on the product streams (word-parallel; the chain has
+    /// no cross-cycle state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::Empty`] for no streams, a length mismatch
+    /// when stream lengths differ or the count does not match
+    /// [`MajorityChain::inputs`].
+    pub fn run(&self, products: &[BitStream]) -> Result<BitStream, BitstreamError> {
+        let first = products.first().ok_or(BitstreamError::Empty)?;
+        if products.len() != self.inputs {
+            return Err(BitstreamError::LengthMismatch {
+                left: self.inputs,
+                right: products.len(),
+            });
+        }
+        let len = first.len();
+        let padded;
+        let streams: &[BitStream] = if self.m != self.inputs {
+            padded = {
+                let mut v = products.to_vec();
+                v.push(BitStream::alternating(len));
+                v
+            };
+            &padded
+        } else {
+            products
+        };
+        for s in streams {
+            if s.len() != len {
+                return Err(BitstreamError::LengthMismatch { left: len, right: s.len() });
+            }
+        }
+        let words = len.div_ceil(64);
+        let mut acc: Vec<u64> = streams[0].words().to_vec();
+        // y0 = maj(p0, p1, p2); yk = maj(y(k-1), p(2k+1), p(2k+2))
+        let mut y: Vec<u64> = (0..words)
+            .map(|w| {
+                let (a, b, c) = (acc[w], streams[1].words()[w], streams[2].words()[w]);
+                (a & b) | (a & c) | (b & c)
+            })
+            .collect();
+        let mut k = 3;
+        while k + 1 < self.m {
+            let (pa, pb) = (streams[k].words(), streams[k + 1].words());
+            for w in 0..words {
+                let (a, b, c) = (y[w], pa[w], pb[w]);
+                y[w] = (a & b) | (a & c) | (b & c);
+            }
+            k += 2;
+        }
+        acc.clear();
+        Ok(BitStream::from_words(y, len))
+    }
+
+    /// The *exact* wide majority of the product column per cycle — the
+    /// function the chain approximates. Used by the ablation comparing
+    /// ranking fidelity.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MajorityChain::run`].
+    pub fn run_exact_majority(&self, products: &[BitStream]) -> Result<BitStream, BitstreamError> {
+        let first = products.first().ok_or(BitstreamError::Empty)?;
+        if products.len() != self.inputs {
+            return Err(BitstreamError::LengthMismatch {
+                left: self.inputs,
+                right: products.len(),
+            });
+        }
+        let len = first.len();
+        let mut counter = aqfp_sc_bitstream::ColumnCounter::new(len);
+        for p in products {
+            counter.add(p)?;
+        }
+        if self.m != self.inputs {
+            counter.add(&BitStream::alternating(len))?;
+        }
+        let half = (self.m as u32 + 1) / 2;
+        let counts = counter.counts();
+        Ok(BitStream::from_bits(counts.iter().map(|&c| c >= half)))
+    }
+
+    /// Exact probability that the chain outputs 1 when input bit `j` is an
+    /// independent Bernoulli with `P(1) = probs[j]` — the analytic reference
+    /// for the Table 3 accuracy metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probs.len()` differs from [`MajorityChain::inputs`].
+    pub fn exact_output_probability(&self, probs: &[f64]) -> f64 {
+        assert_eq!(probs.len(), self.inputs, "need one probability per input");
+        let mut ps = probs.to_vec();
+        if self.m != self.inputs {
+            ps.push(0.5); // neutral stream is 0101…, density 1/2
+        }
+        // P(maj(y,a,b)=1) = pa·pb + py·(pa + pb − 2·pa·pb), independence.
+        let mut y = {
+            let (a, b, c) = (ps[0], ps[1], ps[2]);
+            a * b + c * (a + b - 2.0 * a * b)
+        };
+        let mut k = 3;
+        while k + 1 < self.m {
+            let (a, b) = (ps[k], ps[k + 1]);
+            y = a * b + y * (a + b - 2.0 * a * b);
+            k += 2;
+        }
+        y
+    }
+
+    /// Generates the legalised AQFP netlist of the chain (Fig. 15): XNOR
+    /// multipliers feeding `(M−1)/2` majority gates; the phase-alignment
+    /// buffers inserted by synthesis grow quadratically with M, matching the
+    /// superlinear energy growth of paper Table 7.
+    pub fn netlist(&self) -> SynthResult {
+        let mut net = Netlist::new();
+        let xs: Vec<_> = (0..self.inputs).map(|i| net.input(format!("x{i}"))).collect();
+        let ws: Vec<_> = (0..self.inputs).map(|i| net.input(format!("w{i}"))).collect();
+        let mut products: Vec<_> = xs
+            .iter()
+            .zip(&ws)
+            .map(|(&x, &w)| net.xnor2(x, w))
+            .collect();
+        if self.m != self.inputs {
+            products.push(net.rng(0x0DD_BA11));
+        }
+        let mut y = net.maj(products[0], products[1], products[2]);
+        let mut k = 3;
+        while k + 1 < self.m {
+            y = net.maj(y, products[k], products[k + 1]);
+            k += 2;
+        }
+        net.output("so", y);
+        synthesize(&net, &SynthOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_sc_bitstream::{Bipolar, Sng, ThermalRng};
+
+    fn streams_for(values: &[f64], n: usize, seed: u64) -> Vec<BitStream> {
+        let mut sng = Sng::new(10, ThermalRng::with_seed(seed));
+        values
+            .iter()
+            .map(|&v| sng.generate(Bipolar::clamped(v), n))
+            .collect()
+    }
+
+    #[test]
+    fn three_input_chain_is_exact_majority() {
+        let chain = MajorityChain::new(3);
+        let streams = streams_for(&[0.5, -0.3, 0.1], 1024, 1);
+        let fast = chain.run(&streams).unwrap();
+        let exact = chain.run_exact_majority(&streams).unwrap();
+        assert_eq!(fast, exact);
+    }
+
+    #[test]
+    fn output_sign_tracks_dominant_inputs() {
+        // Strongly positive products → output saturates positive.
+        // The chain equilibrium for per-bit density p = 0.8 is q* ≈ 0.94
+        // (bipolar ≈ 0.88): strongly saturated but not exactly ±1.
+        let chain = MajorityChain::new(101);
+        let values = vec![0.6; 101];
+        let so = chain.run(&streams_for(&values, 2048, 2)).unwrap();
+        assert!(so.bipolar_value().get() > 0.8, "got {}", so.bipolar_value());
+        let neg = vec![-0.6; 101];
+        let so = chain.run(&streams_for(&neg, 2048, 3)).unwrap();
+        assert!(so.bipolar_value().get() < -0.8, "got {}", so.bipolar_value());
+    }
+
+    #[test]
+    fn preserves_ranking_of_two_candidates() {
+        // Two output neurons; the one with larger inner product must win.
+        let n = 2048;
+        let strong: Vec<f64> = (0..49).map(|i| 0.4 + 0.01 * (i % 7) as f64).collect();
+        let weak: Vec<f64> = (0..49).map(|i| 0.1 + 0.01 * (i % 7) as f64).collect();
+        let chain = MajorityChain::new(49);
+        let v_strong = chain
+            .run(&streams_for(&strong, n, 5))
+            .unwrap()
+            .bipolar_value()
+            .get();
+        let v_weak = chain
+            .run(&streams_for(&weak, n, 6))
+            .unwrap()
+            .bipolar_value()
+            .get();
+        assert!(v_strong > v_weak, "{v_strong} vs {v_weak}");
+    }
+
+    #[test]
+    fn exact_probability_matches_empirical() {
+        let chain = MajorityChain::new(9);
+        let values = [0.3, -0.2, 0.5, 0.1, -0.4, 0.25, 0.0, 0.6, -0.1];
+        let probs: Vec<f64> = values.iter().map(|v| (v + 1.0) / 2.0).collect();
+        let analytic = chain.exact_output_probability(&probs);
+        let n = 65_536;
+        let so = chain.run(&streams_for(&values, n, 7)).unwrap();
+        let empirical = so.count_ones() as f64 / n as f64;
+        assert!(
+            (analytic - empirical).abs() < 0.01,
+            "analytic {analytic} vs empirical {empirical}"
+        );
+    }
+
+    #[test]
+    fn even_widths_are_padded() {
+        let chain = MajorityChain::new(100);
+        assert_eq!(chain.width(), 101);
+        assert_eq!(chain.chain_length(), 50);
+        let values = vec![0.2; 100];
+        assert!(chain.run(&streams_for(&values, 256, 8)).is_ok());
+    }
+
+    #[test]
+    fn netlist_is_valid_and_chain_shaped() {
+        let chain = MajorityChain::new(9);
+        let result = chain.netlist();
+        assert!(result.netlist.validate().is_ok());
+        // Depth grows linearly with chain length (plus XNOR depth).
+        let longer = MajorityChain::new(25).netlist();
+        assert!(longer.netlist.depth() > result.netlist.depth());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let chain = MajorityChain::new(5);
+        assert!(chain.run(&[]).is_err());
+        assert!(chain.run(&vec![BitStream::zeros(8); 4]).is_err());
+    }
+}

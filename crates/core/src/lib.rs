@@ -1,0 +1,80 @@
+//! The paper's stochastic-computing DNN blocks for AQFP, plus the prior-art
+//! CMOS SC-DCNN baseline they are compared against.
+//!
+//! AQFP's deep-pipelining nature makes accumulators, counters and FSMs —
+//! the building blocks of earlier CMOS SC-DNN designs — impractical (one
+//! addition takes many clock phases, so an accumulator could only fire once
+//! every n phases without RAW hazards). The paper replaces them with
+//! feedback-sorting structures:
+//!
+//! * [`FeatureExtraction`] — inner product **and** activation for CONV
+//!   layers using a bitonic sorter plus a sorted feedback vector
+//!   (Algorithm 1 / Fig. 12). The output stream realises
+//!   `clip(Σ xⱼwⱼ, −1, 1)`, a shifted-ReLU-like response (Fig. 13).
+//! * [`AveragePooling`] — exact-in-expectation average pooling via the same
+//!   sorter-feedback idea (Algorithm 2 / Fig. 14): one output 1 per M input
+//!   1s.
+//! * [`MajorityChain`] — low-complexity categorization for FC layers: a
+//!   chain of 3-input majority gates preserving output *ranking* rather
+//!   than exact values (Fig. 15).
+//! * [`SngBlock`] / [`RngMatrix`] — ultra-efficient stochastic number
+//!   generation from AQFP true-RNG cells, including the N×N shared matrix
+//!   that serves four N-bit random words per cell (Fig. 8).
+//! * [`baseline`] — the CMOS SC-DCNN structures of prior work (APC inner
+//!   product, saturating-counter tanh FSM, mux-tree adder, mux pooling)
+//!   used for the accuracy and hardware comparisons.
+//!
+//! Every block has three faces, cross-checked by tests:
+//!
+//! 1. a **fast functional model** on packed bit-streams (used by the
+//!    network-level evaluation),
+//! 2. an **exact sorting-network simulation** (compare-exchange level),
+//! 3. an **AQFP netlist generator** (gate level, legalised via
+//!    `aqfp-sc-synth`, simulable with `aqfp_sc_circuit::PipelinedSim`).
+//!
+//! # Example: one CONV neuron in the SC domain
+//!
+//! ```
+//! use aqfp_sc_bitstream::{Bipolar, BitStream, Sng, ThermalRng};
+//! use aqfp_sc_core::FeatureExtraction;
+//!
+//! # fn main() -> Result<(), aqfp_sc_bitstream::BitstreamError> {
+//! let n = 4096;
+//! let xs = [0.8, 0.6, 0.5];
+//! let ws = [0.5, 0.5, 0.25]; // Σ xw = 0.825, inside the linear region
+//! let mut sng = Sng::new(10, ThermalRng::with_seed(11));
+//! let products: Vec<BitStream> = xs
+//!     .iter()
+//!     .zip(&ws)
+//!     .map(|(&x, &w)| {
+//!         let xs = sng.generate(Bipolar::new(x).unwrap(), n);
+//!         let ws = sng.generate(Bipolar::new(w).unwrap(), n);
+//!         xs.xnor(&ws).unwrap()
+//!     })
+//!     .collect();
+//! let fe = FeatureExtraction::new(3);
+//! let so = fe.run(&products)?;
+//! let expect = FeatureExtraction::expected_value(&xs, &ws); // clip(Σxw, -1, 1)
+//! assert!((so.bipolar_value().get() - expect).abs() < 0.15);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod baseline;
+mod categorize;
+mod feature;
+mod matrix;
+mod netlists;
+mod pooling;
+mod sng_block;
+
+pub use categorize::MajorityChain;
+pub use feature::FeatureExtraction;
+pub use matrix::RngMatrix;
+pub use netlists::sorting_network_netlist;
+pub use pooling::AveragePooling;
+pub use sng_block::SngBlock;

@@ -1,0 +1,88 @@
+//! Shared helpers for building block netlists out of sorting networks.
+
+use aqfp_sc_circuit::{Netlist, NodeId};
+use aqfp_sc_sorting::SortingNetwork;
+
+/// Instantiates a sorting network inside `net`, rewriting `wires` in place:
+/// each compare-exchange becomes one OR (maximum) and one AND (minimum)
+/// fed through 1→2 splitters (paper Fig. 10: "each sorting unit can be
+/// implemented using an AND gate for the maximum and an OR gate for the
+/// minimum").
+///
+/// The produced structure is *not* phase-balanced; run it through
+/// `aqfp_sc_synth::synthesize` (the block builders do).
+///
+/// # Panics
+///
+/// Panics when `wires.len()` differs from the network width.
+pub fn apply_network(net: &mut Netlist, network: &SortingNetwork, wires: &mut [NodeId]) {
+    assert_eq!(wires.len(), network.wires(), "wire count mismatch");
+    for op in network.ops() {
+        let a = wires[op.max_wire];
+        let b = wires[op.min_wire];
+        let sa = net.splitter(a, 2);
+        let sb = net.splitter(b, 2);
+        wires[op.max_wire] = net.or2(sa, sb);
+        wires[op.min_wire] = net.and2(sa, sb);
+    }
+}
+
+/// Builds a standalone legalised netlist that sorts its inputs — useful for
+/// cost accounting and gate-level spot checks of the sorters themselves.
+pub fn sorting_network_netlist(network: &SortingNetwork) -> Netlist {
+    let mut net = Netlist::new();
+    let mut wires: Vec<NodeId> = (0..network.wires())
+        .map(|i| net.input(format!("in{i}")))
+        .collect();
+    apply_network(&mut net, network, &mut wires);
+    for (i, w) in wires.iter().enumerate() {
+        net.output(format!("out{i}"), *w);
+    }
+    aqfp_sc_synth::legalize(&net, &aqfp_sc_synth::LegalizeOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_sc_circuit::PipelinedSim;
+    use aqfp_sc_sorting::Direction;
+
+    #[test]
+    fn sorter_netlist_sorts_every_pattern() {
+        let network = SortingNetwork::bitonic_sorter(5, Direction::Descending);
+        let net = sorting_network_netlist(&network);
+        assert!(net.validate().is_ok());
+        for pattern in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| (pattern >> i) & 1 == 1).collect();
+            let out = net.evaluate(&bits, 0);
+            let ones = bits.iter().filter(|&&b| b).count();
+            let expect: Vec<bool> = (0..5).map(|i| i < ones).collect();
+            assert_eq!(out, expect, "pattern {pattern:05b}");
+        }
+    }
+
+    #[test]
+    fn sorter_netlist_streams_through_pipeline() {
+        let network = SortingNetwork::bitonic_sorter(4, Direction::Descending);
+        let net = sorting_network_netlist(&network);
+        let mut sim = PipelinedSim::new(&net, 0).unwrap();
+        let inputs: Vec<Vec<bool>> = (0..16u32)
+            .map(|p| (0..4).map(|i| (p >> i) & 1 == 1).collect())
+            .collect();
+        let outs = sim.run_aligned(&inputs);
+        for (iv, ov) in inputs.iter().zip(&outs) {
+            let ones = iv.iter().filter(|&&b| b).count();
+            let expect: Vec<bool> = (0..4).map(|i| i < ones).collect();
+            assert_eq!(ov, &expect);
+        }
+    }
+
+    #[test]
+    fn cae_cost_is_twenty_jjs_plus_alignment() {
+        // One compare-exchange: 2 splitters (4 JJ each) + OR + AND (6 JJ
+        // each) = 20 JJ before balancing.
+        let network = SortingNetwork::bitonic_sorter(2, Direction::Descending);
+        let net = sorting_network_netlist(&network);
+        assert_eq!(net.report().jj_count, 20);
+    }
+}

@@ -1,0 +1,250 @@
+//! Sorter-based average pooling (paper §4.3, Algorithm 2, Fig. 14).
+
+use aqfp_sc_bitstream::{BitStream, BitstreamError, ColumnCounter};
+use aqfp_sc_circuit::Netlist;
+use aqfp_sc_sorting::{Direction, SortingNetwork};
+use aqfp_sc_synth::{synthesize, SynthOptions, SynthResult};
+
+use crate::netlists;
+
+/// The sorter-based average-pooling (sub-sampling) block.
+///
+/// Max-pooling needs an FSM (impractical in AQFP) and the prior mux-based
+/// average pooling is inaccurate for larger windows; this block instead
+/// counts exactly: with per-cycle column count `c` and feedback occupancy
+/// `R < M`, letting `T = c + R`, the output bit is `SO = [T ≥ M]` and the
+/// new feedback holds `R' = T − M·SO` ones — **one output 1 per M input
+/// 1s**, so the output stream value converges to the exact mean of the
+/// input values. (The branch comments in the paper's Algorithm 2 pseudocode
+/// are swapped; this is the conserving version it describes in prose.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AveragePooling {
+    m: usize,
+}
+
+impl AveragePooling {
+    /// Creates a pooling block over `inputs` streams (the pooling window).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` is 0.
+    pub fn new(inputs: usize) -> Self {
+        assert!(inputs > 0, "pooling needs at least one input");
+        AveragePooling { m: inputs }
+    }
+
+    /// Window size M.
+    pub fn inputs(&self) -> usize {
+        self.m
+    }
+
+    /// Software reference: the mean of the input values.
+    pub fn expected_value(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
+    /// Runs the block (fast functional model via column counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::Empty`] when `streams` is empty, a length
+    /// mismatch when stream lengths differ or the stream count does not
+    /// match [`AveragePooling::inputs`].
+    pub fn run(&self, streams: &[BitStream]) -> Result<BitStream, BitstreamError> {
+        let first = streams.first().ok_or(BitstreamError::Empty)?;
+        if streams.len() != self.m {
+            return Err(BitstreamError::LengthMismatch { left: self.m, right: streams.len() });
+        }
+        let mut counter = ColumnCounter::new(first.len());
+        for s in streams {
+            counter.add(s)?;
+        }
+        Ok(self.run_counts(&counter.counts()))
+    }
+
+    /// Runs the block on precomputed per-cycle column counts.
+    pub fn run_counts(&self, counts: &[u32]) -> BitStream {
+        let m = self.m as i64;
+        let mut r: i64 = 0;
+        BitStream::from_bits(counts.iter().map(|&c| {
+            let t = c as i64 + r;
+            let fire = t >= m;
+            r = t - m * i64::from(fire);
+            fire
+        }))
+    }
+
+    /// Reference implementation that actually sorts per cycle (Algorithm 2
+    /// verbatim): column sorted ascending, merged descending with the sorted
+    /// feedback, output bit is element `M−1` (0-based) of the sorted 2M
+    /// vector, feedback keeps either the top M bits (no fire) or the M bits
+    /// after the top M (fire).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AveragePooling::run`].
+    pub fn run_sorting(&self, streams: &[BitStream]) -> Result<BitStream, BitstreamError> {
+        let first = streams.first().ok_or(BitstreamError::Empty)?;
+        if streams.len() != self.m {
+            return Err(BitstreamError::LengthMismatch { left: self.m, right: streams.len() });
+        }
+        let len = first.len();
+        for s in streams {
+            if s.len() != len {
+                return Err(BitstreamError::LengthMismatch { left: len, right: s.len() });
+            }
+        }
+        let m = self.m;
+        let sorter = SortingNetwork::bitonic_sorter(m, Direction::Ascending);
+        let merger = SortingNetwork::bitonic_merger(2 * m, Direction::Descending);
+        let mut feedback = vec![false; m];
+        let mut out = Vec::with_capacity(len);
+        for cycle in 0..len {
+            let mut column: Vec<bool> = streams
+                .iter()
+                .map(|s| s.get(cycle).expect("length checked"))
+                .collect();
+            sorter.apply_bits(&mut column);
+            let mut merged = column;
+            merged.extend_from_slice(&feedback);
+            merger.apply_bits(&mut merged);
+            let fire = merged[m - 1]; // M-th element (descending order)
+            out.push(fire);
+            if fire {
+                feedback.copy_from_slice(&merged[m..2 * m]);
+            } else {
+                feedback.copy_from_slice(&merged[..m]);
+            }
+        }
+        Ok(BitStream::from_bits(out))
+    }
+
+    /// Generates the legalised AQFP netlist of the feed-forward datapath:
+    /// M-input sorter + 2M-input merger + the output/feedback taps
+    /// (paper Fig. 14). Feedback is routed externally like the
+    /// feature-extraction block.
+    pub fn netlist(&self) -> SynthResult {
+        let m = self.m;
+        let mut net = Netlist::new();
+        let mut wires: Vec<_> = (0..m).map(|i| net.input(format!("p{i}"))).collect();
+        let fbs: Vec<_> = (0..m).map(|i| net.input(format!("fb{i}"))).collect();
+        let sorter = SortingNetwork::bitonic_sorter(m, Direction::Ascending);
+        netlists::apply_network(&mut net, &sorter, &mut wires);
+        let mut merged = wires;
+        merged.extend_from_slice(&fbs);
+        let merger = SortingNetwork::bitonic_merger(2 * m, Direction::Descending);
+        netlists::apply_network(&mut net, &merger, &mut merged);
+        net.output("so", merged[m - 1]);
+        // Both candidate feedback slices are exposed; the external loop (or
+        // the mux in Fig. 14) picks based on `so`.
+        for (k, &w) in merged[..m].iter().enumerate() {
+            net.output(format!("keep{k}"), w);
+        }
+        for (k, &w) in merged[m..2 * m].iter().enumerate() {
+            net.output(format!("carry{k}"), w);
+        }
+        synthesize(&net, &SynthOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_sc_bitstream::{Bipolar, Sng, ThermalRng};
+
+    fn streams_for(values: &[f64], n: usize, seed: u64) -> Vec<BitStream> {
+        let mut sng = Sng::new(10, ThermalRng::with_seed(seed));
+        values
+            .iter()
+            .map(|&v| sng.generate(Bipolar::clamped(v), n))
+            .collect()
+    }
+
+    #[test]
+    fn output_value_is_the_mean() {
+        let values = [0.8, -0.4, 0.2, 0.6];
+        let pool = AveragePooling::new(4);
+        let so = pool.run(&streams_for(&values, 8192, 1)).unwrap();
+        let expect = AveragePooling::expected_value(&values);
+        assert!(
+            (so.bipolar_value().get() - expect).abs() < 0.05,
+            "got {} want {expect}",
+            so.bipolar_value()
+        );
+    }
+
+    #[test]
+    fn exact_ones_conservation() {
+        // #ones(SO) == floor-ish(#ones(SP)/M): residual < M.
+        let pool = AveragePooling::new(4);
+        let streams = streams_for(&[0.3, -0.3, 0.7, -0.1], 2048, 2);
+        let total_in: usize = streams.iter().map(BitStream::count_ones).sum();
+        let so = pool.run(&streams).unwrap();
+        let out = so.count_ones();
+        assert!(total_in / 4 >= out, "emitted more than conserved");
+        assert!(total_in / 4 - out <= 1, "residual must stay below M");
+    }
+
+    #[test]
+    fn counting_model_matches_true_sorting_model() {
+        let mut sng = Sng::new(8, ThermalRng::with_seed(9));
+        for m in [2usize, 4, 9] {
+            let streams: Vec<BitStream> = (0..m)
+                .map(|i| sng.generate(Bipolar::clamped(0.4 - 0.2 * i as f64), 512))
+                .collect();
+            let pool = AveragePooling::new(m);
+            let fast = pool.run(&streams).unwrap();
+            let slow = pool.run_sorting(&streams).unwrap();
+            assert_eq!(fast, slow, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn all_ones_input_yields_all_ones_output() {
+        let pool = AveragePooling::new(4);
+        let streams = vec![BitStream::ones(256); 4];
+        let so = pool.run(&streams).unwrap();
+        assert_eq!(so.count_ones(), 256);
+    }
+
+    #[test]
+    fn rejects_wrong_window() {
+        let pool = AveragePooling::new(4);
+        assert!(pool.run(&vec![BitStream::zeros(8); 3]).is_err());
+        assert_eq!(pool.run(&[]), Err(BitstreamError::Empty));
+    }
+
+    #[test]
+    fn netlist_is_structurally_valid() {
+        let pool = AveragePooling::new(4);
+        let result = pool.netlist();
+        assert!(result.netlist.validate().is_ok());
+        assert_eq!(result.netlist.outputs().len(), 1 + 2 * 4);
+    }
+
+    #[test]
+    fn more_accurate_than_mux_pooling_for_large_windows() {
+        // The motivation in §4.3: mux pooling degrades with window size.
+        use crate::baseline::mux_average_pooling;
+        let values: Vec<f64> = (0..16).map(|i| 0.9 - 0.11 * i as f64).collect();
+        let expect = AveragePooling::expected_value(&values);
+        let n = 2048;
+        let mut sorter_err = 0.0;
+        let mut mux_err = 0.0;
+        for seed in 0..8 {
+            let streams = streams_for(&values, n, 100 + seed);
+            let pool = AveragePooling::new(16);
+            let sorter_out = pool.run(&streams).unwrap();
+            sorter_err += (sorter_out.bipolar_value().get() - expect).abs();
+            let mux_out = mux_average_pooling(&streams, 4242 + seed).unwrap();
+            mux_err += (mux_out.bipolar_value().get() - expect).abs();
+        }
+        assert!(
+            sorter_err < mux_err,
+            "sorter {sorter_err} should beat mux {mux_err}"
+        );
+    }
+}

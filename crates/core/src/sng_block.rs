@@ -1,0 +1,244 @@
+//! The stochastic-number-generator block: RNG matrix tiles + comparators
+//! (paper §4.1, Fig. 9, Table 4).
+
+use aqfp_sc_bitstream::{Bipolar, BitStream};
+use aqfp_sc_circuit::{Netlist, NodeId};
+use aqfp_sc_synth::{synthesize, SynthOptions, SynthResult};
+
+use crate::matrix::RngMatrix;
+
+/// A bank of stochastic number generators backed by shared RNG-matrix
+/// tiles.
+///
+/// Each tile is an `n × n` [`RngMatrix`] serving `4n` comparator word
+/// streams; `⌈outputs / 4n⌉` tiles cover the requested output count. Every
+/// output converts one `n`-bit binary magnitude (a hardwired weight or an
+/// incoming activation level) to its stochastic stream through an `n`-bit
+/// comparator.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_bitstream::Bipolar;
+/// use aqfp_sc_core::SngBlock;
+///
+/// let mut block = SngBlock::new(100, 9, 7);
+/// let values = vec![Bipolar::clamped(0.25); 100];
+/// let streams = block.generate(&values, 2048);
+/// assert_eq!(streams.len(), 100);
+/// assert!((streams[0].bipolar_value().get() - 0.25).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SngBlock {
+    outputs: usize,
+    bits: u32,
+    tiles: Vec<RngMatrix>,
+}
+
+impl SngBlock {
+    /// Creates a block with `outputs` SNGs of `bits`-bit resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outputs` is 0 or `bits` is outside `1..=63`.
+    pub fn new(outputs: usize, bits: u32, seed: u64) -> Self {
+        assert!(outputs > 0, "need at least one output");
+        assert!((1..64).contains(&bits), "bits must be in 1..=63, got {bits}");
+        let per_tile = 4 * bits as usize;
+        let tile_count = outputs.div_ceil(per_tile);
+        let tiles = (0..tile_count)
+            .map(|t| RngMatrix::new(bits as usize, seed.wrapping_add(t as u64 * 0x9E37)))
+            .collect();
+        SngBlock { outputs, bits, tiles }
+    }
+
+    /// Number of SNG outputs.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Comparator resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of RNG-matrix tiles backing the block.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Total true-RNG cells (the hardware the matrix sharing saves).
+    pub fn rng_cell_count(&self) -> usize {
+        self.tiles.iter().map(RngMatrix::cell_count).sum()
+    }
+
+    /// Generates the stochastic streams of `values` (one per output).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len()` differs from [`SngBlock::outputs`].
+    pub fn generate(&mut self, values: &[Bipolar], len: usize) -> Vec<BitStream> {
+        assert_eq!(values.len(), self.outputs, "one value per output required");
+        let scale = (1u64 << self.bits) as f64;
+        let per_tile = 4 * self.bits as usize;
+        let mut streams = Vec::with_capacity(values.len());
+        for (t, chunk) in values.chunks(per_tile).enumerate() {
+            let levels: Vec<u64> = chunk
+                .iter()
+                .map(|v| (v.probability() * scale).round().min(scale) as u64)
+                .collect();
+            streams.extend(self.tiles[t].generate_streams(&levels, len));
+        }
+        streams
+    }
+
+    /// Builds the legalised netlist of one `bits`-bit comparator SNG:
+    /// `bits` true-RNG cells compared against the hardwired `level`
+    /// (`output = [R < level]`, MSB-first ripple).
+    pub fn comparator_netlist(bits: u32, level: u64) -> SynthResult {
+        let mut net = Netlist::new();
+        let r: Vec<NodeId> = (0..bits).map(|i| net.rng(0xC0FFEE + i as u64)).collect();
+        // lt/eq ripple from the MSB. With the level hardwired, each bit
+        // needs at most an inverter, an AND and an OR.
+        let mut lt: Option<NodeId> = None;
+        let mut eq: Option<NodeId> = None;
+        for bit in (0..bits).rev() {
+            let b_i = (level >> bit) & 1 == 1;
+            let r_i = r[bit as usize];
+            // Split r_i for the two uses when needed.
+            match (lt, eq) {
+                (None, None) => {
+                    // First (most significant) bit: lt = ¬r & b; eq = r ≡ b.
+                    if b_i {
+                        let s = net.splitter(r_i, 2);
+                        lt = Some(net.inv(s));
+                        eq = Some(net.buf(s));
+                    } else {
+                        lt = None; // constant false; omitted
+                        eq = Some(net.inv(r_i));
+                    }
+                }
+                (prev_lt, Some(prev_eq)) => {
+                    let se = net.splitter(prev_eq, 2);
+                    let (term, eq_new) = if b_i {
+                        let s = net.splitter(r_i, 2);
+                        let nr = net.inv(s);
+                        let term = net.and2(se, nr);
+                        let eq_new = net.and2(se, s);
+                        (Some(term), eq_new)
+                    } else {
+                        let s = net.splitter(r_i, 2);
+                        let nr = net.inv(s);
+                        let _ = s;
+                        let eq_new = net.and2(se, nr);
+                        (None, eq_new)
+                    };
+                    lt = match (prev_lt, term) {
+                        (Some(l), Some(t)) => Some(net.or2(l, t)),
+                        (Some(l), None) => Some(net.buf(l)),
+                        (None, t) => t.map(|t| net.buf(t)),
+                    };
+                    eq = Some(eq_new);
+                }
+                _ => unreachable!("eq is always set after the first bit"),
+            }
+        }
+        let out = match lt {
+            Some(l) => l,
+            None => net.constant(false), // level 0 never fires
+        };
+        net.output("bit", out);
+        if let Some(e) = eq {
+            net.output("eq", e); // kept so the chain is observable
+        }
+        synthesize(&net, &SynthOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_sc_bitstream::scc;
+
+    #[test]
+    fn covers_paper_output_sizes() {
+        for outputs in [100usize, 500, 800] {
+            let block = SngBlock::new(outputs, 10, 1);
+            assert_eq!(block.outputs(), outputs);
+            // 4N = 40 outputs per 10-bit tile.
+            assert_eq!(block.tile_count(), outputs.div_ceil(40));
+        }
+    }
+
+    #[test]
+    fn generates_correct_densities() {
+        let mut block = SngBlock::new(50, 9, 2);
+        let values: Vec<Bipolar> = (0..50)
+            .map(|i| Bipolar::clamped(-0.9 + 0.035 * i as f64))
+            .collect();
+        let streams = block.generate(&values, 8192);
+        for (s, v) in streams.iter().zip(&values) {
+            assert!(
+                (s.bipolar_value().get() - v.get()).abs() < 0.07,
+                "value {v}: got {}",
+                s.bipolar_value()
+            );
+        }
+    }
+
+    #[test]
+    fn streams_are_mutually_usable_for_multiplication() {
+        // Streams from different matrix words multiply correctly via XNOR.
+        let mut block = SngBlock::new(2, 9, 3);
+        let streams = block.generate(
+            &[Bipolar::clamped(0.5), Bipolar::clamped(-0.5)],
+            16_384,
+        );
+        let product = streams[0].xnor(&streams[1]).unwrap();
+        assert!(
+            (product.bipolar_value().get() + 0.25).abs() < 0.05,
+            "got {}",
+            product.bipolar_value()
+        );
+        let c = scc(&streams[0], &streams[1]).unwrap();
+        assert!(c.abs() < 0.1, "scc = {c}");
+    }
+
+    #[test]
+    fn comparator_netlist_is_valid_for_paper_width() {
+        let result = SngBlock::comparator_netlist(10, 600);
+        assert!(result.netlist.validate().is_ok());
+        assert!(result.report.jj_after > 0);
+    }
+
+    #[test]
+    fn comparator_density_matches_level() {
+        // Gate-level check: simulate the comparator and verify the output
+        // density equals level / 2^bits.
+        use aqfp_sc_circuit::PipelinedSim;
+        let bits = 6u32;
+        let level = 40u64;
+        let result = SngBlock::comparator_netlist(bits, level);
+        let mut sim = PipelinedSim::new(&result.netlist, 99).unwrap();
+        let cycles = 20_000;
+        let mut ones = 0usize;
+        for _ in 0..cycles {
+            if sim.step(&[])[0] {
+                ones += 1;
+            }
+        }
+        let got = ones as f64 / cycles as f64;
+        let expect = level as f64 / 64.0;
+        assert!((got - expect).abs() < 0.02, "got {got} want {expect}");
+    }
+
+    #[test]
+    fn zero_level_never_fires() {
+        use aqfp_sc_circuit::PipelinedSim;
+        let result = SngBlock::comparator_netlist(4, 0);
+        let mut sim = PipelinedSim::new(&result.netlist, 1).unwrap();
+        for _ in 0..100 {
+            assert!(!sim.step(&[])[0]);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Stroke templates for the ten digits, as polylines in the unit square
+//! (x right, y down — the same orientation as image pixel space).
+
+/// A polyline: consecutive points are connected by segments.
+pub type Stroke = Vec<(f32, f32)>;
+
+/// Approximates an ellipse arc as a polyline.
+fn arc(cx: f32, cy: f32, rx: f32, ry: f32, from_deg: f32, to_deg: f32, steps: usize) -> Stroke {
+    (0..=steps)
+        .map(|i| {
+            let t = from_deg + (to_deg - from_deg) * i as f32 / steps as f32;
+            let rad = t.to_radians();
+            (cx + rx * rad.cos(), cy + ry * rad.sin())
+        })
+        .collect()
+}
+
+/// The stroke set of one digit.
+///
+/// # Panics
+///
+/// Panics when `digit >= 10`.
+pub fn strokes(digit: usize) -> Vec<Stroke> {
+    match digit {
+        0 => vec![arc(0.5, 0.5, 0.32, 0.42, 0.0, 360.0, 20)],
+        1 => vec![
+            vec![(0.35, 0.25), (0.55, 0.08), (0.55, 0.92)],
+            vec![(0.35, 0.92), (0.75, 0.92)],
+        ],
+        2 => vec![
+            arc(0.5, 0.3, 0.3, 0.22, 180.0, 360.0, 10),
+            vec![(0.8, 0.3), (0.72, 0.55), (0.25, 0.9)],
+            vec![(0.25, 0.9), (0.8, 0.9)],
+        ],
+        3 => vec![
+            arc(0.45, 0.3, 0.3, 0.21, 150.0, 395.0, 10),
+            arc(0.45, 0.72, 0.33, 0.21, 325.0, 570.0, 10),
+        ],
+        4 => vec![
+            vec![(0.65, 0.08), (0.2, 0.6), (0.85, 0.6)],
+            vec![(0.65, 0.08), (0.65, 0.92)],
+        ],
+        5 => vec![
+            vec![(0.75, 0.1), (0.3, 0.1), (0.27, 0.45)],
+            arc(0.48, 0.65, 0.28, 0.25, 250.0, 480.0, 12),
+        ],
+        6 => vec![
+            arc(0.52, 0.3, 0.34, 0.45, 200.0, 280.0, 8),
+            arc(0.5, 0.68, 0.27, 0.24, 0.0, 360.0, 14),
+        ],
+        7 => vec![
+            vec![(0.2, 0.1), (0.8, 0.1), (0.42, 0.92)],
+            vec![(0.3, 0.52), (0.68, 0.52)],
+        ],
+        8 => vec![
+            arc(0.5, 0.28, 0.24, 0.2, 0.0, 360.0, 14),
+            arc(0.5, 0.72, 0.29, 0.23, 0.0, 360.0, 14),
+        ],
+        9 => vec![
+            arc(0.5, 0.32, 0.27, 0.24, 0.0, 360.0, 14),
+            arc(0.48, 0.3, 0.34, 0.45, 20.0, 100.0, 8),
+        ],
+        _ => panic!("digit {digit} out of range"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_digit_has_strokes_in_unit_box() {
+        for d in 0..10 {
+            let s = strokes(d);
+            assert!(!s.is_empty(), "digit {d}");
+            for line in &s {
+                assert!(line.len() >= 2, "digit {d} has a degenerate stroke");
+                for &(x, y) in line {
+                    assert!((-0.2..=1.2).contains(&x), "digit {d}: x={x}");
+                    assert!((-0.2..=1.2).contains(&y), "digit {d}: y={y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arc_endpoints_match_angles() {
+        let a = arc(0.5, 0.5, 0.5, 0.5, 0.0, 90.0, 4);
+        let first = a.first().unwrap();
+        let last = a.last().unwrap();
+        assert!((first.0 - 1.0).abs() < 1e-6 && (first.1 - 0.5).abs() < 1e-6);
+        assert!((last.0 - 0.5).abs() < 1e-6 && (last.1 - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,154 @@
+//! Loader for the IDX file format used by the original MNIST distribution.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use aqfp_sc_nn::Tensor;
+
+/// Errors from IDX parsing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IdxError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is not a valid IDX file of the expected kind.
+    Format(&'static str),
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "idx file i/o failed: {e}"),
+            IdxError::Format(why) => write!(f, "invalid idx file: {why}"),
+        }
+    }
+}
+
+impl Error for IdxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IdxError::Io(e) => Some(e),
+            IdxError::Format(_) => None,
+        }
+    }
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> Result<u32, IdxError> {
+    bytes
+        .get(off..off + 4)
+        .map(|b| u32::from_be_bytes(b.try_into().expect("4 bytes")))
+        .ok_or(IdxError::Format("truncated header"))
+}
+
+/// Loads an `idx3-ubyte` image file (e.g. `train-images-idx3-ubyte`) into
+/// `[1, rows, cols]` tensors with pixels normalised to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failure or malformed content.
+pub fn load_idx_images(path: &Path) -> Result<Vec<Tensor>, IdxError> {
+    let bytes = fs::read(path).map_err(IdxError::Io)?;
+    if read_u32(&bytes, 0)? != 0x0000_0803 {
+        return Err(IdxError::Format("bad magic for idx3 images"));
+    }
+    let count = read_u32(&bytes, 4)? as usize;
+    let rows = read_u32(&bytes, 8)? as usize;
+    let cols = read_u32(&bytes, 12)? as usize;
+    let pixels = rows * cols;
+    if bytes.len() < 16 + count * pixels {
+        return Err(IdxError::Format("truncated pixel data"));
+    }
+    Ok((0..count)
+        .map(|i| {
+            let start = 16 + i * pixels;
+            let data: Vec<f32> = bytes[start..start + pixels]
+                .iter()
+                .map(|&b| b as f32 / 255.0)
+                .collect();
+            Tensor::from_vec(vec![1, rows, cols], data)
+        })
+        .collect())
+}
+
+/// Loads an `idx1-ubyte` label file (e.g. `train-labels-idx1-ubyte`).
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failure or malformed content.
+pub fn load_idx_labels(path: &Path) -> Result<Vec<usize>, IdxError> {
+    let bytes = fs::read(path).map_err(IdxError::Io)?;
+    if read_u32(&bytes, 0)? != 0x0000_0801 {
+        return Err(IdxError::Format("bad magic for idx1 labels"));
+    }
+    let count = read_u32(&bytes, 4)? as usize;
+    if bytes.len() < 8 + count {
+        return Err(IdxError::Format("truncated label data"));
+    }
+    Ok(bytes[8..8 + count].iter().map(|&b| b as usize).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("aqfp_sc_data_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = fs::File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn round_trips_a_tiny_image_file() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        bytes.extend_from_slice(&2u32.to_be_bytes()); // 2 images
+        bytes.extend_from_slice(&2u32.to_be_bytes()); // 2x2
+        bytes.extend_from_slice(&2u32.to_be_bytes());
+        bytes.extend_from_slice(&[0, 255, 128, 64, 10, 20, 30, 40]);
+        let path = temp_file("imgs.idx3", &bytes);
+        let images = load_idx_images(&path).unwrap();
+        assert_eq!(images.len(), 2);
+        assert_eq!(images[0].shape(), &[1, 2, 2]);
+        assert!((images[0].data()[1] - 1.0).abs() < 1e-6);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn round_trips_a_tiny_label_file() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        bytes.extend_from_slice(&3u32.to_be_bytes());
+        bytes.extend_from_slice(&[7, 0, 9]);
+        let path = temp_file("labels.idx1", &bytes);
+        let labels = load_idx_labels(&path).unwrap();
+        assert_eq!(labels, vec![7, 0, 9]);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = temp_file("bad.idx", &[0, 0, 8, 9, 0, 0, 0, 0]);
+        assert!(load_idx_images(&path).is_err());
+        assert!(load_idx_labels(&path).is_err());
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        bytes.extend_from_slice(&5u32.to_be_bytes());
+        bytes.extend_from_slice(&28u32.to_be_bytes());
+        bytes.extend_from_slice(&28u32.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 10]); // far too short
+        let path = temp_file("trunc.idx3", &bytes);
+        assert!(load_idx_images(&path).is_err());
+        fs::remove_file(path).ok();
+    }
+}

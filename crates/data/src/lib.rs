@@ -1,0 +1,215 @@
+//! Dataset substrate: a procedural MNIST-like digit generator and an IDX
+//! loader for the real MNIST files.
+//!
+//! The paper evaluates on MNIST. This reproduction has no network access,
+//! so [`synthetic_digits`] renders 28×28 grayscale digits procedurally:
+//! each class is a fixed set of strokes (polylines in a unit box) drawn
+//! with a random affine transform (rotation, anisotropic scale, shear,
+//! translation), random stroke thickness and additive noise. The tensor
+//! shapes, class count and value range match MNIST exactly, so the
+//! quantity Table 9 compares — the accuracy *delta* between float software
+//! and the two SC hardware paths — is preserved; absolute accuracies are
+//! reported against this corpus (see `DESIGN.md` §3).
+//!
+//! When real MNIST IDX files are available, [`load_idx_images`] /
+//! [`load_idx_labels`] read them and the rest of the pipeline is unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use aqfp_sc_data::synthetic_digits;
+//!
+//! let data = synthetic_digits(100, 42);
+//! assert_eq!(data.len(), 100);
+//! let (image, label) = &data[0];
+//! assert_eq!(image.shape(), &[1, 28, 28]);
+//! assert!(*label < 10);
+//! // Pixels are normalised to [0, 1].
+//! assert!(image.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod glyphs;
+mod idx;
+
+pub use idx::{load_idx_images, load_idx_labels, IdxError};
+
+use aqfp_sc_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length (matches MNIST).
+pub const IMAGE_SIDE: usize = 28;
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// Generates `count` labelled synthetic digit images (classes balanced,
+/// order shuffled deterministically by `seed`).
+pub fn synthetic_digits(count: usize, seed: u64) -> Vec<(Tensor, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples: Vec<(Tensor, usize)> = (0..count)
+        .map(|i| {
+            let label = i % CLASSES;
+            (render_digit(label, &mut rng), label)
+        })
+        .collect();
+    // Fisher-Yates shuffle.
+    for i in (1..samples.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        samples.swap(i, j);
+    }
+    samples
+}
+
+/// Renders one image of `digit` with random augmentation.
+///
+/// # Panics
+///
+/// Panics when `digit >= 10`.
+pub fn render_digit(digit: usize, rng: &mut StdRng) -> Tensor {
+    assert!(digit < CLASSES, "digit {digit} out of range");
+    let strokes = glyphs::strokes(digit);
+    // Random affine: rotation, anisotropic scale, shear, translation.
+    let theta: f32 = rng.gen_range(-0.22..0.22);
+    let (sin, cos) = theta.sin_cos();
+    let sx: f32 = rng.gen_range(0.80..1.10);
+    let sy: f32 = rng.gen_range(0.80..1.10);
+    let shear: f32 = rng.gen_range(-0.15..0.15);
+    let tx: f32 = rng.gen_range(-2.0..2.0);
+    let ty: f32 = rng.gen_range(-2.0..2.0);
+    let thickness: f32 = rng.gen_range(0.9..1.5);
+    let noise: f32 = rng.gen_range(0.02..0.06);
+
+    // Glyph coordinates are in [0,1]^2; map to pixel space with margin.
+    let scale = 20.0;
+    let offset = 4.0;
+    let map = |p: (f32, f32)| -> (f32, f32) {
+        let (gx, gy) = (p.0 - 0.5, p.1 - 0.5);
+        let (ax, ay) = (gx * sx + gy * shear, gy * sy);
+        let (rx, ry) = (ax * cos - ay * sin, ax * sin + ay * cos);
+        (
+            (rx + 0.5) * scale + offset + tx,
+            (ry + 0.5) * scale + offset + ty,
+        )
+    };
+
+    let segments: Vec<((f32, f32), (f32, f32))> = strokes
+        .iter()
+        .flat_map(|line| {
+            line.windows(2)
+                .map(|w| (map(w[0]), map(w[1])))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut img = Tensor::zeros(vec![1, IMAGE_SIDE, IMAGE_SIDE]);
+    let data = img.data_mut();
+    for y in 0..IMAGE_SIDE {
+        for x in 0..IMAGE_SIDE {
+            let p = (x as f32 + 0.5, y as f32 + 0.5);
+            let mut d = f32::INFINITY;
+            for &(a, b) in &segments {
+                d = d.min(dist_to_segment(p, a, b));
+            }
+            // Soft pen profile around the stroke centreline.
+            let v = (1.0 - (d - thickness * 0.5) / 0.9).clamp(0.0, 1.0);
+            let n = rng.gen_range(-noise..noise);
+            data[y * IMAGE_SIDE + x] = (v + n).clamp(0.0, 1.0);
+        }
+    }
+    img
+}
+
+fn dist_to_segment(p: (f32, f32), a: (f32, f32), b: (f32, f32)) -> f32 {
+    let (px, py) = (p.0 - a.0, p.1 - a.1);
+    let (dx, dy) = (b.0 - a.0, b.1 - a.1);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 > 0.0 {
+        ((px * dx + py * dy) / len2).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let (cx, cy) = (a.0 + t * dx - p.0, a.1 + t * dy - p.1);
+    (cx * cx + cy * cy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_balanced_classes() {
+        let data = synthetic_digits(200, 1);
+        let mut counts = [0usize; 10];
+        for (_, label) in &data {
+            counts[*label] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 20), "{counts:?}");
+    }
+
+    #[test]
+    fn images_are_normalised_and_nonempty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for digit in 0..10 {
+            let img = render_digit(digit, &mut rng);
+            assert!(img.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+            let ink: f32 = img.data().iter().sum();
+            assert!(ink > 8.0, "digit {digit} too faint: {ink}");
+            assert!(ink < 500.0, "digit {digit} too dense: {ink}");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_data() {
+        let a = synthetic_digits(30, 7);
+        let b = synthetic_digits(30, 7);
+        for ((ia, la), (ib, lb)) in a.iter().zip(&b) {
+            assert_eq!(la, lb);
+            assert_eq!(ia.data(), ib.data());
+        }
+    }
+
+    #[test]
+    fn different_digits_look_different() {
+        // Average images per class must differ pairwise (no degenerate
+        // glyphs rendering to the same shape).
+        let mut rng = StdRng::seed_from_u64(3);
+        let means: Vec<Vec<f32>> = (0..10)
+            .map(|digit| {
+                let mut acc = vec![0.0f32; IMAGE_SIDE * IMAGE_SIDE];
+                for _ in 0..10 {
+                    let img = render_digit(digit, &mut rng);
+                    for (a, &p) in acc.iter_mut().zip(img.data()) {
+                        *a += p / 10.0;
+                    }
+                }
+                acc
+            })
+            .collect();
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let d: f32 = means[a]
+                    .iter()
+                    .zip(&means[b])
+                    .map(|(x, y)| (x - y).abs())
+                    .sum();
+                assert!(d > 15.0, "digits {a} and {b} too similar: {d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn render_rejects_bad_digit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = render_digit(10, &mut rng);
+    }
+
+    #[test]
+    fn dist_to_segment_handles_degenerate_segment() {
+        let d = dist_to_segment((1.0, 1.0), (0.0, 0.0), (0.0, 0.0));
+        assert!((d - 2.0f32.sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,334 @@
+//! Network architecture specifications (paper Table 8) and training-model
+//! construction with hardware-faithful activations.
+
+use aqfp_sc_core::accuracy::feature_stationary_value;
+use aqfp_sc_nn::{
+    Activation, AvgPool2d, Conv2d, Dense, Flatten, Layer, Padding, Sequential, TableActivation,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One layer of a network specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerSpec {
+    /// Convolution: `k × k` kernel, `out_c` filters (stride 1, Table 8).
+    Conv {
+        /// Kernel side.
+        k: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Padding mode.
+        padding: Padding,
+    },
+    /// `k × k` average pooling with stride `k`.
+    AvgPool {
+        /// Window side.
+        k: usize,
+    },
+    /// Fully-connected feature-extraction layer (paper: "for very large and
+    /// dense layers, we still consider them as feature extraction layers").
+    Dense {
+        /// Output features.
+        out: usize,
+    },
+    /// The final categorization layer (majority chain on the AQFP path).
+    Output {
+        /// Class count.
+        classes: usize,
+    },
+}
+
+/// A whole network: input geometry plus the layer stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSpec {
+    /// Human-readable name ("SNN", "DNN", …).
+    pub name: &'static str,
+    /// Input side length (images are `1 × side × side`).
+    pub input_side: usize,
+    /// Layer stack.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// The paper's shallow network:
+    /// Conv3_x – AvgPool – Conv3_x – AvgPool – FC500 – FC800 – OutLayer
+    /// (valid padding; 28×28 → … → 5×5×32 = 800 features, matching the
+    /// FC500 input size in Table 8).
+    pub fn snn() -> Self {
+        NetworkSpec {
+            name: "SNN",
+            input_side: 28,
+            layers: vec![
+                LayerSpec::Conv { k: 3, out_c: 32, padding: Padding::Valid },
+                LayerSpec::AvgPool { k: 2 },
+                LayerSpec::Conv { k: 3, out_c: 32, padding: Padding::Valid },
+                LayerSpec::AvgPool { k: 2 },
+                LayerSpec::Dense { out: 500 },
+                LayerSpec::Dense { out: 800 },
+                LayerSpec::Output { classes: 10 },
+            ],
+        }
+    }
+
+    /// The paper's deeper network:
+    /// Conv3_x – Conv3_x – AvgPool – Conv5_x – Conv5_x – AvgPool – Conv7_x –
+    /// FC500 – FC800 – OutLayer. Same padding keeps 28×28 alive until the
+    /// final 7×7 valid convolution reduces 7×7 to 1×1×64.
+    pub fn dnn() -> Self {
+        NetworkSpec {
+            name: "DNN",
+            input_side: 28,
+            layers: vec![
+                LayerSpec::Conv { k: 3, out_c: 32, padding: Padding::Same },
+                LayerSpec::Conv { k: 3, out_c: 32, padding: Padding::Same },
+                LayerSpec::AvgPool { k: 2 },
+                LayerSpec::Conv { k: 5, out_c: 32, padding: Padding::Same },
+                LayerSpec::Conv { k: 5, out_c: 32, padding: Padding::Same },
+                LayerSpec::AvgPool { k: 2 },
+                LayerSpec::Conv { k: 7, out_c: 64, padding: Padding::Valid },
+                LayerSpec::Dense { out: 500 },
+                LayerSpec::Dense { out: 800 },
+                LayerSpec::Output { classes: 10 },
+            ],
+        }
+    }
+
+    /// A miniature network for tests and the quickstart example.
+    pub fn tiny(input_side: usize) -> Self {
+        NetworkSpec {
+            name: "tiny",
+            input_side,
+            layers: vec![
+                LayerSpec::Conv { k: 3, out_c: 4, padding: Padding::Valid },
+                LayerSpec::AvgPool { k: 2 },
+                LayerSpec::Output { classes: 10 },
+            ],
+        }
+    }
+
+    /// Feature-map shapes after every layer, starting from the input
+    /// `(1, side, side)`.
+    pub fn shapes(&self) -> Vec<(usize, usize, usize)> {
+        let mut shapes = vec![(1usize, self.input_side, self.input_side)];
+        for layer in &self.layers {
+            let (c, h, w) = *shapes.last().expect("non-empty");
+            let next = match layer {
+                LayerSpec::Conv { k, out_c, padding } => match padding {
+                    Padding::Valid => (*out_c, h - k + 1, w - k + 1),
+                    Padding::Same => (*out_c, h, w),
+                },
+                LayerSpec::AvgPool { k } => (c, h / k, w / k),
+                LayerSpec::Dense { out } => (*out, 1, 1),
+                LayerSpec::Output { classes } => (*classes, 1, 1),
+            };
+            shapes.push(next);
+        }
+        shapes
+    }
+
+    /// Fan-in (products per neuron, excluding bias) of every layer; pooling
+    /// layers report their window size.
+    pub fn fan_ins(&self) -> Vec<usize> {
+        let shapes = self.shapes();
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                let (in_c, in_h_w) = (shapes[i].0, shapes[i].1 * shapes[i].2);
+                match layer {
+                    LayerSpec::Conv { k, .. } => k * k * in_c,
+                    LayerSpec::AvgPool { k } => k * k,
+                    LayerSpec::Dense { .. } | LayerSpec::Output { .. } => in_c * in_h_w,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Which hardware the training activations should imitate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationStyle {
+    /// The AQFP sorter-based feature-extraction response (shifted ReLU,
+    /// paper Fig. 13), per-layer lookup tables from the stationary
+    /// analysis.
+    AqfpFeature,
+    /// The CMOS SC baseline's Btanh counter response, modelled as `tanh`.
+    CmosTanh,
+}
+
+/// Stationary response table of an `m`-row feature-extraction block over a
+/// sum grid `[-limit, limit]` with `points` samples.
+///
+/// Exact Markov analysis for m ≤ 129 rows; Monte-Carlo with a
+/// normal-approximated binomial column count for wider blocks (the DNN's
+/// conv7 has 3137 rows — the exact chain would be quadratic in m).
+pub fn response_table(m_rows: usize, limit: f32, points: usize) -> TableActivation {
+    assert!(points >= 2, "need at least two table points");
+    let odd = if m_rows % 2 == 0 { m_rows + 1 } else { m_rows };
+    let ys: Vec<f32> = (0..points)
+        .map(|i| {
+            let s = -limit + 2.0 * limit * i as f32 / (points - 1) as f32;
+            let p_row = ((s as f64 / odd as f64).clamp(-1.0, 1.0) + 1.0) / 2.0;
+            if odd <= 129 {
+                feature_stationary_value(&vec![p_row; odd]) as f32
+            } else {
+                monte_carlo_response(odd, p_row, 0x7AB1E + i as u64) as f32
+            }
+        })
+        .collect();
+    TableActivation::new(-limit, limit, ys)
+}
+
+/// Monte-Carlo estimate of the stationary response for very wide blocks:
+/// the per-cycle column count is sampled from a normal approximation of
+/// Binomial(m, p) and run through the exact Algorithm-1 recursion.
+fn monte_carlo_response(m: usize, p_row: f64, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cycles = 30_000usize;
+    let warmup = 2_000usize;
+    let mean = m as f64 * p_row;
+    let std = (m as f64 * p_row * (1.0 - p_row)).sqrt().max(1e-9);
+    let threshold = ((m + 1) / 2) as i64;
+    let cap = m as i64;
+    let mut r: i64 = 0;
+    let mut fires = 0usize;
+    for i in 0..cycles {
+        // Box-Muller normal sample.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let c = (mean + std * z).round().clamp(0.0, m as f64) as i64;
+        let t = c + r;
+        let fire = t >= threshold;
+        r = (t - threshold).clamp(0, cap);
+        if i >= warmup && fire {
+            fires += 1;
+        }
+    }
+    2.0 * fires as f64 / (cycles - warmup) as f64 - 1.0
+}
+
+/// Builds the float training model for a spec: conv/dense layers
+/// interleaved with per-layer activations matching `style` (output layer
+/// has no activation — softmax cross-entropy trains it, and the majority
+/// chain only needs the ranking).
+pub fn build_model(spec: &NetworkSpec, style: ActivationStyle, seed: u64) -> Sequential {
+    let shapes = spec.shapes();
+    let fan_ins = spec.fan_ins();
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let mut flattened = false;
+    for (i, layer) in spec.layers.iter().enumerate() {
+        let (in_c, _, _) = shapes[i];
+        match layer {
+            LayerSpec::Conv { k, out_c, padding } => {
+                layers.push(Box::new(Conv2d::new(
+                    in_c,
+                    *out_c,
+                    *k,
+                    *padding,
+                    seed ^ (i as u64) << 8,
+                )));
+                layers.push(Box::new(activation_for(style, fan_ins[i] + 1)));
+            }
+            LayerSpec::AvgPool { k } => {
+                layers.push(Box::new(AvgPool2d::new(*k)));
+            }
+            LayerSpec::Dense { out } => {
+                if !flattened {
+                    layers.push(Box::new(Flatten::new()));
+                    flattened = true;
+                }
+                let in_f = shapes[i].0 * shapes[i].1 * shapes[i].2;
+                layers.push(Box::new(Dense::new(in_f, *out, seed ^ (i as u64) << 8)));
+                layers.push(Box::new(activation_for(style, fan_ins[i] + 1)));
+            }
+            LayerSpec::Output { classes } => {
+                if !flattened {
+                    layers.push(Box::new(Flatten::new()));
+                    flattened = true;
+                }
+                let in_f = shapes[i].0 * shapes[i].1 * shapes[i].2;
+                layers.push(Box::new(Dense::new(in_f, *classes, seed ^ (i as u64) << 8)));
+            }
+        }
+    }
+    Sequential::new(layers)
+}
+
+fn activation_for(style: ActivationStyle, m_rows: usize) -> Activation {
+    match style {
+        ActivationStyle::AqfpFeature => {
+            // Sum grid wide enough to cover the rectified region and the
+            // clip; 33 points keep the table smooth and cheap.
+            Activation::table(response_table(m_rows, 4.0, 33))
+        }
+        ActivationStyle::CmosTanh => Activation::tanh(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snn_shapes_match_table8_fc_input() {
+        let spec = NetworkSpec::snn();
+        let shapes = spec.shapes();
+        // 28 → 26 → 13 → 11 → 5; 5*5*32 = 800 features into FC500.
+        assert_eq!(shapes[4], (32, 5, 5));
+        assert_eq!(shapes[5], (500, 1, 1));
+        assert_eq!(shapes[7], (10, 1, 1));
+        let fan = spec.fan_ins();
+        assert_eq!(fan[0], 9);
+        assert_eq!(fan[2], 288);
+        assert_eq!(fan[4], 800);
+        assert_eq!(fan[6], 800);
+    }
+
+    #[test]
+    fn dnn_shapes_survive_to_conv7() {
+        let spec = NetworkSpec::dnn();
+        let shapes = spec.shapes();
+        assert_eq!(shapes[6], (32, 7, 7)); // before conv7
+        assert_eq!(shapes[7], (64, 1, 1)); // after conv7 (valid)
+        assert_eq!(spec.fan_ins()[6], 7 * 7 * 32);
+    }
+
+    #[test]
+    fn response_table_is_monotone_rectifier() {
+        let table = response_table(10, 4.0, 17);
+        let mut prev = f32::NEG_INFINITY;
+        for i in 0..17 {
+            let x = -4.0 + 8.0 * i as f32 / 16.0;
+            let y = table.value(x);
+            assert!(y >= prev - 0.05, "table not monotone at {x}");
+            prev = y;
+        }
+        assert!(table.value(-4.0) < -0.4);
+        assert!(table.value(4.0) > 0.9);
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact_for_medium_widths() {
+        for &(m, s) in &[(101usize, -1.0f64), (101, 0.5), (101, 2.0)] {
+            let p = ((s / m as f64) + 1.0) / 2.0;
+            let exact = feature_stationary_value(&vec![p; m]);
+            let mc = monte_carlo_response(m, p, 9);
+            assert!(
+                (exact - mc).abs() < 0.06,
+                "m={m} s={s}: exact {exact} vs mc {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_model_runs_forward_on_tiny_spec() {
+        let spec = NetworkSpec::tiny(8);
+        let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 3);
+        let out = model.forward(&aqfp_sc_nn::Tensor::zeros(vec![1, 8, 8]));
+        assert_eq!(out.len(), 10);
+        let mut model = build_model(&spec, ActivationStyle::CmosTanh, 3);
+        let out = model.forward(&aqfp_sc_nn::Tensor::zeros(vec![1, 8, 8]));
+        assert_eq!(out.len(), 10);
+    }
+}

@@ -1,0 +1,554 @@
+//! Quantised SC compilation and the bit-level inference engines.
+
+use aqfp_sc_bitstream::{Bipolar, BitStream, ColumnCounter, Sng, SplitMix64, ThermalRng};
+use aqfp_sc_core::baseline::{self, btanh_states};
+use aqfp_sc_core::{AveragePooling, FeatureExtraction, MajorityChain};
+use aqfp_sc_nn::{Padding, Sequential, Tensor};
+
+use crate::arch::{LayerSpec, NetworkSpec};
+
+/// One compiled (quantised) layer.
+#[derive(Debug, Clone)]
+pub enum CompiledLayer {
+    /// Convolution with weights/biases quantised to comparator levels.
+    Conv {
+        /// Kernel side.
+        k: usize,
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Padding mode.
+        padding: Padding,
+        /// Comparator level of every weight, `[out_c][in_c·k·k]` row-major.
+        w_levels: Vec<u64>,
+        /// Comparator level of every bias.
+        b_levels: Vec<u64>,
+    },
+    /// Average pooling window.
+    Pool {
+        /// Window side.
+        k: usize,
+    },
+    /// Fully-connected feature-extraction layer.
+    Dense {
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+        /// Comparator level of every weight, `[out_f][in_f]` row-major.
+        w_levels: Vec<u64>,
+        /// Comparator level of every bias.
+        b_levels: Vec<u64>,
+    },
+    /// The categorization layer.
+    Output {
+        /// Input features.
+        in_f: usize,
+        /// Class count.
+        classes: usize,
+        /// Comparator level of every weight, `[classes][in_f]` row-major.
+        w_levels: Vec<u64>,
+        /// Comparator level of every bias.
+        b_levels: Vec<u64>,
+    },
+}
+
+/// A trained network quantised onto the SC hardware grid, runnable on both
+/// the AQFP (sorter/majority-chain) and CMOS (APC/Btanh/mux) paths.
+#[derive(Debug, Clone)]
+pub struct CompiledNetwork {
+    spec: NetworkSpec,
+    layers: Vec<CompiledLayer>,
+    bits: u32,
+}
+
+/// Which hardware executes the stochastic pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Platform {
+    Aqfp,
+    Cmos,
+}
+
+impl CompiledNetwork {
+    /// Quantises the trainable layers of `model` (built by
+    /// [`crate::build_model`] from the same `spec`) to `bits`-bit
+    /// comparator levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model does not structurally match the spec.
+    pub fn from_model(spec: &NetworkSpec, model: &mut Sequential, bits: u32) -> Self {
+        let shapes = spec.shapes();
+        let mut trainable: Vec<Vec<f32>> = model
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.name(), "conv2d" | "dense"))
+            .map(|l| l.params())
+            .collect();
+        trainable.reverse(); // pop from the front via pop()
+        let quant = |v: f32| aqfp_sc_nn::quantize_bipolar(v as f64, bits).1;
+        let mut layers = Vec::new();
+        for (i, layer) in spec.layers.iter().enumerate() {
+            let (in_c, _, _) = shapes[i];
+            match layer {
+                LayerSpec::Conv { k, out_c, padding } => {
+                    let params = trainable.pop().expect("model is missing a conv layer");
+                    let wn = out_c * in_c * k * k;
+                    assert_eq!(params.len(), wn + out_c, "conv parameter mismatch");
+                    layers.push(CompiledLayer::Conv {
+                        k: *k,
+                        in_c,
+                        out_c: *out_c,
+                        padding: *padding,
+                        w_levels: params[..wn].iter().map(|&v| quant(v)).collect(),
+                        b_levels: params[wn..].iter().map(|&v| quant(v)).collect(),
+                    });
+                }
+                LayerSpec::AvgPool { k } => layers.push(CompiledLayer::Pool { k: *k }),
+                LayerSpec::Dense { out } => {
+                    let params = trainable.pop().expect("model is missing a dense layer");
+                    let in_f = shapes[i].0 * shapes[i].1 * shapes[i].2;
+                    let wn = in_f * out;
+                    assert_eq!(params.len(), wn + out, "dense parameter mismatch");
+                    layers.push(CompiledLayer::Dense {
+                        in_f,
+                        out_f: *out,
+                        w_levels: params[..wn].iter().map(|&v| quant(v)).collect(),
+                        b_levels: params[wn..].iter().map(|&v| quant(v)).collect(),
+                    });
+                }
+                LayerSpec::Output { classes } => {
+                    let params = trainable.pop().expect("model is missing the output layer");
+                    let in_f = shapes[i].0 * shapes[i].1 * shapes[i].2;
+                    let wn = in_f * classes;
+                    assert_eq!(params.len(), wn + classes, "output parameter mismatch");
+                    layers.push(CompiledLayer::Output {
+                        in_f,
+                        classes: *classes,
+                        w_levels: params[..wn].iter().map(|&v| quant(v)).collect(),
+                        b_levels: params[wn..].iter().map(|&v| quant(v)).collect(),
+                    });
+                }
+            }
+        }
+        assert!(trainable.is_empty(), "model has extra trainable layers");
+        CompiledNetwork { spec: spec.clone(), layers, bits }
+    }
+
+    /// The network spec this was compiled from.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Comparator resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Classifies an image on the AQFP path (sorter-based feature
+    /// extraction, sorter pooling, majority-chain categorization, true-RNG
+    /// number generators).
+    pub fn classify_aqfp(&self, image: &Tensor, stream_len: usize, seed: u64) -> usize {
+        argmax(&self.scores(image, stream_len, seed, Platform::Aqfp))
+    }
+
+    /// Classifies an image on the CMOS SC baseline path (APC + Btanh
+    /// counters, mux pooling, pseudo-random number generators).
+    pub fn classify_cmos(&self, image: &Tensor, stream_len: usize, seed: u64) -> usize {
+        argmax(&self.scores(image, stream_len, seed, Platform::Cmos))
+    }
+
+    /// Raw AQFP-path class scores (bipolar values of the majority-chain
+    /// outputs).
+    pub fn scores_aqfp(&self, image: &Tensor, stream_len: usize, seed: u64) -> Vec<f64> {
+        self.scores(image, stream_len, seed, Platform::Aqfp)
+    }
+
+    /// Accuracy over a labelled set on the chosen path (`cmos = false` for
+    /// AQFP).
+    pub fn evaluate(
+        &self,
+        samples: &[(Tensor, usize)],
+        stream_len: usize,
+        seed: u64,
+        cmos: bool,
+    ) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, (x, y))| {
+                let s = seed ^ ((*i as u64) << 32);
+                let got = if cmos {
+                    self.classify_cmos(x, stream_len, s)
+                } else {
+                    self.classify_aqfp(x, stream_len, s)
+                };
+                got == *y
+            })
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    fn scores(&self, image: &Tensor, len: usize, seed: u64, platform: Platform) -> Vec<f64> {
+        assert_eq!(
+            image.shape(),
+            &[1, self.spec.input_side, self.spec.input_side],
+            "image shape mismatch"
+        );
+        let mut gen = StreamGen::new(self.bits, seed, platform);
+        // Encode the input image: pixel p ∈ [0,1] is the bipolar value p.
+        let mut streams: Vec<BitStream> = image
+            .data()
+            .iter()
+            .map(|&p| gen.stream(Bipolar::clamped(p as f64), len))
+            .collect();
+        let shapes = self.spec.shapes();
+        let neutral = BitStream::alternating(len);
+        let mut scores = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (in_c, h, w) = shapes[i];
+            match layer {
+                CompiledLayer::Conv { k, out_c, padding, w_levels, b_levels, .. } => {
+                    let (oh, ow) = match padding {
+                        Padding::Valid => (h - k + 1, w - k + 1),
+                        Padding::Same => (h, w),
+                    };
+                    let pad = match padding {
+                        Padding::Valid => 0isize,
+                        Padding::Same => (k / 2) as isize,
+                    };
+                    let m = in_c * k * k;
+                    let mut out = Vec::with_capacity(out_c * oh * ow);
+                    for oc in 0..*out_c {
+                        let wrow = &w_levels[oc * m..(oc + 1) * m];
+                        let wstreams: Vec<BitStream> =
+                            wrow.iter().map(|&l| gen.stream_level(l, len)).collect();
+                        let bstream = gen.stream_level(b_levels[oc], len);
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut counter = ColumnCounter::new(len);
+                                let mut j = 0usize;
+                                for ic in 0..in_c {
+                                    for ky in 0..*k {
+                                        for kx in 0..*k {
+                                            let iy = oy as isize + ky as isize - pad;
+                                            let ix = ox as isize + kx as isize - pad;
+                                            let x = if iy < 0
+                                                || ix < 0
+                                                || iy >= h as isize
+                                                || ix >= w as isize
+                                            {
+                                                &neutral // zero-valued padding row
+                                            } else {
+                                                &streams[(ic * h + iy as usize) * w
+                                                    + ix as usize]
+                                            };
+                                            add_product(&mut counter, x, &wstreams[j]);
+                                            j += 1;
+                                        }
+                                    }
+                                }
+                                counter.add(&bstream).expect("lengths match");
+                                out.push(neuron_output(&counter, m + 1, len, platform, &neutral));
+                            }
+                        }
+                    }
+                    streams = out;
+                }
+                CompiledLayer::Pool { k } => {
+                    let (oh, ow) = (h / k, w / k);
+                    let mut out = Vec::with_capacity(in_c * oh * ow);
+                    for c in 0..in_c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let window: Vec<BitStream> = (0..*k)
+                                    .flat_map(|ky| {
+                                        (0..*k).map(move |kx| (ky, kx))
+                                    })
+                                    .map(|(ky, kx)| {
+                                        streams[(c * h + oy * k + ky) * w + ox * k + kx]
+                                            .clone()
+                                    })
+                                    .collect();
+                                out.push(pool_output(&window, platform, seed ^ (c as u64) << 40));
+                            }
+                        }
+                    }
+                    streams = out;
+                }
+                CompiledLayer::Dense { in_f, out_f, w_levels, b_levels } => {
+                    let mut out = Vec::with_capacity(*out_f);
+                    for o in 0..*out_f {
+                        let wrow = &w_levels[o * in_f..(o + 1) * in_f];
+                        let mut counter = ColumnCounter::new(len);
+                        for (x, &l) in streams.iter().zip(wrow) {
+                            let ws = gen.stream_level(l, len);
+                            add_product(&mut counter, x, &ws);
+                        }
+                        let bstream = gen.stream_level(b_levels[o], len);
+                        counter.add(&bstream).expect("lengths match");
+                        out.push(neuron_output(&counter, in_f + 1, len, platform, &neutral));
+                    }
+                    streams = out;
+                }
+                CompiledLayer::Output { in_f, classes, w_levels, b_levels } => {
+                    for cl in 0..*classes {
+                        let wrow = &w_levels[cl * in_f..(cl + 1) * in_f];
+                        match platform {
+                            Platform::Aqfp => {
+                                // Majority chain over the product column.
+                                // A chain link's influence decays ~2x per
+                                // later link, so the wiring order matters:
+                                // products of high-magnitude weights are
+                                // placed at the END of the chain where
+                                // their influence is largest. (Pure wiring
+                                // choice — free in hardware; see DESIGN.md.)
+                                let mid = 1u64 << (self.bits - 1);
+                                let mut order: Vec<usize> = (0..*in_f).collect();
+                                order.sort_by_key(|&j| wrow[j].abs_diff(mid));
+                                let mut products: Vec<BitStream> = order
+                                    .iter()
+                                    .map(|&j| {
+                                        let ws = gen.stream_level(wrow[j], len);
+                                        streams[j].xnor(&ws).expect("lengths match")
+                                    })
+                                    .collect();
+                                products.push(gen.stream_level(b_levels[cl], len));
+                                let chain = MajorityChain::new(products.len());
+                                let so = chain.run(&products).expect("well-formed");
+                                scores.push(so.bipolar_value().get());
+                            }
+                            Platform::Cmos => {
+                                // APC accumulation: the class score is the
+                                // total product-ones count.
+                                let mut counter = ColumnCounter::new(len);
+                                for (x, &l) in streams.iter().zip(wrow) {
+                                    let ws = gen.stream_level(l, len);
+                                    add_product(&mut counter, x, &ws);
+                                }
+                                let bstream = gen.stream_level(b_levels[cl], len);
+                                counter.add(&bstream).expect("lengths match");
+                                let total: u64 =
+                                    counter.counts().iter().map(|&c| c as u64).sum();
+                                scores.push(total as f64 / len as f64);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        scores
+    }
+}
+
+/// XNOR-product accumulation into a column counter without materialising
+/// the product stream.
+fn add_product(counter: &mut ColumnCounter, x: &BitStream, w: &BitStream) {
+    debug_assert_eq!(x.len(), w.len());
+    let words: Vec<u64> = x
+        .words()
+        .iter()
+        .zip(w.words())
+        .map(|(&a, &b)| !(a ^ b))
+        .collect();
+    counter.add_words(&words);
+}
+
+/// Runs the platform-specific neuron (summation + activation) on the
+/// accumulated column counts. `rows` is the number of product rows already
+/// added (inputs + bias); a neutral row is appended when the sorter width
+/// requires it.
+fn neuron_output(
+    counter: &ColumnCounter,
+    rows: usize,
+    len: usize,
+    platform: Platform,
+    neutral: &BitStream,
+) -> BitStream {
+    let out = match platform {
+        Platform::Aqfp => {
+            let fe = FeatureExtraction::new(rows);
+            if fe.width() != rows {
+                let mut padded = counter.clone();
+                padded.add(neutral).expect("lengths match");
+                fe.run_counts(&padded.counts())
+            } else {
+                fe.run_counts(&counter.counts())
+            }
+        }
+        Platform::Cmos => {
+            let states = btanh_states(rows);
+            let max = states as i64 - 1;
+            let mut state = max / 2;
+            let m = rows as i64;
+            BitStream::from_bits(counter.counts().into_iter().map(|c| {
+                state = (state + 2 * c as i64 - m).clamp(0, max);
+                state > max / 2
+            }))
+        }
+    };
+    debug_assert_eq!(out.len(), len);
+    out
+}
+
+fn pool_output(window: &[BitStream], platform: Platform, seed: u64) -> BitStream {
+    match platform {
+        Platform::Aqfp => AveragePooling::new(window.len())
+            .run(window)
+            .expect("well-formed window"),
+        Platform::Cmos => baseline::mux_average_pooling(window, seed).expect("well-formed window"),
+    }
+}
+
+fn argmax(scores: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Platform-specific stochastic number generation.
+struct StreamGen {
+    bits: u32,
+    aqfp: Option<Sng<aqfp_sc_bitstream::BitsAsWords<ThermalRng>>>,
+    cmos: Option<Sng<aqfp_sc_bitstream::BitsAsWords<SplitMix64>>>,
+}
+
+impl StreamGen {
+    fn new(bits: u32, seed: u64, platform: Platform) -> Self {
+        match platform {
+            Platform::Aqfp => StreamGen {
+                bits,
+                aqfp: Some(Sng::new(bits, ThermalRng::with_seed(seed))),
+                cmos: None,
+            },
+            // The CMOS baseline uses pseudo-random generators; a whitened
+            // SplitMix stream models a well-scrambled LFSR bank (a raw
+            // shared-polynomial LFSR bank would add cross-correlation the
+            // baseline papers explicitly design away).
+            Platform::Cmos => StreamGen {
+                bits,
+                cmos: Some(Sng::new(bits, SplitMix64::new(seed))),
+                aqfp: None,
+            },
+        }
+    }
+
+    fn stream(&mut self, value: Bipolar, len: usize) -> BitStream {
+        let scale = (1u64 << self.bits) as f64;
+        let level = (value.probability() * scale).round().min(scale) as u64;
+        self.stream_level(level, len)
+    }
+
+    fn stream_level(&mut self, level: u64, len: usize) -> BitStream {
+        if let Some(sng) = &mut self.aqfp {
+            sng.generate_level(level, len)
+        } else {
+            self.cmos
+                .as_mut()
+                .expect("one platform is always set")
+                .generate_level(level, len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{build_model, ActivationStyle};
+    use aqfp_sc_data::synthetic_digits;
+
+    fn trained_tiny() -> (NetworkSpec, Sequential) {
+        let spec = NetworkSpec::tiny(8);
+        let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 5);
+        // Train on downscaled synthetic digits (8x8 crops of the 28x28).
+        let data: Vec<(Tensor, usize)> = synthetic_digits(240, 9)
+            .into_iter()
+            .map(|(img, label)| {
+                let mut small = Tensor::zeros(vec![1, 8, 8]);
+                for y in 0..8 {
+                    for x in 0..8 {
+                        // 28->8 by sampling every 3rd pixel around centre.
+                        small.data_mut()[y * 8 + x] = img.at3(0, 2 + y * 3, 2 + x * 3);
+                    }
+                }
+                (small, label)
+            })
+            .collect();
+        for _ in 0..12 {
+            model.train_epoch(&data, 0.05, 0.9, 16);
+        }
+        (spec, model)
+    }
+
+    #[test]
+    fn compile_produces_levels_within_range() {
+        let (spec, mut model) = trained_tiny();
+        let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+        for layer in &compiled.layers {
+            let levels: &[u64] = match layer {
+                CompiledLayer::Conv { w_levels, .. } => w_levels,
+                CompiledLayer::Dense { w_levels, .. } => w_levels,
+                CompiledLayer::Output { w_levels, .. } => w_levels,
+                CompiledLayer::Pool { .. } => continue,
+            };
+            assert!(levels.iter().all(|&l| l <= 256));
+        }
+    }
+
+    #[test]
+    fn sc_paths_agree_with_float_on_most_samples() {
+        let (spec, mut model) = trained_tiny();
+        let data: Vec<(Tensor, usize)> = synthetic_digits(40, 77)
+            .into_iter()
+            .map(|(img, label)| {
+                let mut small = Tensor::zeros(vec![1, 8, 8]);
+                for y in 0..8 {
+                    for x in 0..8 {
+                        small.data_mut()[y * 8 + x] = img.at3(0, 2 + y * 3, 2 + x * 3);
+                    }
+                }
+                (small, label)
+            })
+            .collect();
+        let float_preds: Vec<usize> = data.iter().map(|(x, _)| model.predict(x)).collect();
+        let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+        let mut agree_aqfp = 0usize;
+        for (i, (x, _)) in data.iter().enumerate() {
+            let sc = compiled.classify_aqfp(x, 1024, 1000 + i as u64);
+            if sc == float_preds[i] {
+                agree_aqfp += 1;
+            }
+        }
+        // The SC pipeline is stochastic; most predictions must survive.
+        assert!(
+            agree_aqfp * 10 >= data.len() * 5,
+            "only {agree_aqfp}/{} agree",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn cmos_path_runs_and_produces_classes() {
+        let (spec, mut model) = trained_tiny();
+        let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+        let img = Tensor::zeros(vec![1, 8, 8]);
+        let c = compiled.classify_cmos(&img, 256, 3);
+        assert!(c < 10);
+    }
+
+    #[test]
+    fn scores_have_one_entry_per_class() {
+        let (spec, mut model) = trained_tiny();
+        let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+        let img = Tensor::zeros(vec![1, 8, 8]);
+        assert_eq!(compiled.scores_aqfp(&img, 256, 3).len(), 10);
+    }
+}

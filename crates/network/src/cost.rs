@@ -1,0 +1,261 @@
+//! Network-level hardware cost aggregation (the energy/throughput columns
+//! of paper Table 9).
+
+use aqfp_sc_circuit::{AqfpTech, CmosTech};
+use aqfp_sc_core::baseline;
+use aqfp_sc_sorting::{Direction, SortingNetwork};
+
+use crate::arch::{LayerSpec, NetworkSpec};
+
+/// Cost of one full-network inference on one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformCost {
+    /// Energy per classified image, joules.
+    pub energy_per_image_j: f64,
+    /// Sustained throughput, images per millisecond (the whole chip is one
+    /// deep pipeline; a new image enters every `stream_len` clock cycles).
+    pub throughput_img_per_ms: f64,
+    /// Latency of one image through the pipeline, nanoseconds.
+    pub latency_ns: f64,
+}
+
+impl PlatformCost {
+    /// Energy in microjoules (the unit of Table 9).
+    pub fn energy_uj(&self) -> f64 {
+        self.energy_per_image_j * 1e6
+    }
+}
+
+/// AQFP vs CMOS cost of one network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkCost {
+    /// AQFP implementation cost.
+    pub aqfp: PlatformCost,
+    /// CMOS SC baseline cost.
+    pub cmos: PlatformCost,
+    /// Total AQFP Josephson junctions.
+    pub aqfp_jj: u64,
+}
+
+impl NetworkCost {
+    /// AQFP energy advantage (×).
+    pub fn energy_ratio(&self) -> f64 {
+        self.cmos.energy_per_image_j / self.aqfp.energy_per_image_j
+    }
+
+    /// AQFP throughput advantage (×).
+    pub fn throughput_ratio(&self) -> f64 {
+        self.aqfp.throughput_img_per_ms / self.cmos.throughput_img_per_ms
+    }
+}
+
+/// JJ count and phase depth of a compare-exchange network realised in AQFP
+/// (2 splitters + OR + AND per element, plus path-balancing buffers),
+/// computed analytically from the schedule — building and legalising the
+/// full netlist for every layer width would be equivalent but far slower.
+fn network_jj(net: &SortingNetwork) -> (u64, u32) {
+    let mut depth = vec![0u32; net.wires()];
+    let mut jj: u64 = 0;
+    for op in net.ops() {
+        let (da, db) = (depth[op.max_wire], depth[op.min_wire]);
+        let meet = da.max(db);
+        // Alignment buffers on the shallower input.
+        jj += 2 * (da.abs_diff(db)) as u64;
+        // Two 1→2 splitters (4 JJ each) + OR + AND (6 JJ each).
+        jj += 20;
+        depth[op.max_wire] = meet + 2; // splitter phase + gate phase
+        depth[op.min_wire] = meet + 2;
+    }
+    (jj, depth.into_iter().max().unwrap_or(0))
+}
+
+/// JJ count and depth of one sorter-based feature-extraction block with
+/// `rows` product rows (paper Fig. 12): XNOR multipliers + M-sorter +
+/// 2M-merger, plus per-row SNG comparators and amortised RNG-matrix cells.
+fn fe_block_jj(rows: usize, sng_bits: u32) -> (u64, u32) {
+    let m = if rows % 2 == 0 { rows + 1 } else { rows };
+    let sorter = SortingNetwork::bitonic_sorter(m, Direction::Ascending);
+    let merger = SortingNetwork::bitonic_merger(2 * m, Direction::Descending);
+    let (jj_s, d_s) = network_jj(&sorter);
+    let (jj_m, d_m) = network_jj(&merger);
+    // XNOR: 2 splitters + AND + NOR + OR = 28 JJ, 3 phases.
+    let xnor = 28u64 * rows as u64;
+    let sng = sng_jj(sng_bits) * rows as u64;
+    (jj_s + jj_m + xnor + sng, d_s + d_m + 3 + sng_depth(sng_bits))
+}
+
+/// JJ count of one comparator SNG fed from the shared RNG matrix:
+/// per-bit comparator slice (~4 cells) plus `bits/4` amortised matrix
+/// cells and their sharing splitters.
+fn sng_jj(bits: u32) -> u64 {
+    let comparator = bits as u64 * 4 * 6; // ~4 MAJ-class cells per bit slice
+    let rng_cells = (bits as u64).div_ceil(4) * 2; // N²/(4N) cells per word
+    let sharing = bits as u64 * 6; // 1→4 splitter tree per cell, amortised
+    comparator + rng_cells + sharing
+}
+
+fn sng_depth(bits: u32) -> u32 {
+    bits + 1 // MSB-first ripple comparator
+}
+
+/// JJ count and depth of the sorter-based pooling block (Fig. 14).
+fn pool_block_jj(window: usize) -> (u64, u32) {
+    let sorter = SortingNetwork::bitonic_sorter(window, Direction::Ascending);
+    let merger = SortingNetwork::bitonic_merger(2 * window, Direction::Descending);
+    let (jj_s, d_s) = network_jj(&sorter);
+    let (jj_m, d_m) = network_jj(&merger);
+    // Output mux: ~2 cells.
+    (jj_s + jj_m + 12, d_s + d_m + 1)
+}
+
+/// JJ count and depth of the majority-chain categorization block
+/// (Fig. 15): XNORs + `(K−1)/2` majority gates + the phase-alignment
+/// buffers that grow quadratically with the chain length (matching the
+/// superlinear growth of paper Table 7).
+fn chain_block_jj(rows: usize, sng_bits: u32) -> (u64, u32) {
+    let m = if rows % 2 == 0 { rows + 1 } else { rows };
+    let links = ((m - 1) / 2) as u64;
+    let maj = links * 6;
+    // Input pair k arrives k phases late: buffer chains 2·(1+2+…+links).
+    let buffers = links * (links + 1); // ×2 JJ / 2 inputs = links(links+1)
+    let xnor = 28 * rows as u64;
+    let sng = sng_jj(sng_bits) * rows as u64;
+    (maj + buffers * 2 + xnor + sng, links as u32 + 3 + sng_depth(sng_bits))
+}
+
+/// Aggregates the hardware cost of a full network on both platforms.
+///
+/// Block inventory: every conv/dense neuron is one feature-extraction
+/// block (weights + bias as product rows), every pooling window one
+/// pooling block, every class one categorization block. The CMOS baseline
+/// uses the APC/Btanh inventories of `aqfp_sc_core::baseline`. CMOS
+/// counters/FSMs serialise their update over `cmos_stall` cycles per
+/// stream bit (the RAW hazard of paper §3); the AQFP pipeline accepts one
+/// bit per clock.
+pub fn network_cost(
+    spec: &NetworkSpec,
+    stream_len: u64,
+    sng_bits: u32,
+    aqfp: &AqfpTech,
+    cmos: &CmosTech,
+    cmos_stall: f64,
+) -> NetworkCost {
+    let shapes = spec.shapes();
+    let mut jj_total: u64 = 0;
+    let mut aqfp_depth_phases: u32 = 0;
+    let mut cmos_energy_cycle = 0.0f64;
+    for (i, layer) in spec.layers.iter().enumerate() {
+        let (in_c, h, w) = shapes[i];
+        let (out_c, oh, ow) = shapes[i + 1];
+        match layer {
+            LayerSpec::Conv { k, .. } => {
+                let rows = k * k * in_c + 1;
+                let blocks = (out_c * oh * ow) as u64;
+                let (jj, depth) = fe_block_jj(rows, sng_bits);
+                jj_total += jj * blocks;
+                aqfp_depth_phases += depth;
+                let counts = baseline::cmos_feature_counts(rows, 10);
+                cmos_energy_cycle += cmos.energy_per_cycle_j(&counts) * blocks as f64;
+                cmos_energy_cycle +=
+                    cmos.energy_per_cycle_j(&baseline::cmos_sng_counts(sng_bits))
+                        * (rows as u64 * blocks) as f64;
+            }
+            LayerSpec::AvgPool { k } => {
+                let window = k * k;
+                let blocks = (in_c * (h / k) * (w / k)) as u64;
+                let (jj, depth) = pool_block_jj(window);
+                jj_total += jj * blocks;
+                aqfp_depth_phases += depth;
+                let counts = baseline::cmos_pooling_counts(window);
+                cmos_energy_cycle += cmos.energy_per_cycle_j(&counts) * blocks as f64;
+            }
+            LayerSpec::Dense { out } => {
+                let rows = in_c * h * w + 1;
+                let blocks = *out as u64;
+                let (jj, depth) = fe_block_jj(rows, sng_bits);
+                jj_total += jj * blocks;
+                aqfp_depth_phases += depth;
+                let counts = baseline::cmos_feature_counts(rows, 12);
+                cmos_energy_cycle += cmos.energy_per_cycle_j(&counts) * blocks as f64;
+                cmos_energy_cycle +=
+                    cmos.energy_per_cycle_j(&baseline::cmos_sng_counts(sng_bits))
+                        * (rows as u64 * blocks) as f64;
+            }
+            LayerSpec::Output { classes } => {
+                let rows = in_c * h * w + 1;
+                let blocks = *classes as u64;
+                let (jj, depth) = chain_block_jj(rows, sng_bits);
+                jj_total += jj * blocks;
+                aqfp_depth_phases += depth;
+                let counts = baseline::cmos_categorize_counts(rows);
+                cmos_energy_cycle += cmos.energy_per_cycle_j(&counts) * blocks as f64;
+                cmos_energy_cycle +=
+                    cmos.energy_per_cycle_j(&baseline::cmos_sng_counts(sng_bits))
+                        * (rows as u64 * blocks) as f64;
+            }
+        }
+    }
+    let aqfp_cost = PlatformCost {
+        energy_per_image_j: aqfp.energy_per_cycle_j(jj_total) * stream_len as f64,
+        throughput_img_per_ms: aqfp.clock_hz / stream_len as f64 / 1e3,
+        latency_ns: aqfp.latency_s(aqfp_depth_phases) * 1e9
+            + stream_len as f64 / aqfp.clock_hz * 1e9,
+    };
+    let cmos_cost = PlatformCost {
+        energy_per_image_j: cmos_energy_cycle * stream_len as f64,
+        throughput_img_per_ms: cmos.clock_hz / (stream_len as f64 * cmos_stall) / 1e3,
+        latency_ns: stream_len as f64 * cmos_stall / cmos.clock_hz * 1e9,
+    };
+    NetworkCost { aqfp: aqfp_cost, cmos: cmos_cost, aqfp_jj: jj_total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aqfp_wins_energy_by_orders_of_magnitude() {
+        let cost = network_cost(
+            &NetworkSpec::snn(),
+            1024,
+            10,
+            &AqfpTech::default(),
+            &CmosTech::default(),
+            4.0,
+        );
+        let ratio = cost.energy_ratio();
+        assert!(
+            (1e3..1e7).contains(&ratio),
+            "energy ratio {ratio} outside the paper's 10^4-ish band"
+        );
+        assert!(cost.throughput_ratio() > 10.0);
+    }
+
+    #[test]
+    fn deeper_network_costs_more() {
+        let aqfp = AqfpTech::default();
+        let cmos = CmosTech::default();
+        let snn = network_cost(&NetworkSpec::snn(), 1024, 10, &aqfp, &cmos, 4.0);
+        let dnn = network_cost(&NetworkSpec::dnn(), 1024, 10, &aqfp, &cmos, 4.0);
+        assert!(dnn.aqfp.energy_per_image_j > snn.aqfp.energy_per_image_j);
+        assert!(dnn.cmos.energy_per_image_j > snn.cmos.energy_per_image_j);
+        assert!(dnn.aqfp_jj > snn.aqfp_jj);
+    }
+
+    #[test]
+    fn throughput_follows_stream_length() {
+        let aqfp = AqfpTech::default();
+        let cmos = CmosTech::default();
+        let short = network_cost(&NetworkSpec::snn(), 512, 10, &aqfp, &cmos, 4.0);
+        let long = network_cost(&NetworkSpec::snn(), 2048, 10, &aqfp, &cmos, 4.0);
+        assert!((short.aqfp.throughput_img_per_ms / long.aqfp.throughput_img_per_ms - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_block_grows_superlinearly() {
+        let (jj100, _) = chain_block_jj(100, 10);
+        let (jj800, _) = chain_block_jj(800, 10);
+        // Table 7: 8× inputs cost much more than 8× (buffer chains).
+        assert!(jj800 > 8 * jj100, "jj100={jj100} jj800={jj800}");
+    }
+}

@@ -1,0 +1,184 @@
+//! The Table 9 pipeline: train, quantise, run both SC paths, cost out.
+
+use std::path::PathBuf;
+
+use aqfp_sc_circuit::{AqfpTech, CmosTech};
+use aqfp_sc_data::synthetic_digits;
+use aqfp_sc_nn::{Sequential, Tensor};
+
+use crate::arch::{build_model, ActivationStyle, NetworkSpec};
+use crate::compile::CompiledNetwork;
+use crate::cost::network_cost;
+
+/// Configuration of a Table 9 run.
+#[derive(Debug, Clone)]
+pub struct Table9Config {
+    /// Training images (synthetic digits).
+    pub train: usize,
+    /// Float-accuracy test images.
+    pub test: usize,
+    /// Stochastic-inference test images (bit-level simulation is costly).
+    pub sc_test: usize,
+    /// Stochastic stream length N.
+    pub stream_len: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SNG comparator bits.
+    pub bits: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Directory for caching trained models (skips retraining on reruns).
+    pub model_dir: Option<PathBuf>,
+    /// Include the deeper DNN (slower) in addition to the SNN.
+    pub include_dnn: bool,
+}
+
+impl Default for Table9Config {
+    fn default() -> Self {
+        Table9Config {
+            train: 4000,
+            test: 1000,
+            sc_test: 60,
+            stream_len: 1024,
+            epochs: 4,
+            bits: 8,
+            seed: 20190622, // ISCA'19 presentation date
+            model_dir: None,
+            include_dnn: true,
+        }
+    }
+}
+
+/// One row of Table 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table9Row {
+    /// Network name ("SNN" / "DNN").
+    pub network: &'static str,
+    /// Platform ("Software" / "CMOS" / "AQFP").
+    pub platform: &'static str,
+    /// Classification accuracy (fraction).
+    pub accuracy: f64,
+    /// Energy per image, microjoules (None for software).
+    pub energy_uj: Option<f64>,
+    /// Throughput, images per millisecond (None for software).
+    pub throughput_img_per_ms: Option<f64>,
+}
+
+/// Runs the full Table 9 pipeline and returns its rows.
+///
+/// Per network, two float models are trained — one with the AQFP
+/// feature-extraction response as activation, one with the CMOS baseline's
+/// tanh — then quantised and evaluated bit-level on their own platform.
+pub fn run_table9(config: &Table9Config) -> Vec<Table9Row> {
+    let train = synthetic_digits(config.train, config.seed);
+    let test = synthetic_digits(config.test, config.seed ^ 0xDEAD_BEEF);
+    let sc_test: Vec<(Tensor, usize)> = test.iter().take(config.sc_test).cloned().collect();
+    let mut rows = Vec::new();
+    let mut specs = vec![NetworkSpec::snn()];
+    if config.include_dnn {
+        specs.push(NetworkSpec::dnn());
+    }
+    for spec in &specs {
+        let mut aqfp_model =
+            trained_model(spec, ActivationStyle::AqfpFeature, config, &train, "aqfp");
+        let mut cmos_model =
+            trained_model(spec, ActivationStyle::CmosTanh, config, &train, "cmos");
+        let sw_acc = aqfp_model.evaluate(&test);
+        rows.push(Table9Row {
+            network: spec.name,
+            platform: "Software",
+            accuracy: sw_acc,
+            energy_uj: None,
+            throughput_img_per_ms: None,
+        });
+        let cost = network_cost(
+            spec,
+            config.stream_len as u64,
+            config.bits,
+            &AqfpTech::default(),
+            &CmosTech::default(),
+            4.0,
+        );
+        let cmos_compiled = CompiledNetwork::from_model(spec, &mut cmos_model, config.bits);
+        let cmos_acc = cmos_compiled.evaluate(&sc_test, config.stream_len, config.seed, true);
+        rows.push(Table9Row {
+            network: spec.name,
+            platform: "CMOS",
+            accuracy: cmos_acc,
+            energy_uj: Some(cost.cmos.energy_uj()),
+            throughput_img_per_ms: Some(cost.cmos.throughput_img_per_ms),
+        });
+        let aqfp_compiled = CompiledNetwork::from_model(spec, &mut aqfp_model, config.bits);
+        let aqfp_acc = aqfp_compiled.evaluate(&sc_test, config.stream_len, config.seed, false);
+        rows.push(Table9Row {
+            network: spec.name,
+            platform: "AQFP",
+            accuracy: aqfp_acc,
+            energy_uj: Some(cost.aqfp.energy_uj()),
+            throughput_img_per_ms: Some(cost.aqfp.throughput_img_per_ms),
+        });
+    }
+    rows
+}
+
+fn trained_model(
+    spec: &NetworkSpec,
+    style: ActivationStyle,
+    config: &Table9Config,
+    train: &[(Tensor, usize)],
+    tag: &str,
+) -> Sequential {
+    let mut model = build_model(spec, style, config.seed);
+    if let Some(dir) = &config.model_dir {
+        let path = dir.join(format!(
+            "{}-{}-{}-{}.bin",
+            spec.name, tag, config.train, config.epochs
+        ));
+        if path.exists() && model.load_params(&path).is_ok() {
+            return model;
+        }
+        train_loop(&mut model, train, config);
+        std::fs::create_dir_all(dir).ok();
+        model.save_params(&path).ok();
+        return model;
+    }
+    train_loop(&mut model, train, config);
+    model
+}
+
+fn train_loop(model: &mut Sequential, train: &[(Tensor, usize)], config: &Table9Config) {
+    let mut lr = 0.05f32;
+    for _ in 0..config.epochs {
+        model.train_epoch(train, lr, 0.9, 16);
+        lr *= 0.7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snn_table9_has_sane_rows() {
+        // A deliberately tiny run: checks plumbing, not accuracy targets.
+        let config = Table9Config {
+            train: 300,
+            test: 100,
+            sc_test: 4,
+            stream_len: 256,
+            epochs: 1,
+            bits: 8,
+            seed: 7,
+            model_dir: None,
+            include_dnn: false,
+        };
+        let rows = run_table9(&config);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].platform, "Software");
+        assert!(rows[0].accuracy > 0.15, "software acc {}", rows[0].accuracy);
+        let aqfp = &rows[2];
+        let cmos = &rows[1];
+        assert!(aqfp.energy_uj.unwrap() < cmos.energy_uj.unwrap());
+        assert!(aqfp.throughput_img_per_ms.unwrap() > cmos.throughput_img_per_ms.unwrap());
+    }
+}

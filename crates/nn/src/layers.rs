@@ -1,0 +1,742 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// A trainable or stateless network layer.
+///
+/// `forward` caches whatever `backward` needs; `backward` consumes the
+/// gradient w.r.t. the layer output and returns the gradient w.r.t. the
+/// layer input, accumulating parameter gradients internally. `apply_grads`
+/// performs one SGD-with-momentum step and clears the accumulators.
+pub trait Layer {
+    /// Computes the layer output, caching activations for the backward
+    /// pass.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backpropagates `grad_out`, returning the gradient w.r.t. the input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Applies accumulated parameter gradients (averaged over `batch`
+    /// samples) with learning rate `lr` and momentum `momentum`, then
+    /// clears them. Stateless layers ignore this.
+    fn apply_grads(&mut self, _lr: f32, _momentum: f32, _batch: usize) {}
+
+    /// Layer name for diagnostics and serialisation.
+    fn name(&self) -> &'static str;
+
+    /// Flattened parameter vector (weights then biases); empty for
+    /// stateless layers.
+    fn params(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Overwrites the parameters from a flattened vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the length does not match.
+    fn set_params(&mut self, _params: &[f32]) {}
+}
+
+/// Convolution padding mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Padding {
+    /// No padding: output shrinks by `k − 1`.
+    Valid,
+    /// Zero padding keeping the spatial size (stride 1).
+    Same,
+}
+
+/// 2-D convolution (CHW, square kernel, stride 1).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    padding: Padding,
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    vw: Vec<f32>,
+    vb: Vec<f32>,
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-style initialisation.
+    pub fn new(in_c: usize, out_c: usize, k: usize, padding: Padding, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = (in_c * k * k) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let w = (0..out_c * in_c * k * k)
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Conv2d {
+            in_c,
+            out_c,
+            k,
+            padding,
+            w,
+            b: vec![0.0; out_c],
+            gw: vec![0.0; out_c * in_c * k * k],
+            gb: vec![0.0; out_c],
+            vw: vec![0.0; out_c * in_c * k * k],
+            vb: vec![0.0; out_c],
+            cache: None,
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Padding mode.
+    pub fn padding(&self) -> Padding {
+        self.padding
+    }
+
+    /// Weight slice (`[out_c][in_c][k][k]` row-major).
+    pub fn weights(&self) -> &[f32] {
+        &self.w
+    }
+
+    /// Bias slice.
+    pub fn biases(&self) -> &[f32] {
+        &self.b
+    }
+
+    fn pad(&self) -> usize {
+        match self.padding {
+            Padding::Valid => 0,
+            Padding::Same => self.k / 2,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        match self.padding {
+            Padding::Valid => (h - self.k + 1, w - self.k + 1),
+            Padding::Same => (h, w),
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "conv input must be CHW");
+        assert_eq!(input.shape()[0], self.in_c, "channel mismatch");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        let pad = self.pad() as isize;
+        let mut out = Tensor::zeros(vec![self.out_c, oh, ow]);
+        let id = input.data();
+        let od = out.data_mut();
+        for oc in 0..self.out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.b[oc];
+                    for ic in 0..self.in_c {
+                        for ky in 0..self.k {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = ox as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let wv = self.w
+                                    [((oc * self.in_c + ic) * self.k + ky) * self.k + kx];
+                                acc += wv * id[(ic * h + iy as usize) * w + ix as usize];
+                            }
+                        }
+                    }
+                    od[(oc * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        self.cache = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cache.take().expect("forward before backward");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(grad_out.shape(), &[self.out_c, oh, ow], "grad shape mismatch");
+        let pad = self.pad() as isize;
+        let mut gin = Tensor::zeros(vec![self.in_c, h, w]);
+        let id = input.data();
+        let gd = grad_out.data();
+        let gi = gin.data_mut();
+        for oc in 0..self.out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gd[(oc * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.gb[oc] += g;
+                    for ic in 0..self.in_c {
+                        for ky in 0..self.k {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = ox as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let widx = ((oc * self.in_c + ic) * self.k + ky) * self.k + kx;
+                                let iidx = (ic * h + iy as usize) * w + ix as usize;
+                                self.gw[widx] += g * id[iidx];
+                                gi[iidx] += g * self.w[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gin
+    }
+
+    fn apply_grads(&mut self, lr: f32, momentum: f32, batch: usize) {
+        let scale = 1.0 / batch.max(1) as f32;
+        for ((w, g), v) in self.w.iter_mut().zip(&mut self.gw).zip(&mut self.vw) {
+            *v = momentum * *v - lr * *g * scale;
+            // Bipolar SC streams represent [-1, 1] only: clip weights.
+            *w = (*w + *v).clamp(-1.0, 1.0);
+            *g = 0.0;
+        }
+        for ((b, g), v) in self.b.iter_mut().zip(&mut self.gb).zip(&mut self.vb) {
+            *v = momentum * *v - lr * *g * scale;
+            *b = (*b + *v).clamp(-1.0, 1.0);
+            *g = 0.0;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn params(&self) -> Vec<f32> {
+        let mut p = self.w.clone();
+        p.extend_from_slice(&self.b);
+        p
+    }
+
+    fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.w.len() + self.b.len(), "param size mismatch");
+        let nw = self.w.len();
+        self.w.copy_from_slice(&params[..nw]);
+        self.b.copy_from_slice(&params[nw..]);
+    }
+}
+
+/// Fully-connected layer.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_f: usize,
+    out_f: usize,
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    vw: Vec<f32>,
+    vb: Vec<f32>,
+    cache: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-style initialisation.
+    pub fn new(in_f: usize, out_f: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (1.0 / in_f as f32).sqrt();
+        let w = (0..out_f * in_f)
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Dense {
+            in_f,
+            out_f,
+            w,
+            b: vec![0.0; out_f],
+            gw: vec![0.0; out_f * in_f],
+            gb: vec![0.0; out_f],
+            vw: vec![0.0; out_f * in_f],
+            vb: vec![0.0; out_f],
+            cache: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_f
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_f
+    }
+
+    /// Weight slice (`[out_f][in_f]` row-major).
+    pub fn weights(&self) -> &[f32] {
+        &self.w
+    }
+
+    /// Bias slice.
+    pub fn biases(&self) -> &[f32] {
+        &self.b
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.len(), self.in_f, "dense input size mismatch");
+        let id = input.data();
+        let mut out = Tensor::zeros(vec![self.out_f]);
+        let od = out.data_mut();
+        for o in 0..self.out_f {
+            let row = &self.w[o * self.in_f..(o + 1) * self.in_f];
+            let mut acc = self.b[o];
+            for (wv, xv) in row.iter().zip(id) {
+                acc += wv * xv;
+            }
+            od[o] = acc;
+        }
+        self.cache = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cache.take().expect("forward before backward");
+        assert_eq!(grad_out.len(), self.out_f, "grad size mismatch");
+        let id = input.data();
+        let gd = grad_out.data();
+        let mut gin = Tensor::zeros(vec![self.in_f]);
+        let gi = gin.data_mut();
+        for o in 0..self.out_f {
+            let g = gd[o];
+            self.gb[o] += g;
+            let row = &self.w[o * self.in_f..(o + 1) * self.in_f];
+            let grow = &mut self.gw[o * self.in_f..(o + 1) * self.in_f];
+            for i in 0..self.in_f {
+                grow[i] += g * id[i];
+                gi[i] += g * row[i];
+            }
+        }
+        gin
+    }
+
+    fn apply_grads(&mut self, lr: f32, momentum: f32, batch: usize) {
+        let scale = 1.0 / batch.max(1) as f32;
+        for ((w, g), v) in self.w.iter_mut().zip(&mut self.gw).zip(&mut self.vw) {
+            *v = momentum * *v - lr * *g * scale;
+            *w = (*w + *v).clamp(-1.0, 1.0);
+            *g = 0.0;
+        }
+        for ((b, g), v) in self.b.iter_mut().zip(&mut self.gb).zip(&mut self.vb) {
+            *v = momentum * *v - lr * *g * scale;
+            *b = (*b + *v).clamp(-1.0, 1.0);
+            *g = 0.0;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn params(&self) -> Vec<f32> {
+        let mut p = self.w.clone();
+        p.extend_from_slice(&self.b);
+        p
+    }
+
+    fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.w.len() + self.b.len(), "param size mismatch");
+        let nw = self.w.len();
+        self.w.copy_from_slice(&params[..nw]);
+        self.b.copy_from_slice(&params[nw..]);
+    }
+}
+
+/// Average pooling with square window and equal stride.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    k: usize,
+    cache_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates a `k × k` average pooling layer (stride `k`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "window must be positive");
+        AvgPool2d { k, cache_shape: Vec::new() }
+    }
+
+    /// Window size.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let (oh, ow) = (h / self.k, w / self.k);
+        let mut out = Tensor::zeros(vec![c, oh, ow]);
+        let id = input.data();
+        let od = out.data_mut();
+        let norm = 1.0 / (self.k * self.k) as f32;
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            acc += id[(ch * h + oy * self.k + ky) * w + ox * self.k + kx];
+                        }
+                    }
+                    od[(ch * oh + oy) * ow + ox] = acc * norm;
+                }
+            }
+        }
+        self.cache_shape = input.shape().to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (c, h, w) = (self.cache_shape[0], self.cache_shape[1], self.cache_shape[2]);
+        let (oh, ow) = (h / self.k, w / self.k);
+        let mut gin = Tensor::zeros(vec![c, h, w]);
+        let gd = grad_out.data();
+        let gi = gin.data_mut();
+        let norm = 1.0 / (self.k * self.k) as f32;
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gd[(ch * oh + oy) * ow + ox] * norm;
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            gi[(ch * h + oy * self.k + ky) * w + ox * self.k + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+        gin
+    }
+
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+}
+
+/// Flattens CHW feature maps into a vector.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cache_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cache_shape = input.shape().to_vec();
+        input.clone().reshaped(vec![input.len()])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone().reshaped(self.cache_shape.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+/// A piecewise-linear activation backed by a lookup table.
+///
+/// Used to train with the *measured* transfer curve of the AQFP
+/// feature-extraction block (its shifted-ReLU response, paper Fig. 13)
+/// instead of an idealised non-linearity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableActivation {
+    s_min: f32,
+    s_max: f32,
+    ys: Vec<f32>,
+}
+
+impl TableActivation {
+    /// Creates a table over `[s_min, s_max]` with uniformly spaced samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 2 samples are given or the range is empty.
+    pub fn new(s_min: f32, s_max: f32, ys: Vec<f32>) -> Self {
+        assert!(ys.len() >= 2, "need at least two samples");
+        assert!(s_max > s_min, "empty range");
+        TableActivation { s_min, s_max, ys }
+    }
+
+    /// Evaluates the table with linear interpolation (clamped at the ends).
+    pub fn value(&self, x: f32) -> f32 {
+        let n = self.ys.len();
+        let t = (x - self.s_min) / (self.s_max - self.s_min) * (n - 1) as f32;
+        if t <= 0.0 {
+            return self.ys[0];
+        }
+        if t >= (n - 1) as f32 {
+            return self.ys[n - 1];
+        }
+        let i = t as usize;
+        let f = t - i as f32;
+        self.ys[i] * (1.0 - f) + self.ys[i + 1] * f
+    }
+
+    /// The table slope at `x` (0 outside the range).
+    pub fn slope(&self, x: f32) -> f32 {
+        let n = self.ys.len();
+        let step = (self.s_max - self.s_min) / (n - 1) as f32;
+        let t = (x - self.s_min) / step;
+        if t <= 0.0 || t >= (n - 1) as f32 {
+            return 0.0;
+        }
+        let i = t as usize;
+        (self.ys[i + 1] - self.ys[i]) / step
+    }
+}
+
+/// Elementwise activation layer.
+#[derive(Debug, Clone)]
+pub struct Activation {
+    kind: ActKind,
+    cache: Option<Tensor>,
+}
+
+#[derive(Debug, Clone)]
+enum ActKind {
+    /// `clamp(x, 0, 1)` — the idealised SC-friendly ReLU.
+    ClippedRelu,
+    /// `tanh(g·x)` clamped to `(−1, 1)` — matches the CMOS baseline's
+    /// Btanh/Stanh FSM activations.
+    Tanh(f32),
+    /// Hardware-measured transfer curve.
+    Table(TableActivation),
+}
+
+impl Activation {
+    /// The idealised SC ReLU: `clamp(x, 0, 1)`.
+    pub fn clipped_relu() -> Self {
+        Activation { kind: ActKind::ClippedRelu, cache: None }
+    }
+
+    /// `tanh(gain·x)` — the CMOS SC baseline's FSM activation shape.
+    pub fn tanh(gain: f32) -> Self {
+        Activation { kind: ActKind::Tanh(gain), cache: None }
+    }
+
+    /// A lookup-table activation (hardware response curves).
+    pub fn table(table: TableActivation) -> Self {
+        Activation { kind: ActKind::Table(table), cache: None }
+    }
+
+    fn value(&self, x: f32) -> f32 {
+        match &self.kind {
+            ActKind::ClippedRelu => x.clamp(0.0, 1.0),
+            ActKind::Tanh(g) => (g * x).tanh(),
+            ActKind::Table(t) => t.value(x),
+        }
+    }
+
+    fn slope(&self, x: f32) -> f32 {
+        match &self.kind {
+            ActKind::ClippedRelu => {
+                if (0.0..1.0).contains(&x) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActKind::Tanh(g) => {
+                let t = (g * x).tanh();
+                g * (1.0 - t * t)
+            }
+            ActKind::Table(t) => t.slope(x),
+        }
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            *v = self.value(*v);
+        }
+        self.cache = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cache.take().expect("forward before backward");
+        let mut gin = grad_out.clone();
+        for (g, &x) in gin.data_mut().iter_mut().zip(input.data()) {
+            *g *= self.slope(x);
+        }
+        gin
+    }
+
+    fn name(&self) -> &'static str {
+        "activation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check<L: Layer>(layer: &mut L, input: Tensor) {
+        // d(sum(out))/d(in[i]) via backward must match finite differences.
+        let out = layer.forward(&input);
+        let ones = Tensor::from_vec(out.shape().to_vec(), vec![1.0; out.len()]);
+        let gin = layer.backward(&ones);
+        let eps = 1e-2f32;
+        for i in 0..input.len().min(8) {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let sp: f32 = layer.forward(&plus).data().iter().sum();
+            let _ = layer.backward(&Tensor::from_vec(out.shape().to_vec(), vec![1.0; out.len()]));
+            let sm: f32 = layer.forward(&minus).data().iter().sum();
+            let _ = layer.backward(&Tensor::from_vec(out.shape().to_vec(), vec![1.0; out.len()]));
+            let numeric = (sp - sm) / (2.0 * eps);
+            assert!(
+                (numeric - gin.data()[i]).abs() < 2e-2,
+                "grad {i}: numeric {numeric} vs analytic {}",
+                gin.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_valid_shapes() {
+        let mut conv = Conv2d::new(1, 2, 3, Padding::Valid, 1);
+        let out = conv.forward(&Tensor::zeros(vec![1, 6, 6]));
+        assert_eq!(out.shape(), &[2, 4, 4]);
+    }
+
+    #[test]
+    fn conv_same_shapes() {
+        let mut conv = Conv2d::new(2, 4, 5, Padding::Same, 2);
+        let out = conv.forward(&Tensor::zeros(vec![2, 8, 8]));
+        assert_eq!(out.shape(), &[4, 8, 8]);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut conv = Conv2d::new(1, 1, 1, Padding::Valid, 3);
+        conv.set_params(&[1.0, 0.0]); // w=1, b=0
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![0.1, 0.2, 0.3, 0.4]);
+        let out = conv.forward(&input);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut conv = Conv2d::new(1, 2, 3, Padding::Same, 4);
+        let input = Tensor::from_vec(
+            vec![1, 4, 4],
+            (0..16).map(|i| (i as f32) / 16.0 - 0.5).collect(),
+        );
+        finite_diff_check(&mut conv, input);
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut dense = Dense::new(6, 3, 5);
+        let input = Tensor::from_vec(vec![6], vec![0.1, -0.2, 0.3, 0.0, 0.5, -0.4]);
+        finite_diff_check(&mut dense, input);
+    }
+
+    #[test]
+    fn avgpool_averages_windows() {
+        let mut pool = AvgPool2d::new(2);
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert!((out.data()[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn avgpool_gradients_match_finite_differences() {
+        let mut pool = AvgPool2d::new(2);
+        let input = Tensor::from_vec(vec![1, 4, 4], (0..16).map(|i| i as f32 * 0.1).collect());
+        finite_diff_check(&mut pool, input);
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut fl = Flatten::new();
+        let input = Tensor::zeros(vec![2, 3, 4]);
+        let out = fl.forward(&input);
+        assert_eq!(out.shape(), &[24]);
+        let back = fl.backward(&out);
+        assert_eq!(back.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn clipped_relu_clamps() {
+        let mut act = Activation::clipped_relu();
+        let input = Tensor::from_vec(vec![4], vec![-1.0, 0.4, 0.9, 3.0]);
+        let out = act.forward(&input);
+        assert_eq!(out.data(), &[0.0, 0.4, 0.9, 1.0]);
+    }
+
+    #[test]
+    fn table_activation_interpolates() {
+        let table = TableActivation::new(-1.0, 1.0, vec![-1.0, 0.0, 1.0]);
+        assert!((table.value(0.0) - 0.0).abs() < 1e-6);
+        assert!((table.value(0.5) - 0.5).abs() < 1e-6);
+        assert_eq!(table.value(-5.0), -1.0);
+        assert_eq!(table.value(5.0), 1.0);
+        assert!((table.slope(0.5) - 1.0).abs() < 1e-6);
+        assert_eq!(table.slope(5.0), 0.0);
+    }
+
+    #[test]
+    fn tanh_activation_gradcheck() {
+        let mut act = Activation::tanh(2.0);
+        let input = Tensor::from_vec(vec![5], vec![-0.6, -0.1, 0.0, 0.2, 0.7]);
+        finite_diff_check(&mut act, input);
+    }
+
+    #[test]
+    fn conv_apply_grads_clips_weights() {
+        let mut conv = Conv2d::new(1, 1, 1, Padding::Valid, 6);
+        conv.set_params(&[0.99, 0.0]);
+        let input = Tensor::from_vec(vec![1, 1, 1], vec![1.0]);
+        let _ = conv.forward(&input);
+        let _ = conv.backward(&Tensor::from_vec(vec![1, 1, 1], vec![-100.0]));
+        conv.apply_grads(1.0, 0.0, 1);
+        assert!(conv.weights()[0] <= 1.0);
+    }
+}

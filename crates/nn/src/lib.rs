@@ -1,0 +1,114 @@
+//! A minimal CNN training framework for the AQFP-SC-DNN reproduction.
+//!
+//! The paper trains its networks "taking all limitations of AQFP and SC
+//! into consideration" before mapping them onto the stochastic-computing
+//! hardware. This crate provides exactly what that needs and nothing more:
+//!
+//! * [`Tensor`] — a dense row-major `f32` tensor (CHW layout for images).
+//! * [`Conv2d`], [`Dense`], [`AvgPool2d`], [`Flatten`], [`Activation`] —
+//!   layers with hand-written forward/backward passes.
+//! * `Activation::table` — a piecewise-linear activation defined by a
+//!   lookup table, so the *measured stationary response of the hardware
+//!   feature-extraction block* can be used as the training non-linearity
+//!   (the `aqfp-sc-network` crate builds those tables per layer).
+//! * [`Sequential`] — a network container with SGD + momentum training,
+//!   softmax cross-entropy loss, weight clipping to `[−1, 1]` (bipolar SC
+//!   streams cannot represent anything larger) and binary save/load.
+//! * [`quantize_bipolar`] — weight quantisation to the `n`-bit comparator
+//!   levels the SNGs use.
+//!
+//! # Example
+//!
+//! ```
+//! use aqfp_sc_nn::{Activation, Dense, Sequential, Tensor};
+//!
+//! // Tiny 2-class problem: learn y = sign(x0 - x1).
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Dense::new(2, 8, 1)),
+//!     Box::new(Activation::clipped_relu()),
+//!     Box::new(Dense::new(8, 2, 2)),
+//! ]);
+//! let samples: Vec<(Tensor, usize)> = (0..64)
+//!     .map(|i| {
+//!         let a = (i % 8) as f32 / 8.0;
+//!         let b = ((i / 8) % 8) as f32 / 8.0;
+//!         (Tensor::from_vec(vec![2, 1, 1], vec![a, b]), usize::from(a > b))
+//!     })
+//!     .collect();
+//! for _ in 0..60 {
+//!     net.train_epoch(&samples, 0.1, 0.9, 8);
+//! }
+//! let acc = net.evaluate(&samples);
+//! assert!(acc > 0.9, "accuracy {acc}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layers;
+mod model;
+mod tensor;
+
+pub use layers::{Activation, AvgPool2d, Conv2d, Dense, Flatten, Layer, Padding, TableActivation};
+pub use model::{softmax_cross_entropy, ModelIoError, Sequential};
+pub use tensor::Tensor;
+
+/// Quantises a weight/bias value to the `bits`-bit bipolar comparator grid
+/// used by the stochastic number generators: the value is clamped to
+/// `[−1, 1]` and rounded to the nearest representable level
+/// `2·(k / 2^bits) − 1`.
+///
+/// Returns the quantised value and the raw level `k ∈ 0..=2^bits`.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_nn::quantize_bipolar;
+///
+/// let (q, level) = quantize_bipolar(0.5, 8);
+/// assert_eq!(level, 192); // (0.5+1)/2 * 256
+/// assert!((q - 0.5).abs() < 1e-6);
+/// let (q, _) = quantize_bipolar(7.0, 8); // clamped
+/// assert_eq!(q, 1.0);
+/// ```
+pub fn quantize_bipolar(value: f64, bits: u32) -> (f64, u64) {
+    let scale = (1u64 << bits) as f64;
+    let p = (value.clamp(-1.0, 1.0) + 1.0) / 2.0;
+    let level = (p * scale).round().min(scale) as u64;
+    (2.0 * (level as f64 / scale) - 1.0, level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_trips_grid_points() {
+        for bits in [4u32, 8, 10] {
+            let scale = (1u64 << bits) as f64;
+            for k in [0u64, 1, (1 << bits) / 2, (1 << bits) - 1, 1 << bits] {
+                let v = 2.0 * (k as f64 / scale) - 1.0;
+                let (q, level) = quantize_bipolar(v, bits);
+                assert_eq!(level, k);
+                assert!((q - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range() {
+        assert_eq!(quantize_bipolar(5.0, 8).0, 1.0);
+        assert_eq!(quantize_bipolar(-5.0, 8).0, -1.0);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_grid_step() {
+        let bits = 8;
+        let step = 2.0 / (1u64 << bits) as f64;
+        for i in 0..1000 {
+            let v = -1.0 + 2.0 * (i as f64) / 999.0;
+            let (q, _) = quantize_bipolar(v, bits);
+            assert!((q - v).abs() <= step / 2.0 + 1e-12, "v={v} q={q}");
+        }
+    }
+}

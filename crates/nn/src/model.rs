@@ -1,0 +1,328 @@
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Softmax + cross-entropy loss for one sample: returns the loss and the
+/// gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics when `label` is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    let n = logits.len();
+    assert!(label < n, "label {label} out of range {n}");
+    let max = logits.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let mut grad = Tensor::zeros(vec![n]);
+    for (i, g) in grad.data_mut().iter_mut().enumerate() {
+        *g = exps[i] / sum;
+    }
+    let loss = -(exps[label] / sum).max(1e-12).ln();
+    grad.data_mut()[label] -= 1.0;
+    (loss, grad)
+}
+
+/// A feed-forward stack of layers with SGD training.
+///
+/// See the crate-level example for usage.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        write!(f, "Sequential{names:?}")
+    }
+}
+
+impl Sequential {
+    /// Wraps a stack of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// The layers (for inspection / weight extraction).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Runs a forward pass.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Predicted class for one input.
+    pub fn predict(&mut self, input: &Tensor) -> usize {
+        self.forward(input).argmax()
+    }
+
+    /// Classification accuracy over a labelled set.
+    pub fn evaluate(&mut self, samples: &[(Tensor, usize)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|(x, y)| self.predict(x) == *y)
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// Trains one epoch with mini-batch SGD + momentum; returns the mean
+    /// loss.
+    pub fn train_epoch(
+        &mut self,
+        samples: &[(Tensor, usize)],
+        lr: f32,
+        momentum: f32,
+        batch: usize,
+    ) -> f32 {
+        let mut total = 0.0;
+        let mut in_batch = 0usize;
+        for (x, y) in samples {
+            let out = self.forward(x);
+            let (loss, mut grad) = softmax_cross_entropy(&out, *y);
+            total += loss;
+            for layer in self.layers.iter_mut().rev() {
+                grad = layer.backward(&grad);
+            }
+            in_batch += 1;
+            if in_batch == batch {
+                for layer in &mut self.layers {
+                    layer.apply_grads(lr, momentum, in_batch);
+                }
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            for layer in &mut self.layers {
+                layer.apply_grads(lr, momentum, in_batch);
+            }
+        }
+        total / samples.len().max(1) as f32
+    }
+
+    /// Saves all parameters to a simple binary file (`u32` layer count,
+    /// then per layer a `u64` length and little-endian `f32`s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelIoError`] on I/O failure.
+    pub fn save_params(&self, path: &Path) -> Result<(), ModelIoError> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        for layer in &self.layers {
+            let params = layer.params();
+            bytes.extend_from_slice(&(params.len() as u64).to_le_bytes());
+            for p in params {
+                bytes.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        let mut file = fs::File::create(path).map_err(ModelIoError::io)?;
+        file.write_all(&bytes).map_err(ModelIoError::io)
+    }
+
+    /// Loads parameters saved by [`Sequential::save_params`] into an
+    /// identically shaped network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelIoError`] on I/O failure or structural mismatch.
+    pub fn load_params(&mut self, path: &Path) -> Result<(), ModelIoError> {
+        let mut bytes = Vec::new();
+        fs::File::open(path)
+            .map_err(ModelIoError::io)?
+            .read_to_end(&mut bytes)
+            .map_err(ModelIoError::io)?;
+        let mut off = 0usize;
+        let take = |bytes: &[u8], off: &mut usize, n: usize| -> Result<Vec<u8>, ModelIoError> {
+            if *off + n > bytes.len() {
+                return Err(ModelIoError::Corrupt("unexpected end of file"));
+            }
+            let s = bytes[*off..*off + n].to_vec();
+            *off += n;
+            Ok(s)
+        };
+        let count = u32::from_le_bytes(
+            take(&bytes, &mut off, 4)?.try_into().expect("4 bytes"),
+        ) as usize;
+        if count != self.layers.len() {
+            return Err(ModelIoError::Corrupt("layer count mismatch"));
+        }
+        for layer in &mut self.layers {
+            let len = u64::from_le_bytes(
+                take(&bytes, &mut off, 8)?.try_into().expect("8 bytes"),
+            ) as usize;
+            if len != layer.params().len() {
+                return Err(ModelIoError::Corrupt("parameter count mismatch"));
+            }
+            let mut params = Vec::with_capacity(len);
+            for _ in 0..len {
+                let b = take(&bytes, &mut off, 4)?;
+                params.push(f32::from_le_bytes(b.try_into().expect("4 bytes")));
+            }
+            layer.set_params(&params);
+        }
+        Ok(())
+    }
+}
+
+/// Errors from model parameter save/load.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ModelIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not match the network structure.
+    Corrupt(&'static str),
+}
+
+impl ModelIoError {
+    fn io(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model file i/o failed: {e}"),
+            ModelIoError::Corrupt(why) => write!(f, "model file corrupt: {why}"),
+        }
+    }
+}
+
+impl Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelIoError::Io(e) => Some(e),
+            ModelIoError::Corrupt(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Conv2d, Dense, Flatten, Padding};
+
+    #[test]
+    fn softmax_gradient_sums_to_zero() {
+        let logits = Tensor::from_vec(vec![4], vec![0.5, -0.2, 1.0, 0.1]);
+        let (loss, grad) = softmax_cross_entropy(&logits, 2);
+        assert!(loss > 0.0);
+        let sum: f32 = grad.data().iter().sum();
+        assert!(sum.abs() < 1e-6, "sum = {sum}");
+    }
+
+    #[test]
+    fn softmax_loss_decreases_for_confident_logits() {
+        let weak = Tensor::from_vec(vec![2], vec![0.1, 0.0]);
+        let strong = Tensor::from_vec(vec![2], vec![5.0, 0.0]);
+        let (l_weak, _) = softmax_cross_entropy(&weak, 0);
+        let (l_strong, _) = softmax_cross_entropy(&strong, 0);
+        assert!(l_strong < l_weak);
+    }
+
+    fn xor_samples() -> Vec<(Tensor, usize)> {
+        let mut v = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                let x = Tensor::from_vec(vec![2], vec![a as f32, b as f32]);
+                v.push((x, (a ^ b) as usize));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(2, 12, 7)),
+            Box::new(Activation::tanh(1.0)),
+            Box::new(Dense::new(12, 2, 8)),
+        ]);
+        let samples = xor_samples();
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            last = net.train_epoch(&samples, 0.3, 0.9, 4);
+        }
+        assert!(last < 0.3, "loss {last}");
+        assert_eq!(net.evaluate(&samples), 1.0);
+    }
+
+    #[test]
+    fn small_cnn_learns_horizontal_vs_vertical() {
+        // 6x6 images with a horizontal (class 0) or vertical (class 1) bar.
+        let mut samples = Vec::new();
+        for pos in 0..6 {
+            let mut h = Tensor::zeros(vec![1, 6, 6]);
+            for x in 0..6 {
+                h.data_mut()[pos * 6 + x] = 1.0;
+            }
+            samples.push((h, 0));
+            let mut v = Tensor::zeros(vec![1, 6, 6]);
+            for y in 0..6 {
+                v.data_mut()[y * 6 + pos] = 1.0;
+            }
+            samples.push((v, 1));
+        }
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, Padding::Valid, 11)),
+            Box::new(Activation::clipped_relu()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 4 * 4, 2, 12)),
+        ]);
+        for _ in 0..60 {
+            net.train_epoch(&samples, 0.1, 0.9, 4);
+        }
+        let acc = net.evaluate(&samples);
+        assert!(acc == 1.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join("aqfp_sc_nn_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let make = || {
+            Sequential::new(vec![
+                Box::new(Dense::new(3, 4, 1)) as Box<dyn Layer>,
+                Box::new(Activation::clipped_relu()),
+                Box::new(Dense::new(4, 2, 2)),
+            ])
+        };
+        let mut a = make();
+        let samples = vec![(Tensor::from_vec(vec![3], vec![0.5, 0.1, -0.2]), 1usize)];
+        a.train_epoch(&samples, 0.1, 0.9, 1);
+        a.save_params(&path).unwrap();
+        let mut b = make();
+        b.load_params(&path).unwrap();
+        let x = Tensor::from_vec(vec![3], vec![0.3, -0.4, 0.9]);
+        assert_eq!(a.forward(&x).data(), b.forward(&x).data());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_mismatched_structure() {
+        let dir = std::env::temp_dir().join("aqfp_sc_nn_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let a = Sequential::new(vec![Box::new(Dense::new(3, 4, 1)) as Box<dyn Layer>]);
+        a.save_params(&path).unwrap();
+        let mut b = Sequential::new(vec![Box::new(Dense::new(3, 5, 1)) as Box<dyn Layer>]);
+        assert!(b.load_params(&path).is_err());
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,152 @@
+use std::fmt;
+
+/// A dense row-major `f32` tensor.
+///
+/// Feature maps use CHW layout (channels, height, width); fully-connected
+/// activations use `[features, 1, 1]` or `[features]`.
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_nn::Tensor;
+///
+/// let t = Tensor::zeros(vec![2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates an all-zero tensor.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let expect: usize = shape.iter().product();
+        assert_eq!(data.len(), expect, "shape {shape:?} needs {expect} elements");
+        Tensor { shape, data }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the raw data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the element counts differ.
+    pub fn reshaped(mut self, shape: Vec<usize>) -> Tensor {
+        let expect: usize = shape.iter().product();
+        assert_eq!(self.data.len(), expect, "cannot reshape {:?} to {shape:?}", self.shape);
+        self.shape = shape;
+        self
+    }
+
+    /// CHW indexing helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 3-dimensional or the index is out of
+    /// bounds.
+    pub fn at3(&self, c: usize, y: usize, x: usize) -> f32 {
+        assert_eq!(self.shape.len(), 3, "at3 needs a CHW tensor");
+        let (_, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        self.data[(c * h + y) * w + x]
+    }
+
+    /// The index of the maximum element (first on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_from_vec_agree_on_len() {
+        let z = Tensor::zeros(vec![4, 5]);
+        assert_eq!(z.len(), 20);
+        let t = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.data()[3], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 4 elements")]
+    fn from_vec_validates_length() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect());
+        let r = t.reshaped(vec![6]);
+        assert_eq!(r.shape(), &[6]);
+        assert_eq!(r.data()[5], 5.0);
+    }
+
+    #[test]
+    fn at3_uses_chw_layout() {
+        let t = Tensor::from_vec(vec![2, 2, 2], (0..8).map(|i| i as f32).collect());
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(0, 1, 1), 3.0);
+        assert_eq!(t.at3(1, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn argmax_returns_first_maximum() {
+        let t = Tensor::from_vec(vec![4], vec![0.0, 3.0, 3.0, 1.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+}

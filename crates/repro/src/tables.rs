@@ -1,0 +1,388 @@
+//! One function per paper table/figure.
+
+use aqfp_sc_bitstream::{BitSource, ThermalRng};
+use aqfp_sc_circuit::{AqfpTech, BlockCost, CmosTech, CostComparison};
+use aqfp_sc_core::accuracy::{
+    categorize_inaccuracy, feature_inaccuracy, feature_response, feature_response_curve,
+    pooling_inaccuracy,
+};
+use aqfp_sc_core::baseline;
+use aqfp_sc_core::{MajorityChain, SngBlock};
+use aqfp_sc_network::{network_cost, run_table9, NetworkSpec, Table9Config};
+use aqfp_sc_sorting::{Direction, SortingNetwork};
+
+use crate::Mode;
+
+const STREAM_LENGTHS: [usize; 5] = [128, 256, 512, 1024, 2048];
+const SEED: u64 = 0x15CA_2019;
+
+fn trials(mode: Mode, default: usize) -> usize {
+    match mode {
+        Mode::Quick => (default / 4).max(2),
+        Mode::Default => default,
+        Mode::Full => default * 4,
+    }
+}
+
+fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Table 1: absolute inaccuracy of the sorter-based feature extraction.
+pub fn table1(mode: Mode) {
+    header("Table 1: absolute inaccuracy of the feature-extraction block");
+    let paper: [(usize, [f64; 5]); 5] = [
+        (9, [0.1131, 0.0847, 0.0676, 0.0573, 0.0511]),
+        (25, [0.1278, 0.0896, 0.0674, 0.0536, 0.0434]),
+        (49, [0.1267, 0.0954, 0.0705, 0.0528, 0.0468]),
+        (81, [0.1290, 0.0937, 0.0685, 0.0531, 0.0396]),
+        (121, [0.1359, 0.0942, 0.0654, 0.0513, 0.0374]),
+    ];
+    println!("input |  N    | paper   | measured");
+    for (m, paper_row) in paper {
+        for (i, &n) in STREAM_LENGTHS.iter().enumerate() {
+            let measured = feature_inaccuracy(m, n, trials(mode, 20), SEED + m as u64);
+            println!("{m:5} | {n:5} | {:6.4}  | {measured:6.4}", paper_row[i]);
+        }
+    }
+}
+
+/// Table 2: absolute inaccuracy of the sorter-based average pooling.
+pub fn table2(mode: Mode) {
+    header("Table 2: absolute inaccuracy of the average-pooling block");
+    let paper: [(usize, [f64; 5]); 5] = [
+        (4, [0.0249, 0.0163, 0.0115, 0.0085, 0.0058]),
+        (9, [0.0173, 0.0112, 0.0079, 0.0055, 0.0039]),
+        (16, [0.0141, 0.0089, 0.0061, 0.0042, 0.0030]),
+        (25, [0.0122, 0.0078, 0.0049, 0.0033, 0.0024]),
+        (36, [0.0105, 0.0065, 0.0043, 0.0029, 0.0019]),
+    ];
+    println!("input |  N    | paper   | measured");
+    for (m, paper_row) in paper {
+        for (i, &n) in STREAM_LENGTHS.iter().enumerate() {
+            let measured = pooling_inaccuracy(m, n, trials(mode, 24), SEED + m as u64);
+            println!("{m:5} | {n:5} | {:6.4}  | {measured:6.4}", paper_row[i]);
+        }
+    }
+}
+
+/// Table 3: relative inaccuracy of the majority-chain categorization.
+pub fn table3(mode: Mode) {
+    header("Table 3: relative inaccuracy of the categorization block (%)");
+    let paper: [(usize, [f64; 5]); 4] = [
+        (100, [0.3718, 0.2198, 0.1235, 0.0620, 0.0376]),
+        (200, [0.2708, 0.2106, 0.1671, 0.0743, 0.0301]),
+        (500, [0.2769, 0.2374, 0.1201, 0.0687, 0.0393]),
+        (800, [0.2780, 0.1641, 0.1269, 0.0585, 0.0339]),
+    ];
+    println!("input |  N    | paper %  | measured %");
+    for (k, paper_row) in paper {
+        for (i, &n) in STREAM_LENGTHS.iter().enumerate() {
+            let measured = categorize_inaccuracy(k, n, trials(mode, 40), SEED + k as u64);
+            println!("{k:5} | {n:5} | {:7.4}  | {measured:7.4}", paper_row[i]);
+        }
+    }
+}
+
+fn print_hw_row(label: usize, paper_aqfp: f64, paper_cmos: f64, cmp: &CostComparison) {
+    println!(
+        "{label:5} | {:9.3e} (paper {paper_aqfp:9.3e}) | {:9.3} (paper {paper_cmos:9.3}) | {:8.2e}x | {:6.2} ns vs {:8.1} ns",
+        cmp.aqfp.energy_pj(),
+        cmp.cmos.energy_pj(),
+        cmp.energy_ratio(),
+        cmp.aqfp.latency_ns(),
+        cmp.cmos.stream_time_s * 1e9,
+    );
+}
+
+/// Table 4: SNG hardware utilisation.
+pub fn table4() {
+    header("Table 4: SNG block, AQFP vs CMOS (energy pJ per 1024-bit stream)");
+    let aqfp = AqfpTech::default();
+    let cmos = CmosTech::default();
+    let n = 1024u64;
+    println!("size  | AQFP pJ               | CMOS pJ             | ratio    | latency");
+    for (outputs, paper_aqfp, paper_cmos) in
+        [(100usize, 9.7e-5, 14.42), (500, 4.85e-4, 72.11), (800, 7.76e-4, 115.4)]
+    {
+        let block = SngBlock::new(outputs, 10, SEED);
+        let comparator = SngBlock::comparator_netlist(10, 512);
+        let jj_per = comparator.report.jj_after
+            + (block.rng_cell_count() as u64 * 2 * 3) / outputs as u64; // cells + sharing splitters, amortised
+        let aqfp_cost = aqfp.block_cost_from_counts(jj_per * outputs as u64, comparator.netlist.depth(), n);
+        let counts = baseline::cmos_sng_counts(10);
+        let mut scaled = counts;
+        scaled.dff *= outputs as u64;
+        scaled.xnor *= outputs as u64;
+        scaled.comparator_bits *= outputs as u64;
+        let cmos_cost = cmos.block_cost(&scaled, 4, n);
+        print_hw_row(outputs, paper_aqfp, paper_cmos, &CostComparison { aqfp: aqfp_cost, cmos: cmos_cost });
+    }
+}
+
+fn fe_comparison(m: usize, n: u64) -> CostComparison {
+    let aqfp = AqfpTech::default();
+    let cmos = CmosTech::default();
+    // Analytic JJ model (same as network cost aggregation).
+    let rows = m + 1; // bias row
+    let spec = NetworkSpec {
+        name: "one-block",
+        input_side: 1,
+        layers: vec![],
+    };
+    let _ = spec;
+    let sorter = SortingNetwork::bitonic_sorter(if rows % 2 == 0 { rows + 1 } else { rows }, Direction::Ascending);
+    let merger = SortingNetwork::bitonic_merger(2 * sorter.wires(), Direction::Descending);
+    let jj = 20 * (sorter.op_count() + merger.op_count()) as u64 + 28 * rows as u64;
+    let depth = 2 * (sorter.depth() + merger.depth()) as u32 + 3;
+    let aqfp_cost = aqfp.block_cost_from_counts(jj, depth, n);
+    let counts = baseline::cmos_feature_counts(rows, 10);
+    let cmos_cost = cmos.block_cost(&counts, baseline::cmos_feature_levels(rows), n);
+    CostComparison { aqfp: aqfp_cost, cmos: cmos_cost }
+}
+
+/// Table 5: feature-extraction block hardware utilisation.
+pub fn table5() {
+    header("Table 5: feature-extraction block, AQFP vs CMOS (1024-bit stream)");
+    println!("size  | AQFP pJ               | CMOS pJ             | ratio    | latency");
+    for (m, paper_aqfp, paper_cmos) in [
+        (9usize, 2.972e-4, 320.819),
+        (25, 1.35e-3, 520.704),
+        (49, 3.978e-3, 843.469),
+        (81, 9.168e-3, 1099.776),
+        (121, 1.333e-2, 2948.496),
+        (500, 9.147e-2, 6807.552),
+        (800, 0.186, 9804.8),
+    ] {
+        let cmp = fe_comparison(m, 1024);
+        print_hw_row(m, paper_aqfp, paper_cmos, &cmp);
+    }
+}
+
+/// Table 6: sub-sampling (pooling) block hardware utilisation.
+pub fn table6() {
+    header("Table 6: average-pooling block, AQFP vs CMOS (1024-bit stream)");
+    let aqfp = AqfpTech::default();
+    let cmos = CmosTech::default();
+    println!("size  | AQFP pJ               | CMOS pJ             | ratio    | latency");
+    for (m, paper_aqfp, paper_cmos) in [
+        (4usize, 5.898e-5, 18.432),
+        (9, 3.007e-4, 21.504),
+        (16, 9.063e-4, 23.552),
+        (25, 1.359e-3, 24.576),
+        (36, 2.946e-3, 32.768),
+    ] {
+        let sorter = SortingNetwork::bitonic_sorter(m, Direction::Ascending);
+        let merger = SortingNetwork::bitonic_merger(2 * m, Direction::Descending);
+        let jj = 20 * (sorter.op_count() + merger.op_count()) as u64 + 12;
+        let depth = 2 * (sorter.depth() + merger.depth()) as u32 + 1;
+        let aqfp_cost = aqfp.block_cost_from_counts(jj, depth, 1024);
+        let counts = baseline::cmos_pooling_counts(m);
+        let cmos_cost = cmos.block_cost(&counts, baseline::cmos_pooling_levels(m), 1024);
+        print_hw_row(m, paper_aqfp, paper_cmos, &CostComparison { aqfp: aqfp_cost, cmos: cmos_cost });
+    }
+}
+
+/// Table 7: categorization block hardware utilisation.
+pub fn table7() {
+    header("Table 7: categorization block, AQFP vs CMOS (1024-bit stream)");
+    let aqfp = AqfpTech::default();
+    let cmos = CmosTech::default();
+    println!("size  | AQFP pJ               | CMOS pJ             | ratio    | latency");
+    for (k, paper_aqfp, paper_cmos) in [
+        (100usize, 1.008e-2, 7825.408),
+        (200, 3.957e-2, 17131.22),
+        (500, 0.244, 37396.48),
+        (800, 0.624, 58880.409),
+    ] {
+        let m = if k % 2 == 0 { k + 1 } else { k };
+        let links = ((m - 1) / 2) as u64;
+        let jj = links * 6 + links * (links + 1) * 2 + 28 * k as u64;
+        let depth = links as u32 + 3;
+        let aqfp_cost = aqfp.block_cost_from_counts(jj, depth, 1024);
+        let counts = baseline::cmos_categorize_counts(k);
+        let cmos_cost = cmos.block_cost(&counts, baseline::cmos_categorize_levels(k), 1024);
+        print_hw_row(k, paper_aqfp, paper_cmos, &CostComparison { aqfp: aqfp_cost, cmos: cmos_cost });
+    }
+}
+
+/// Table 8: the layer configuration (printed for reference).
+pub fn table8() {
+    header("Table 8: DNN layer configuration");
+    for spec in [NetworkSpec::snn(), NetworkSpec::dnn()] {
+        println!("{}:", spec.name);
+        let shapes = spec.shapes();
+        for (i, layer) in spec.layers.iter().enumerate() {
+            println!("  {layer:?} -> {:?}", shapes[i + 1]);
+        }
+    }
+}
+
+/// Table 9: network performance comparison.
+pub fn table9(mode: Mode) {
+    header("Table 9: network performance comparison");
+    let config = match mode {
+        Mode::Quick => Table9Config {
+            train: 600,
+            test: 200,
+            sc_test: 10,
+            epochs: 2,
+            include_dnn: false,
+            model_dir: Some(std::path::PathBuf::from("target/models")),
+            ..Table9Config::default()
+        },
+        Mode::Default => Table9Config {
+            model_dir: Some(std::path::PathBuf::from("target/models")),
+            ..Table9Config::default()
+        },
+        Mode::Full => Table9Config {
+            train: 8000,
+            test: 2000,
+            sc_test: 200,
+            epochs: 8,
+            model_dir: Some(std::path::PathBuf::from("target/models")),
+            ..Table9Config::default()
+        },
+    };
+    println!("(paper: SNN sw 99.04% / cmos 97.35% 39.46uJ 231img/ms / aqfp 97.91% 5.606e-4uJ 8305img/ms)");
+    println!("(paper: DNN sw 99.17% / cmos 96.62% 219.37uJ 229img/ms / aqfp 96.95% 2.482e-3uJ 6667img/ms)");
+    let rows = run_table9(&config);
+    println!("network | platform | accuracy | energy (uJ) | throughput (img/ms)");
+    for row in rows {
+        println!(
+            "{:7} | {:8} | {:7.2}% | {:11} | {}",
+            row.network,
+            row.platform,
+            row.accuracy * 100.0,
+            row.energy_uj
+                .map(|e| format!("{e:9.3e}"))
+                .unwrap_or_else(|| "-".into()),
+            row.throughput_img_per_ms
+                .map(|t| format!("{t:8.1}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}
+
+/// Fig. 7b: output distribution of the 1-bit true RNG.
+pub fn fig7b() {
+    header("Fig. 7b: 1-bit true-RNG output distribution (zero input current)");
+    let mut rng = ThermalRng::with_seed(SEED);
+    let draws = 100_000usize;
+    let ones = (0..draws).filter(|_| rng.next_bit()).count();
+    println!("draws {draws}: ones {:.3}%  zeros {:.3}%  (expect ~50/50)",
+        100.0 * ones as f64 / draws as f64,
+        100.0 * (draws - ones) as f64 / draws as f64);
+    // A biased cell for contrast (asymmetric excitation flux).
+    let mut biased = ThermalRng::with_bias(SEED, 0.7);
+    let ones = (0..draws).filter(|_| biased.next_bit()).count();
+    println!("biased cell (0.7): ones {:.3}%", 100.0 * ones as f64 / draws as f64);
+}
+
+/// Fig. 10/11: bitonic sorter structures (schedule statistics).
+pub fn fig11() {
+    header("Fig. 10/11: bitonic sorter schedules (even and odd sizes)");
+    println!("  n   | compare-exchanges | depth (stages)");
+    for n in [8usize, 9, 16, 25, 49, 81, 121] {
+        let net = SortingNetwork::bitonic_sorter(n, Direction::Descending);
+        println!("{n:5} | {:17} | {}", net.op_count(), net.depth());
+    }
+    println!("(odd sizes use the arbitrary-size construction; see DESIGN.md)");
+}
+
+/// Fig. 13: activated output of the feature-extraction block.
+pub fn fig13(mode: Mode) {
+    header("Fig. 13: activated output of the feature-extraction block (M=25)");
+    let n = match mode {
+        Mode::Quick => 1024,
+        Mode::Default => 4096,
+        Mode::Full => 16384,
+    };
+    println!("target sum | measured (N={n}) | stationary analysis");
+    let mut s = -3.0f64;
+    while s <= 3.01 {
+        let measured = feature_response(25, n, s, SEED + (s * 10.0) as u64);
+        let analytic = feature_response_curve(25, s);
+        let bar_pos = ((measured + 1.0) * 20.0) as usize;
+        let bar: String =
+            (0..=40).map(|i| if i == bar_pos { '*' } else { ' ' }).collect();
+        println!("{s:10.2} | {measured:8.3}        | {analytic:8.3}  |{bar}|");
+        s += 0.5;
+    }
+    println!("(shifted-ReLU shape: noise-rectified floor left, linear middle, clip at +1)");
+}
+
+/// Ablations: majority chain vs exact majority; bitonic vs Batcher cost;
+/// synthesis on/off.
+pub fn ablation(mode: Mode) {
+    header("Ablation: majority chain vs exact wide majority (ranking fidelity)");
+    let n = 1024;
+    let t = trials(mode, 10);
+    for k in [25usize, 101] {
+        let chain = MajorityChain::new(k);
+        let mut chain_err = 0.0;
+        let mut rng = ThermalRng::with_seed(SEED);
+        for _ in 0..t {
+            let values: Vec<f64> = (0..k)
+                .map(|_| if rng.next_bit() { 0.4 } else { -0.3 })
+                .collect();
+            let mut sng = aqfp_sc_bitstream::Sng::new(10, ThermalRng::with_seed(rng.next_word()));
+            let streams: Vec<_> = values
+                .iter()
+                .map(|&v| sng.generate(aqfp_sc_bitstream::Bipolar::clamped(v), n))
+                .collect();
+            let approx = chain.run(&streams).unwrap().bipolar_value().get();
+            let exact = chain.run_exact_majority(&streams).unwrap().bipolar_value().get();
+            chain_err += (approx - exact).abs();
+        }
+        println!("k={k:4}: mean |chain - exact majority| = {:.4}", chain_err / t as f64);
+    }
+
+    header("Ablation: bitonic vs Batcher odd-even sorter cost");
+    for m in [9usize, 25, 49, 121] {
+        let bitonic = SortingNetwork::bitonic_sorter(m, Direction::Descending);
+        let batcher = SortingNetwork::batcher_sorter(m, Direction::Descending);
+        println!(
+            "m={m:4}: bitonic {} CEs depth {} | batcher {} CEs depth {}",
+            bitonic.op_count(),
+            bitonic.depth(),
+            batcher.op_count(),
+            batcher.depth()
+        );
+    }
+
+    header("Ablation: raw vs synthesised/legalised netlist (9-input feature block)");
+    let fe = aqfp_sc_core::FeatureExtraction::new(9);
+    let result = fe.netlist();
+    println!(
+        "nodes {} -> {}, JJ {} -> {}, depth {} -> {} phases",
+        result.report.nodes_before,
+        result.report.nodes_after,
+        result.report.jj_before,
+        result.report.jj_after,
+        result.report.depth_before,
+        result.report.depth_after
+    );
+
+    header("Ablation: network-level cost sensitivity to stream length");
+    for n in [256u64, 512, 1024, 2048] {
+        let cost = network_cost(
+            &NetworkSpec::snn(),
+            n,
+            10,
+            &AqfpTech::default(),
+            &CmosTech::default(),
+            4.0,
+        );
+        println!(
+            "N={n:5}: AQFP {:.3e} uJ {:.0} img/ms | CMOS {:.3} uJ {:.0} img/ms | ratio {:.2e}",
+            cost.aqfp.energy_uj(),
+            cost.aqfp.throughput_img_per_ms,
+            cost.cmos.energy_uj(),
+            cost.cmos.throughput_img_per_ms,
+            cost.energy_ratio()
+        );
+    }
+    let _ = BlockCost { energy_j: 0.0, latency_s: 0.0, stream_time_s: 0.0 };
+}

@@ -1,0 +1,256 @@
+//! Constructions: arbitrary-size bitonic sorters/mergers and Batcher's
+//! odd-even merge sort.
+
+use crate::network::{CompareExchange, Direction, SortingNetwork};
+
+impl SortingNetwork {
+    /// Builds a bitonic sorter over `n` wires (any `n ≥ 0`, odd sizes
+    /// included) sorting in `direction`.
+    ///
+    /// Uses the standard arbitrary-size bitonic recursion (H. W. Lang):
+    /// the first `⌊n/2⌋` wires are sorted in the opposite direction, the
+    /// rest in `direction`, and the halves are merged. This is the
+    /// functional equivalent of the paper's modular odd-size construction
+    /// (Fig. 11); see the crate docs for why the substitution is used.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use aqfp_sc_sorting::{Direction, SortingNetwork};
+    ///
+    /// let net = SortingNetwork::bitonic_sorter(8, Direction::Descending);
+    /// // The classic 8-input sorter of paper Fig. 10.
+    /// assert_eq!(net.op_count(), 24);
+    /// assert_eq!(net.depth(), 6);
+    /// ```
+    pub fn bitonic_sorter(n: usize, direction: Direction) -> SortingNetwork {
+        let mut ops = Vec::new();
+        sort_rec(0, n, direction, &mut ops);
+        SortingNetwork::from_ops(n, ops)
+    }
+
+    /// Builds a bitonic merger over `n` wires producing `direction` order.
+    ///
+    /// The input must be *bitonic* in the orientation matching `direction`:
+    ///
+    /// * `Descending`: ascending prefix then descending suffix ("∧" shape);
+    /// * `Ascending`: descending prefix then ascending suffix ("∨" shape).
+    ///
+    /// The paper's blocks satisfy this by sorting the fresh input column
+    /// opposite to the (already sorted) feedback vector before merging
+    /// (Fig. 12 and Fig. 14).
+    pub fn bitonic_merger(n: usize, direction: Direction) -> SortingNetwork {
+        let mut ops = Vec::new();
+        merge_rec(0, n, direction, &mut ops);
+        SortingNetwork::from_ops(n, ops)
+    }
+
+    /// Builds Batcher's odd-even merge sorter over `n` wires.
+    ///
+    /// Slightly fewer compare-exchanges than the bitonic sorter; provided as
+    /// an ablation comparator for the hardware cost studies.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use aqfp_sc_sorting::{Direction, SortingNetwork};
+    ///
+    /// let bitonic = SortingNetwork::bitonic_sorter(16, Direction::Descending);
+    /// let batcher = SortingNetwork::batcher_sorter(16, Direction::Descending);
+    /// assert!(batcher.op_count() < bitonic.op_count());
+    /// ```
+    pub fn batcher_sorter(n: usize, direction: Direction) -> SortingNetwork {
+        // Iterative odd-even merge sort for arbitrary n (Knuth/Batcher).
+        let mut ops = Vec::new();
+        if n > 1 {
+            let mut p = 1usize;
+            while p < n {
+                let mut k = p;
+                while k >= 1 {
+                    let mut j = k % p;
+                    while j + k < n {
+                        let upper = (k - 1).min(n - j - k - 1);
+                        for i in 0..=upper {
+                            if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                                ops.push(directed(i + j, i + j + k, direction));
+                            }
+                        }
+                        j += 2 * k;
+                    }
+                    k /= 2;
+                }
+                p *= 2;
+            }
+        }
+        SortingNetwork::from_ops(n, ops)
+    }
+}
+
+/// Compare wires `lo < hi`, routing for the requested direction: descending
+/// puts the maximum on the lower-indexed wire.
+fn directed(lo: usize, hi: usize, direction: Direction) -> CompareExchange {
+    debug_assert!(lo < hi);
+    match direction {
+        Direction::Descending => CompareExchange { max_wire: lo, min_wire: hi },
+        Direction::Ascending => CompareExchange { max_wire: hi, min_wire: lo },
+    }
+}
+
+fn sort_rec(lo: usize, n: usize, direction: Direction, ops: &mut Vec<CompareExchange>) {
+    if n > 1 {
+        let m = n / 2;
+        sort_rec(lo, m, direction.reversed(), ops);
+        sort_rec(lo + m, n - m, direction, ops);
+        merge_rec(lo, n, direction, ops);
+    }
+}
+
+fn merge_rec(lo: usize, n: usize, direction: Direction, ops: &mut Vec<CompareExchange>) {
+    if n > 1 {
+        let m = greatest_power_of_two_less_than(n);
+        for i in lo..lo + n - m {
+            ops.push(directed(i, i + m, direction));
+        }
+        merge_rec(lo, m, direction, ops);
+        merge_rec(lo + m, n - m, direction, ops);
+    }
+}
+
+fn greatest_power_of_two_less_than(n: usize) -> usize {
+    debug_assert!(n > 1);
+    let mut k = 1;
+    while k < n {
+        k <<= 1;
+    }
+    k >> 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::is_sorted_bits;
+
+    #[test]
+    fn bitonic_sorts_all_sizes_exhaustively() {
+        for n in 0..=12 {
+            for dir in [Direction::Descending, Direction::Ascending] {
+                let net = SortingNetwork::bitonic_sorter(n, dir);
+                if n >= 1 {
+                    assert!(net.is_sorter(dir), "bitonic n={n} dir={dir:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batcher_sorts_all_sizes_exhaustively() {
+        for n in 0..=12 {
+            for dir in [Direction::Descending, Direction::Ascending] {
+                let net = SortingNetwork::batcher_sorter(n, dir);
+                if n >= 1 {
+                    assert!(net.is_sorter(dir), "batcher n={n} dir={dir:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sizes_sort_random_inputs() {
+        // Table 1 input sizes and the large FC sizes from Table 5.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [9usize, 25, 49, 81, 121, 500, 800] {
+            let net = SortingNetwork::bitonic_sorter(n, Direction::Descending);
+            for _ in 0..20 {
+                let mut bits: Vec<bool> = (0..n).map(|_| next() & 1 == 1).collect();
+                net.apply_bits(&mut bits);
+                assert!(is_sorted_bits(&bits, Direction::Descending), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn merger_merges_wedge_shaped_input() {
+        // Descending merger needs ascending prefix + descending suffix.
+        for m in [3usize, 4, 5, 8, 9] {
+            let asc = SortingNetwork::bitonic_sorter(m, Direction::Ascending);
+            let desc = SortingNetwork::bitonic_sorter(m, Direction::Descending);
+            let merger = SortingNetwork::bitonic_merger(2 * m, Direction::Descending);
+            let mut state = 42u64;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state >> 33
+            };
+            for _ in 0..50 {
+                let mut top: Vec<bool> = (0..m).map(|_| next() & 1 == 1).collect();
+                let mut bot: Vec<bool> = (0..m).map(|_| next() & 1 == 1).collect();
+                asc.apply_bits(&mut top);
+                desc.apply_bits(&mut bot);
+                let mut all = top.clone();
+                all.extend_from_slice(&bot);
+                merger.apply_bits(&mut all);
+                assert!(is_sorted_bits(&all, Direction::Descending), "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_bitonic_counts_match_formula() {
+        // For n = 2^k: ops = n/2 * k(k+1)/2, depth = k(k+1)/2.
+        for k in 1..=6u32 {
+            let n = 1usize << k;
+            let net = SortingNetwork::bitonic_sorter(n, Direction::Descending);
+            let stages = (k * (k + 1) / 2) as usize;
+            assert_eq!(net.op_count(), n / 2 * stages, "n={n}");
+            assert_eq!(net.depth(), stages, "n={n}");
+        }
+    }
+
+    #[test]
+    fn odd_sizes_cost_no_more_than_next_power_of_two() {
+        for n in [9usize, 25, 49, 81, 121] {
+            let odd = SortingNetwork::bitonic_sorter(n, Direction::Descending);
+            let pow2 = n.next_power_of_two();
+            let full = SortingNetwork::bitonic_sorter(pow2, Direction::Descending);
+            assert!(odd.op_count() <= full.op_count(), "n={n}");
+            assert!(odd.depth() <= full.depth(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn merger_depth_is_logarithmic() {
+        let merger = SortingNetwork::bitonic_merger(16, Direction::Descending);
+        assert_eq!(merger.depth(), 4); // log2(16)
+        assert_eq!(merger.op_count(), 32); // n/2 * log2(n)
+    }
+
+    #[test]
+    fn batcher_is_cheaper_or_equal_for_paper_sizes() {
+        for n in [9usize, 16, 25, 49, 81, 121] {
+            let bitonic = SortingNetwork::bitonic_sorter(n, Direction::Descending);
+            let batcher = SortingNetwork::batcher_sorter(n, Direction::Descending);
+            assert!(
+                batcher.op_count() <= bitonic.op_count(),
+                "n={n}: batcher {} vs bitonic {}",
+                batcher.op_count(),
+                bitonic.op_count()
+            );
+        }
+    }
+
+    #[test]
+    fn sorting_is_stable_under_integer_inputs() {
+        // 0/1 principle sanity: also check directly on integers.
+        let net = SortingNetwork::bitonic_sorter(9, Direction::Descending);
+        let mut v = [3u32, 1, 4, 1, 5, 9, 2, 6, 5];
+        net.apply(&mut v);
+        let mut expect = v.to_vec();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(v.to_vec(), expect);
+    }
+}

@@ -1,0 +1,45 @@
+//! Binary bitonic sorting networks for the AQFP-SC-DNN framework.
+//!
+//! The paper's feature-extraction (Algorithm 1) and average-pooling
+//! (Algorithm 2) blocks are built around *binary* bitonic sorters: each
+//! compare-exchange element is just an OR gate (maximum) and an AND gate
+//! (minimum) on two bits (paper Fig. 10), so a sorter maps directly onto
+//! AQFP cells.
+//!
+//! This crate provides:
+//!
+//! * [`SortingNetwork`] — an explicit compare-exchange schedule with wire,
+//!   operation and depth accounting, applicable to bits, 64-wide bit columns
+//!   ([`SortingNetwork::apply_words`]) and any `Ord` type (for the 0/1
+//!   principle tests).
+//! * [`SortingNetwork::bitonic_sorter`] — bitonic sorter for *arbitrary* n,
+//!   odd sizes included. The paper extends bitonic sorting to odd sizes with
+//!   a 3-input sorter + multiplexer in the first merge stage (Fig. 11c); the
+//!   figure's wiring is under-specified in the available text, so this crate
+//!   uses the standard arbitrary-size bitonic construction (H. W. Lang),
+//!   which computes the same function with a near-identical gate count — the
+//!   substitution is recorded in `DESIGN.md`.
+//! * [`SortingNetwork::bitonic_merger`] — merger for pre-sorted halves, used
+//!   by the blocks to merge a freshly sorted input column with the already
+//!   sorted feedback vector (paper Fig. 12/14).
+//! * [`SortingNetwork::batcher_sorter`] — Batcher's odd-even merge sort, an
+//!   ablation comparator for cost studies.
+//!
+//! # Example
+//!
+//! ```
+//! use aqfp_sc_sorting::{Direction, SortingNetwork};
+//!
+//! let net = SortingNetwork::bitonic_sorter(9, Direction::Descending);
+//! let mut bits = [false, true, false, true, true, false, false, true, false];
+//! net.apply_bits(&mut bits);
+//! assert_eq!(bits, [true, true, true, true, false, false, false, false, false]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitonic;
+mod network;
+
+pub use network::{CompareExchange, Direction, SortingNetwork};

@@ -1,0 +1,272 @@
+use std::fmt;
+
+/// Sort direction of a network or sub-network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Largest element first — the orientation used by the paper's blocks.
+    Descending,
+    /// Smallest element first.
+    Ascending,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::Descending => Direction::Ascending,
+            Direction::Ascending => Direction::Descending,
+        }
+    }
+}
+
+/// One compare-exchange element.
+///
+/// After the element fires, wire `max_wire` carries the maximum of the two
+/// inputs and `min_wire` the minimum. In the binary realisation the maximum
+/// is an OR gate and the minimum an AND gate (paper Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompareExchange {
+    /// Wire receiving the maximum (OR in the binary realisation).
+    pub max_wire: usize,
+    /// Wire receiving the minimum (AND in the binary realisation).
+    pub min_wire: usize,
+}
+
+/// An explicit compare-exchange schedule over a fixed number of wires.
+///
+/// The schedule is a sequence; operations that touch disjoint wires may fire
+/// in the same hardware stage, and [`SortingNetwork::depth`] reports the
+/// resulting critical path (in compare-exchange stages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortingNetwork {
+    wires: usize,
+    ops: Vec<CompareExchange>,
+}
+
+impl SortingNetwork {
+    /// Creates an empty network (identity function) over `wires` wires.
+    pub fn identity(wires: usize) -> Self {
+        SortingNetwork { wires, ops: Vec::new() }
+    }
+
+    /// Creates a network from an explicit schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an operation references a wire `>= wires` or compares a
+    /// wire with itself.
+    pub fn from_ops(wires: usize, ops: Vec<CompareExchange>) -> Self {
+        for op in &ops {
+            assert!(
+                op.max_wire < wires && op.min_wire < wires,
+                "op {op:?} out of range for {wires} wires"
+            );
+            assert_ne!(op.max_wire, op.min_wire, "self-comparison on wire {}", op.max_wire);
+        }
+        SortingNetwork { wires, ops }
+    }
+
+    /// Number of wires (inputs = outputs).
+    pub fn wires(&self) -> usize {
+        self.wires
+    }
+
+    /// The compare-exchange schedule in firing order.
+    pub fn ops(&self) -> &[CompareExchange] {
+        &self.ops
+    }
+
+    /// Total number of compare-exchange elements.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Critical-path length in compare-exchange stages.
+    ///
+    /// Each AQFP compare-exchange element is one OR + one AND evaluated in a
+    /// single clock phase, so the block latency in phases is proportional to
+    /// this depth.
+    pub fn depth(&self) -> usize {
+        let mut wire_depth = vec![0usize; self.wires];
+        let mut max_depth = 0;
+        for op in &self.ops {
+            let d = wire_depth[op.max_wire].max(wire_depth[op.min_wire]) + 1;
+            wire_depth[op.max_wire] = d;
+            wire_depth[op.min_wire] = d;
+            max_depth = max_depth.max(d);
+        }
+        max_depth
+    }
+
+    /// Applies the network to a slice of any ordered copyable type.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len() != wires`.
+    pub fn apply<T: Ord + Copy>(&self, values: &mut [T]) {
+        assert_eq!(values.len(), self.wires, "value count != wire count");
+        for op in &self.ops {
+            let a = values[op.max_wire];
+            let b = values[op.min_wire];
+            values[op.max_wire] = a.max(b);
+            values[op.min_wire] = a.min(b);
+        }
+    }
+
+    /// Applies the network to a slice of bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits.len() != wires`.
+    pub fn apply_bits(&self, bits: &mut [bool]) {
+        assert_eq!(bits.len(), self.wires, "bit count != wire count");
+        for op in &self.ops {
+            let a = bits[op.max_wire];
+            let b = bits[op.min_wire];
+            bits[op.max_wire] = a | b; // OR = max
+            bits[op.min_wire] = a & b; // AND = min
+        }
+    }
+
+    /// Applies the network to 64 independent binary columns at once: bit `k`
+    /// of `words[w]` is wire `w` of column `k`. This is the fast path used by
+    /// the stream-level block simulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `words.len() != wires`.
+    pub fn apply_words(&self, words: &mut [u64]) {
+        assert_eq!(words.len(), self.wires, "word count != wire count");
+        for op in &self.ops {
+            let a = words[op.max_wire];
+            let b = words[op.min_wire];
+            words[op.max_wire] = a | b;
+            words[op.min_wire] = a & b;
+        }
+    }
+
+    /// Exhaustively verifies the 0/1 principle: the network sorts every
+    /// binary input, hence every input (Knuth, TAOCP vol. 3).
+    ///
+    /// Intended for tests; cost is `O(2^wires · ops)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `wires > 24` (the exhaustive check would be impractical).
+    pub fn is_sorter(&self, direction: Direction) -> bool {
+        assert!(self.wires <= 24, "exhaustive check limited to 24 wires");
+        let mut buf = vec![false; self.wires];
+        for pattern in 0u32..(1u32 << self.wires) {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = (pattern >> i) & 1 == 1;
+            }
+            self.apply_bits(&mut buf);
+            if !is_sorted_bits(&buf, direction) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Appends another network's schedule (it must have the same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics when widths differ.
+    pub fn then(mut self, other: &SortingNetwork) -> SortingNetwork {
+        assert_eq!(self.wires, other.wires, "cannot compose networks of different widths");
+        self.ops.extend_from_slice(&other.ops);
+        self
+    }
+}
+
+impl fmt::Display for SortingNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SortingNetwork({} wires, {} compare-exchanges, depth {})",
+            self.wires,
+            self.op_count(),
+            self.depth()
+        )
+    }
+}
+
+pub(crate) fn is_sorted_bits(bits: &[bool], direction: Direction) -> bool {
+    match direction {
+        Direction::Descending => bits.windows(2).all(|w| w[0] >= w[1]),
+        Direction::Ascending => bits.windows(2).all(|w| w[0] <= w[1]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cae(max_wire: usize, min_wire: usize) -> CompareExchange {
+        CompareExchange { max_wire, min_wire }
+    }
+
+    #[test]
+    fn two_wire_network_sorts() {
+        let net = SortingNetwork::from_ops(2, vec![cae(0, 1)]);
+        assert!(net.is_sorter(Direction::Descending));
+        let mut v = [1, 9];
+        net.apply(&mut v);
+        assert_eq!(v, [9, 1]);
+    }
+
+    #[test]
+    fn identity_network_has_zero_depth() {
+        let net = SortingNetwork::identity(5);
+        assert_eq!(net.depth(), 0);
+        assert_eq!(net.op_count(), 0);
+    }
+
+    #[test]
+    fn depth_counts_parallel_stages_once() {
+        // Ops on disjoint wires share a stage.
+        let net = SortingNetwork::from_ops(4, vec![cae(0, 1), cae(2, 3), cae(0, 2)]);
+        assert_eq!(net.depth(), 2);
+    }
+
+    #[test]
+    fn apply_words_matches_apply_bits() {
+        let net = SortingNetwork::from_ops(3, vec![cae(0, 1), cae(1, 2), cae(0, 1)]);
+        for pattern in 0u8..8 {
+            let mut bits = [(pattern & 1) != 0, (pattern & 2) != 0, (pattern & 4) != 0];
+            let mut words: Vec<u64> = bits.iter().map(|&b| if b { 1 } else { 0 }).collect();
+            net.apply_bits(&mut bits);
+            net.apply_words(&mut words);
+            let from_words: Vec<bool> = words.iter().map(|&w| w & 1 == 1).collect();
+            assert_eq!(from_words.as_slice(), &bits, "pattern {pattern:03b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_ops_rejects_bad_wire() {
+        let _ = SortingNetwork::from_ops(2, vec![cae(0, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-comparison")]
+    fn from_ops_rejects_self_compare() {
+        let _ = SortingNetwork::from_ops(2, vec![cae(1, 1)]);
+    }
+
+    #[test]
+    fn then_concatenates_schedules() {
+        let a = SortingNetwork::from_ops(2, vec![cae(0, 1)]);
+        let b = SortingNetwork::from_ops(2, vec![cae(0, 1)]);
+        assert_eq!(a.then(&b).op_count(), 2);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let net = SortingNetwork::from_ops(2, vec![cae(0, 1)]);
+        let s = net.to_string();
+        assert!(s.contains("2 wires"));
+        assert!(s.contains("1 compare-exchanges"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the sorting networks (0/1 principle and more).
+
+use aqfp_sc_sorting::{Direction, SortingNetwork};
+use proptest::prelude::*;
+
+fn is_sorted_desc<T: Ord>(v: &[T]) -> bool {
+    v.windows(2).all(|w| w[0] >= w[1])
+}
+
+proptest! {
+    #[test]
+    fn bitonic_sorts_random_bit_vectors(bits in prop::collection::vec(any::<bool>(), 1..200)) {
+        let net = SortingNetwork::bitonic_sorter(bits.len(), Direction::Descending);
+        let mut b = bits.clone();
+        net.apply_bits(&mut b);
+        prop_assert!(is_sorted_desc(&b));
+        // Sorting permutes: the number of ones is conserved.
+        let before = bits.iter().filter(|&&x| x).count();
+        let after = b.iter().filter(|&&x| x).count();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn bitonic_sorts_random_integer_vectors(v in prop::collection::vec(any::<u16>(), 1..150)) {
+        let net = SortingNetwork::bitonic_sorter(v.len(), Direction::Descending);
+        let mut sorted = v.clone();
+        net.apply(&mut sorted);
+        let mut expect = v.clone();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn batcher_matches_bitonic_output(v in prop::collection::vec(any::<u8>(), 1..120)) {
+        let bitonic = SortingNetwork::bitonic_sorter(v.len(), Direction::Descending);
+        let batcher = SortingNetwork::batcher_sorter(v.len(), Direction::Descending);
+        let mut a = v.clone();
+        let mut b = v.clone();
+        bitonic.apply(&mut a);
+        batcher.apply(&mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ascending_is_reverse_of_descending(bits in prop::collection::vec(any::<bool>(), 1..100)) {
+        let desc = SortingNetwork::bitonic_sorter(bits.len(), Direction::Descending);
+        let asc = SortingNetwork::bitonic_sorter(bits.len(), Direction::Ascending);
+        let mut d = bits.clone();
+        let mut a = bits.clone();
+        desc.apply_bits(&mut d);
+        asc.apply_bits(&mut a);
+        a.reverse();
+        prop_assert_eq!(d, a);
+    }
+
+    #[test]
+    fn apply_words_sorts_every_column(
+        columns in prop::collection::vec(any::<u64>(), 1..64)
+    ) {
+        let n = columns.len();
+        let net = SortingNetwork::bitonic_sorter(n, Direction::Descending);
+        let mut words = columns.clone();
+        net.apply_words(&mut words);
+        for k in 0..64 {
+            let col: Vec<bool> = words.iter().map(|w| (w >> k) & 1 == 1).collect();
+            prop_assert!(is_sorted_desc(&col), "column {} not sorted", k);
+        }
+    }
+
+    #[test]
+    fn merger_completes_partial_sorts(
+        top in prop::collection::vec(any::<bool>(), 1..60),
+        bot in prop::collection::vec(any::<bool>(), 1..60),
+    ) {
+        // Sort the halves in opposite directions, then merge descending.
+        let asc = SortingNetwork::bitonic_sorter(top.len(), Direction::Ascending);
+        let desc = SortingNetwork::bitonic_sorter(bot.len(), Direction::Descending);
+        let mut t = top.clone();
+        let mut b = bot.clone();
+        asc.apply_bits(&mut t);
+        desc.apply_bits(&mut b);
+        let mut all = t;
+        all.extend_from_slice(&b);
+        let merger = SortingNetwork::bitonic_merger(all.len(), Direction::Descending);
+        merger.apply_bits(&mut all);
+        prop_assert!(is_sorted_desc(&all));
+    }
+}

@@ -1,0 +1,409 @@
+//! Automatic splitter insertion and phase balancing (paper contribution v).
+
+use std::collections::HashMap;
+
+use aqfp_sc_circuit::{Gate, Netlist, NodeId};
+
+/// Options for [`legalize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegalizeOptions {
+    /// Maximum branches of one splitter cell (the standard AQFP library has
+    /// 1-to-2 and 1-to-3 splitters; wider fan-out builds a splitter tree).
+    pub max_splitter_ways: u8,
+    /// Pad primary outputs with buffers so they all emerge at the same
+    /// clock phase (required when a block feeds another block).
+    pub align_outputs: bool,
+}
+
+impl Default for LegalizeOptions {
+    fn default() -> Self {
+        LegalizeOptions { max_splitter_ways: 3, align_outputs: true }
+    }
+}
+
+/// Inserts splitter trees so every node drives at most one sink (or `ways`
+/// sinks through a splitter). Constants are replicated instead of split —
+/// cheaper and semantics-preserving; RNG cells are split, preserving
+/// deliberate random-bit sharing (paper Fig. 8).
+pub fn insert_splitters(input: &Netlist, max_ways: u8) -> Netlist {
+    assert!(max_ways >= 2, "splitters need at least 2 ways");
+    let fanout = input.fanout_counts();
+    let mut out = Netlist::new();
+    // For every old node: the queue of new ids handed to its consumers.
+    let mut leaves: Vec<Vec<NodeId>> = vec![Vec::new(); input.node_count()];
+    // Constants replicate lazily: remember value instead of leaves.
+    let mut const_value: Vec<Option<bool>> = vec![None; input.node_count()];
+
+    fn take(
+        old: NodeId,
+        out: &mut Netlist,
+        leaves: &mut [Vec<NodeId>],
+        const_value: &[Option<bool>],
+    ) -> NodeId {
+        if let Some(v) = const_value[old.index()] {
+            return out.constant(v);
+        }
+        leaves[old.index()]
+            .pop()
+            .expect("fanout accounting covers every consumer")
+    }
+
+    for (i, gate) in input.gates().iter().enumerate() {
+        let sinks = fanout[i];
+        // Rebuild the gate with remapped inputs.
+        let new_id = match gate {
+            Gate::Input { name } => out.input(name.clone()),
+            Gate::Const { value } => {
+                const_value[i] = Some(*value);
+                continue;
+            }
+            Gate::Rng { seed } => out.rng(*seed),
+            Gate::Buffer { from } => {
+                let f = take(*from, &mut out, &mut leaves, &const_value);
+                out.buf(f)
+            }
+            Gate::Splitter { from, .. } => {
+                // Existing splitters are dissolved (no replacement cell);
+                // fan-out is re-derived from actual consumer counts below.
+                let f = take(*from, &mut out, &mut leaves, &const_value);
+                leaves[i] = build_leaves(&mut out, f, sinks.max(1) as usize, max_ways as usize);
+                continue;
+            }
+            Gate::Inverter { from } => {
+                let f = take(*from, &mut out, &mut leaves, &const_value);
+                out.inv(f)
+            }
+            Gate::And { a, b } => {
+                let na = take(*a, &mut out, &mut leaves, &const_value);
+                let nb = take(*b, &mut out, &mut leaves, &const_value);
+                out.and2(na, nb)
+            }
+            Gate::Or { a, b } => {
+                let na = take(*a, &mut out, &mut leaves, &const_value);
+                let nb = take(*b, &mut out, &mut leaves, &const_value);
+                out.or2(na, nb)
+            }
+            Gate::Nor { a, b } => {
+                let na = take(*a, &mut out, &mut leaves, &const_value);
+                let nb = take(*b, &mut out, &mut leaves, &const_value);
+                out.nor2(na, nb)
+            }
+            Gate::Maj { a, b, c } => {
+                let na = take(*a, &mut out, &mut leaves, &const_value);
+                let nb = take(*b, &mut out, &mut leaves, &const_value);
+                let nc = take(*c, &mut out, &mut leaves, &const_value);
+                out.maj(na, nb, nc)
+            }
+            _ => unreachable!("unhandled gate variant"),
+        };
+        leaves[i] = build_leaves(&mut out, new_id, sinks.max(1) as usize, max_ways as usize);
+    }
+
+    for (name, node) in input.outputs() {
+        let n = take(*node, &mut out, &mut leaves, &const_value);
+        out.output(name.clone(), n);
+    }
+    out
+}
+
+/// Produces `k` referenceable ids fanning out from `src`, inserting a
+/// splitter tree when `k > 1`. The returned ids may repeat a splitter node
+/// up to its capacity.
+fn build_leaves(out: &mut Netlist, src: NodeId, k: usize, max_ways: usize) -> Vec<NodeId> {
+    if k <= 1 {
+        return vec![src; 1.max(k)];
+    }
+    if k <= max_ways {
+        let s = out.splitter(src, k as u8);
+        return vec![s; k];
+    }
+    // One full-width splitter whose slots feed sub-trees.
+    let s = out.splitter(src, max_ways as u8);
+    // Distribute k consumers over max_ways slots as evenly as possible.
+    let base = k / max_ways;
+    let extra = k % max_ways;
+    let mut leaves = Vec::with_capacity(k);
+    for slot in 0..max_ways {
+        let share = base + usize::from(slot < extra);
+        if share == 1 {
+            leaves.push(s);
+        } else if share > 1 {
+            leaves.extend(build_leaves(out, s, share, max_ways));
+        }
+    }
+    leaves
+}
+
+/// Inserts buffer chains so every gate's non-flexible inputs arrive at the
+/// same clock phase, and (optionally) all primary outputs emerge together.
+///
+/// Must run on a fan-out-legal netlist (each inserted buffer takes over
+/// exactly one existing edge, so fan-out legality is preserved).
+pub fn balance_phases(input: &Netlist, align_outputs: bool) -> Netlist {
+    let depths = input.depths();
+    let mut out = Netlist::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+
+    // Target input depth of each gate: the max depth among non-flexible
+    // inputs.
+    let target_depth = |gate: &Gate| -> u32 {
+        gate.fanin()
+            .iter()
+            .filter(|n| !input.gate(**n).is_phase_flexible())
+            .map(|n| depths[n.index()])
+            .max()
+            .unwrap_or(0)
+    };
+
+    fn pad(out: &mut Netlist, mut node: NodeId, levels: u32) -> NodeId {
+        for _ in 0..levels {
+            node = out.buf(node);
+        }
+        node
+    }
+
+    for (i, gate) in input.gates().iter().enumerate() {
+        let old = NodeId::from_index(i);
+        let target = target_depth(gate);
+        let balanced_input = |n: NodeId, out: &mut Netlist, map: &HashMap<NodeId, NodeId>| {
+            let mapped = *map.get(&n).expect("topological order guarantees mapping");
+            if input.gate(n).is_phase_flexible() {
+                mapped
+            } else {
+                let lag = target - depths[n.index()];
+                pad(out, mapped, lag)
+            }
+        };
+        let new_id = match gate {
+            Gate::Input { name } => out.input(name.clone()),
+            Gate::Const { value } => out.constant(*value),
+            Gate::Rng { seed } => out.rng(*seed),
+            Gate::Buffer { from } => {
+                let f = balanced_input(*from, &mut out, &map);
+                out.buf(f)
+            }
+            Gate::Splitter { from, ways } => {
+                let f = balanced_input(*from, &mut out, &map);
+                out.splitter(f, *ways)
+            }
+            Gate::Inverter { from } => {
+                let f = balanced_input(*from, &mut out, &map);
+                out.inv(f)
+            }
+            Gate::And { a, b } => {
+                let na = balanced_input(*a, &mut out, &map);
+                let nb = balanced_input(*b, &mut out, &map);
+                out.and2(na, nb)
+            }
+            Gate::Or { a, b } => {
+                let na = balanced_input(*a, &mut out, &map);
+                let nb = balanced_input(*b, &mut out, &map);
+                out.or2(na, nb)
+            }
+            Gate::Nor { a, b } => {
+                let na = balanced_input(*a, &mut out, &map);
+                let nb = balanced_input(*b, &mut out, &map);
+                out.nor2(na, nb)
+            }
+            Gate::Maj { a, b, c } => {
+                let na = balanced_input(*a, &mut out, &map);
+                let nb = balanced_input(*b, &mut out, &map);
+                let nc = balanced_input(*c, &mut out, &map);
+                out.maj(na, nb, nc)
+            }
+            _ => unreachable!("unhandled gate variant"),
+        };
+        map.insert(old, new_id);
+    }
+
+    let out_depth = input
+        .outputs()
+        .iter()
+        .filter(|(_, n)| !input.gate(*n).is_phase_flexible())
+        .map(|(_, n)| depths[n.index()])
+        .max()
+        .unwrap_or(0);
+    for (name, node) in input.outputs() {
+        let mut mapped = map[node];
+        if align_outputs && !input.gate(*node).is_phase_flexible() {
+            let lag = out_depth - depths[node.index()];
+            mapped = pad(&mut out, mapped, lag);
+        }
+        out.output(name.clone(), mapped);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_sc_circuit::GateKind;
+
+    #[test]
+    fn splitter_insertion_fixes_fanout() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let x = net.buf(a);
+        let y = net.inv(a);
+        let z = net.buf(a);
+        net.output("x", x);
+        net.output("y", y);
+        net.output("z", z);
+        let fixed = insert_splitters(&net, 3);
+        let errors = fixed.validation_errors();
+        assert!(
+            errors
+                .iter()
+                .all(|e| !matches!(e, aqfp_sc_circuit::NetlistError::FanoutViolation { .. })),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn wide_fanout_builds_trees() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let mut sinks = Vec::new();
+        for k in 0..9 {
+            let b = net.buf(a);
+            sinks.push(b);
+            net.output(format!("o{k}"), b);
+        }
+        let fixed = insert_splitters(&net, 3);
+        let splitters = fixed
+            .gates()
+            .iter()
+            .filter(|g| matches!(g.kind(), GateKind::Splitter { .. }))
+            .count();
+        // 9 sinks with 3-way splitters: 1 root + 3 children = 4 splitters.
+        assert_eq!(splitters, 4);
+        assert!(fixed
+            .validation_errors()
+            .iter()
+            .all(|e| !matches!(e, aqfp_sc_circuit::NetlistError::FanoutViolation { .. })));
+    }
+
+    #[test]
+    fn constants_are_replicated_not_split() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let one = net.constant(true);
+        let x = net.maj(a, b, one);
+        let y = net.maj(b, a, one); // `one` drives two sinks
+        net.output("x", x);
+        net.output("y", y);
+        let fixed = insert_splitters(&net, 3);
+        let consts = fixed
+            .gates()
+            .iter()
+            .filter(|g| matches!(g.kind(), GateKind::Const))
+            .count();
+        assert_eq!(consts, 2, "one replica per consumer");
+        // `a` and `b` each drive two majority gates, so they get splitters;
+        // the constant must not.
+        let const_fed_splitters = fixed
+            .gates()
+            .iter()
+            .filter(|g| match g {
+                aqfp_sc_circuit::Gate::Splitter { from, .. } => {
+                    matches!(fixed.gate(*from), aqfp_sc_circuit::Gate::Const { .. })
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(const_fed_splitters, 0);
+        let splitters = fixed
+            .gates()
+            .iter()
+            .filter(|g| matches!(g.kind(), GateKind::Splitter { .. }))
+            .count();
+        assert_eq!(splitters, 2);
+    }
+
+    #[test]
+    fn rng_sharing_uses_splitters() {
+        let mut net = Netlist::new();
+        let r = net.rng(3);
+        let x = net.buf(r);
+        let y = net.buf(r);
+        net.output("x", x);
+        net.output("y", y);
+        let fixed = insert_splitters(&net, 3);
+        let rngs = fixed
+            .gates()
+            .iter()
+            .filter(|g| matches!(g.kind(), GateKind::Rng))
+            .count();
+        assert_eq!(rngs, 1, "shared RNG must stay shared");
+        let splitters = fixed
+            .gates()
+            .iter()
+            .filter(|g| matches!(g.kind(), GateKind::Splitter { .. }))
+            .count();
+        assert_eq!(splitters, 1);
+    }
+
+    #[test]
+    fn balance_fixes_unequal_depths() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let deep = net.buf(a);
+        let deeper = net.buf(deep);
+        let y = net.and2(deeper, b); // depths 2 vs 0
+        net.output("y", y);
+        let fixed = balance_phases(&net, true);
+        assert!(fixed.validate().is_ok(), "{:?}", fixed.validation_errors());
+        // Function preserved.
+        for mask in 0..4u8 {
+            let iv = [mask & 1 != 0, mask & 2 != 0];
+            assert_eq!(net.evaluate(&iv, 0), fixed.evaluate(&iv, 0));
+        }
+    }
+
+    #[test]
+    fn output_alignment_pads_shallow_outputs() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let s = net.splitter(a, 2);
+        let quick = net.buf(s);
+        let slow1 = net.buf(s);
+        let slow2 = net.buf(slow1);
+        net.output("quick", quick);
+        net.output("slow", slow2);
+        let aligned = balance_phases(&net, true);
+        let depths = aligned.depths();
+        let out_depths: Vec<u32> = aligned
+            .outputs()
+            .iter()
+            .map(|(_, n)| depths[n.index()])
+            .collect();
+        assert_eq!(out_depths[0], out_depths[1]);
+    }
+
+    #[test]
+    fn legalize_end_to_end_is_valid_and_equivalent() {
+        let mut net = Netlist::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let c = net.input("c");
+        let m1 = net.maj(a, b, c);
+        let m2 = net.and2(a, m1);
+        let m3 = net.or2(c, m2);
+        net.output("y", m3);
+        let legal = legalize(&net, &LegalizeOptions::default());
+        assert!(legal.validate().is_ok(), "{:?}", legal.validation_errors());
+        for mask in 0..8u8 {
+            let iv = [mask & 1 != 0, mask & 2 != 0, mask & 4 != 0];
+            assert_eq!(net.evaluate(&iv, 0), legal.evaluate(&iv, 0), "mask {mask}");
+        }
+    }
+}
+
+/// Runs [`insert_splitters`] then [`balance_phases`]; the result satisfies
+/// every AQFP structural rule.
+pub fn legalize(input: &Netlist, options: &LegalizeOptions) -> Netlist {
+    let split = insert_splitters(input, options.max_splitter_ways);
+    balance_phases(&split, options.align_outputs)
+}

@@ -1,0 +1,65 @@
+//! Quickstart: stochastic numbers, one SC multiplication, one neuron.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use aqfp_sc_dnn::bitstream::{Bipolar, BitStream, Sng, ThermalRng};
+use aqfp_sc_dnn::core::{AveragePooling, FeatureExtraction, MajorityChain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4096;
+    println!("== stochastic numbers (bipolar encoding, N = {n}) ==");
+    let mut sng = Sng::new(10, ThermalRng::with_seed(42));
+    for value in [-0.75, -0.25, 0.0, 0.5, 0.9] {
+        let stream = sng.generate(Bipolar::new(value)?, n);
+        println!("  encode {value:+.2} -> stream value {}", stream.bipolar_value());
+    }
+
+    println!("\n== multiplication is a single XNOR gate ==");
+    let a = sng.generate(Bipolar::new(0.6)?, n);
+    let b = sng.generate(Bipolar::new(-0.5)?, n);
+    let product = a.xnor(&b)?;
+    println!("  0.6 * -0.5 = -0.3; SC gives {}", product.bipolar_value());
+
+    println!("\n== one CONV neuron: sorter-based feature extraction ==");
+    let xs = [0.8, 0.3, 0.5, 0.2, 0.7];
+    let ws = [0.5, 0.4, -0.3, 0.6, 0.2];
+    let products: Vec<BitStream> = xs
+        .iter()
+        .zip(&ws)
+        .map(|(&x, &w)| {
+            let sx = sng.generate(Bipolar::clamped(x), n);
+            let sw = sng.generate(Bipolar::clamped(w), n);
+            sx.xnor(&sw).expect("equal lengths")
+        })
+        .collect();
+    let fe = FeatureExtraction::new(xs.len());
+    let so = fe.run(&products)?;
+    let ideal: f64 = xs.iter().zip(&ws).map(|(x, w)| x * w).sum();
+    println!("  Σ x·w = {ideal:+.3}; activated SC output = {}", so.bipolar_value());
+
+    println!("\n== pooling: one output 1 per M input 1s ==");
+    let window: Vec<BitStream> = [0.9, 0.1, -0.4, 0.6]
+        .iter()
+        .map(|&v| sng.generate(Bipolar::clamped(v), n))
+        .collect();
+    let pool = AveragePooling::new(4);
+    let pooled = pool.run(&window)?;
+    println!("  mean(0.9, 0.1, -0.4, 0.6) = 0.3; SC gives {}", pooled.bipolar_value());
+
+    println!("\n== categorization: majority chain keeps the ranking ==");
+    let strong: Vec<BitStream> = (0..49)
+        .map(|i| sng.generate(Bipolar::clamped(0.45 + 0.01 * (i % 5) as f64), n))
+        .collect();
+    let weak: Vec<BitStream> = (0..49)
+        .map(|i| sng.generate(Bipolar::clamped(0.05 + 0.01 * (i % 5) as f64), n))
+        .collect();
+    let chain = MajorityChain::new(49);
+    println!(
+        "  strong class score {} > weak class score {}",
+        chain.run(&strong)?.bipolar_value(),
+        chain.run(&weak)?.bipolar_value()
+    );
+    Ok(())
+}

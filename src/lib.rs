@@ -1,0 +1,50 @@
+//! # AQFP-SC-DNN
+//!
+//! A stochastic-computing (SC) deep-learning framework targeting Adiabatic
+//! Quantum-Flux-Parametron (AQFP) superconducting logic — a full
+//! reproduction of Cai et al., *"A Stochastic-Computing based Deep Learning
+//! Framework using Adiabatic Quantum-Flux-Parametron Superconducting
+//! Technology"*, ISCA 2019.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names. See the individual crates for full documentation:
+//!
+//! * [`bitstream`] — packed stochastic bit-streams, encodings, RNGs, SNGs.
+//! * [`sorting`] — binary bitonic sorting networks (even and odd sizes).
+//! * [`circuit`] — AQFP cell library, netlists, 4-phase simulator, cost models.
+//! * [`synth`] — majority synthesis, splitter insertion, phase balancing.
+//! * [`core`] — the paper's blocks: sorter-based feature extraction and
+//!   pooling, majority-chain categorization, SNG/RNG matrix, plus the CMOS
+//!   SC-DCNN baseline blocks.
+//! * [`nn`] — a minimal CNN training framework (float reference models).
+//! * [`data`] — synthetic MNIST-like data and IDX loading.
+//! * [`network`] — compiling trained CNNs onto SC pipelines and evaluating
+//!   accuracy / energy / throughput (paper Table 9).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aqfp_sc_dnn::bitstream::{Bipolar, Sng, ThermalRng};
+//!
+//! # fn main() -> Result<(), aqfp_sc_dnn::bitstream::BitstreamError> {
+//! // Multiply 0.5 by -0.5 with a single XNOR gate in the SC domain.
+//! let mut sng_x = Sng::new(10, ThermalRng::with_seed(1));
+//! let mut sng_w = Sng::new(10, ThermalRng::with_seed(2));
+//! let x = sng_x.generate(Bipolar::new(0.5)?, 4096);
+//! let w = sng_w.generate(Bipolar::new(-0.5)?, 4096);
+//! let p = x.xnor(&w)?;
+//! assert!((p.bipolar_value().get() + 0.25).abs() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use aqfp_sc_bitstream as bitstream;
+pub use aqfp_sc_circuit as circuit;
+pub use aqfp_sc_core as core;
+pub use aqfp_sc_data as data;
+pub use aqfp_sc_network as network;
+pub use aqfp_sc_nn as nn;
+pub use aqfp_sc_sorting as sorting;
+pub use aqfp_sc_synth as synth;

@@ -1,0 +1,106 @@
+//! Cross-crate integration: the paper's blocks running on real SNG-driven
+//! streams, cross-checked between the functional, sorting-network and
+//! gate-level faces.
+
+use aqfp_sc_dnn::bitstream::{Bipolar, BitStream, Sng, ThermalRng};
+use aqfp_sc_dnn::circuit::PipelinedSim;
+use aqfp_sc_dnn::core::{
+    sorting_network_netlist, AveragePooling, FeatureExtraction, MajorityChain, SngBlock,
+};
+use aqfp_sc_dnn::sorting::{Direction, SortingNetwork};
+
+fn products(values: &[f64], n: usize, seed: u64) -> Vec<BitStream> {
+    let mut sng = Sng::new(10, ThermalRng::with_seed(seed));
+    values
+        .iter()
+        .map(|&v| sng.generate(Bipolar::clamped(v), n))
+        .collect()
+}
+
+#[test]
+fn feature_extraction_three_faces_agree() {
+    // Functional counting model == explicit per-cycle sorting model, and
+    // the sorter inside is the same network the gate-level chip uses.
+    let values = [0.5, -0.2, 0.3, 0.1, -0.4, 0.6, 0.0, 0.25, -0.15];
+    let streams = products(&values, 768, 11);
+    let fe = FeatureExtraction::new(9);
+    let fast = fe.run(&streams).expect("valid inputs");
+    let slow = fe.run_sorting(&streams).expect("valid inputs");
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn pooling_conserves_ones_across_faces() {
+    let values = [0.9, -0.5, 0.2, 0.4];
+    let streams = products(&values, 512, 13);
+    let pool = AveragePooling::new(4);
+    let fast = pool.run(&streams).expect("valid inputs");
+    let slow = pool.run_sorting(&streams).expect("valid inputs");
+    assert_eq!(fast, slow);
+    let total_in: usize = streams.iter().map(BitStream::count_ones).sum();
+    assert!(total_in / 4 >= fast.count_ones());
+}
+
+#[test]
+fn gate_level_sorter_matches_software_sorter_on_streams() {
+    let m = 5;
+    let network = SortingNetwork::bitonic_sorter(m, Direction::Descending);
+    let netlist = sorting_network_netlist(&network);
+    let mut sim = PipelinedSim::new(&netlist, 3).expect("valid netlist");
+    let inputs: Vec<Vec<bool>> = (0..128u32)
+        .map(|c| (0..m).map(|i| (c >> i) & 1 == 1).collect())
+        .collect();
+    let outs = sim.run_aligned(&inputs);
+    for (iv, ov) in inputs.iter().zip(&outs) {
+        let mut expect = iv.clone();
+        network.apply_bits(&mut expect);
+        assert_eq!(ov, &expect);
+    }
+}
+
+#[test]
+fn sng_block_feeds_feature_extraction_correctly() {
+    // Streams produced by the shared RNG matrix drive the FE block with the
+    // same fidelity as independent SNGs.
+    let values = [0.4, 0.3, 0.2, 0.5, 0.1];
+    let n = 8192;
+    let mut bank = SngBlock::new(5, 9, 17);
+    let bip: Vec<Bipolar> = values.iter().map(|&v| Bipolar::clamped(v)).collect();
+    let streams = bank.generate(&bip, n);
+    let fe = FeatureExtraction::new(5);
+    let so = fe.run(&streams).expect("valid inputs");
+    let ideal: f64 = values.iter().sum::<f64>().clamp(-1.0, 1.0);
+    assert!(
+        (so.bipolar_value().get() - ideal).abs() < 0.15,
+        "got {} want ~{ideal}",
+        so.bipolar_value()
+    );
+}
+
+#[test]
+fn majority_chain_ranks_like_exact_majority_on_separated_classes() {
+    let n = 2048;
+    let strong = products(&vec![0.5; 49], n, 31);
+    let weak = products(&vec![-0.1; 49], n, 37);
+    let chain = MajorityChain::new(49);
+    let s_chain = chain.run(&strong).unwrap().bipolar_value().get();
+    let w_chain = chain.run(&weak).unwrap().bipolar_value().get();
+    let s_exact = chain.run_exact_majority(&strong).unwrap().bipolar_value().get();
+    let w_exact = chain.run_exact_majority(&weak).unwrap().bipolar_value().get();
+    assert!(s_chain > w_chain);
+    assert!(s_exact > w_exact);
+}
+
+#[test]
+fn feature_netlist_survives_synthesis_and_validation() {
+    for m in [3usize, 4, 5] {
+        let fe = FeatureExtraction::new(m);
+        let result = fe.netlist();
+        assert!(
+            result.netlist.validate().is_ok(),
+            "m={m}: {:?}",
+            result.netlist.validation_errors()
+        );
+        assert!(result.report.jj_after > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Cross-crate integration: train → quantise → stochastic inference,
+//! the full Table 9 machinery at test-friendly sizes.
+
+use aqfp_sc_dnn::data::synthetic_digits;
+use aqfp_sc_dnn::network::{
+    build_model, network_cost, ActivationStyle, CompiledNetwork, NetworkSpec,
+};
+use aqfp_sc_dnn::circuit::{AqfpTech, CmosTech};
+use aqfp_sc_dnn::nn::Tensor;
+
+fn downscale(img: &Tensor) -> Tensor {
+    let mut small = Tensor::zeros(vec![1, 8, 8]);
+    for y in 0..8 {
+        for x in 0..8 {
+            small.data_mut()[y * 8 + x] = img.at3(0, 2 + y * 3, 2 + x * 3);
+        }
+    }
+    small
+}
+
+#[test]
+fn tiny_network_learns_and_survives_sc_compilation() {
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 1);
+    let train: Vec<(Tensor, usize)> = synthetic_digits(400, 5)
+        .iter()
+        .map(|(img, l)| (downscale(img), *l))
+        .collect();
+    for _ in 0..15 {
+        model.train_epoch(&train, 0.05, 0.9, 16);
+    }
+    let float_acc = model.evaluate(&train);
+    assert!(float_acc > 0.4, "float accuracy {float_acc}");
+
+    let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+    // The majority-chain output layer preserves *ranking*, so SC and float
+    // predictions must agree on samples the float model is confident about
+    // (paper §4.4: correct classification needs the winner to outscore the
+    // runner-up by a margin). Check agreement on the highest-margin samples.
+    let mut by_margin: Vec<(f32, usize)> = train
+        .iter()
+        .take(40)
+        .enumerate()
+        .map(|(i, (img, _))| {
+            let logits = model.forward(img);
+            let mut v: Vec<f32> = logits.data().to_vec();
+            v.sort_by(|a, b| b.partial_cmp(a).expect("no NaN logits"));
+            (v[0] - v[1], i)
+        })
+        .collect();
+    by_margin.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN margins"));
+    let confident: Vec<usize> = by_margin.iter().take(10).map(|&(_, i)| i).collect();
+    let mut agree = 0usize;
+    for &i in &confident {
+        let (img, _) = &train[i];
+        let float = model.predict(img);
+        let sc = compiled.classify_aqfp(img, 2048, 50 + i as u64);
+        agree += usize::from(float == sc);
+    }
+    assert!(
+        agree * 10 >= confident.len() * 4,
+        "only {agree}/{} high-margin samples agree",
+        confident.len()
+    );
+}
+
+#[test]
+fn snn_spec_compiles_and_costs_out() {
+    let spec = NetworkSpec::snn();
+    let cost = network_cost(&spec, 1024, 10, &AqfpTech::default(), &CmosTech::default(), 4.0);
+    // Headline shape of Table 9: orders-of-magnitude energy advantage and
+    // tens-of-x throughput advantage.
+    assert!(cost.energy_ratio() > 1e3, "energy ratio {}", cost.energy_ratio());
+    assert!(cost.throughput_ratio() >= 10.0);
+    // ~5 GHz / 1024 cycles ≈ 4.9k images/ms.
+    assert!((cost.aqfp.throughput_img_per_ms - 4882.8).abs() < 1.0);
+}
+
+#[test]
+fn both_paper_specs_have_consistent_shapes() {
+    for spec in [NetworkSpec::snn(), NetworkSpec::dnn()] {
+        let shapes = spec.shapes();
+        assert_eq!(shapes.len(), spec.layers.len() + 1);
+        let (classes, h, w) = *shapes.last().unwrap();
+        assert_eq!((classes, h, w), (10, 1, 1), "{}", spec.name);
+    }
+}
+
+#[test]
+fn activation_style_changes_the_trained_function() {
+    let spec = NetworkSpec::tiny(8);
+    let mut aqfp_model = build_model(&spec, ActivationStyle::AqfpFeature, 2);
+    let mut cmos_model = build_model(&spec, ActivationStyle::CmosTanh, 2);
+    let probe = Tensor::from_vec(vec![1, 8, 8], (0..64).map(|i| (i % 5) as f32 / 5.0).collect());
+    let a = aqfp_model.forward(&probe);
+    let b = cmos_model.forward(&probe);
+    assert_ne!(a.data(), b.data(), "activations must differ between styles");
+}
