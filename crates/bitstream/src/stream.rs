@@ -59,20 +59,20 @@ impl BitStream {
                 cur |= 1u64 << (len % WORD_BITS);
             }
             len += 1;
-            if len % WORD_BITS == 0 {
+            if len.is_multiple_of(WORD_BITS) {
                 words.push(cur);
                 cur = 0;
             }
         }
-        if len % WORD_BITS != 0 {
+        if !len.is_multiple_of(WORD_BITS) {
             words.push(cur);
         }
         BitStream { words, len }
     }
 
     /// Builds a stream of `len` bits by calling `f(cycle)` for each cycle.
-    pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> Self {
-        Self::from_bits((0..len).map(|i| f(i)))
+    pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, f: F) -> Self {
+        Self::from_bits((0..len).map(f))
     }
 
     /// Builds a stream directly from packed words.

@@ -53,7 +53,7 @@ pub fn feature_stationary_value(probs: &[f64]) -> f64 {
     for &p in probs {
         assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
     }
-    let thr = (m + 1) / 2;
+    let thr = m.div_ceil(2);
     let cdist = poisson_binomial(probs);
     // tail[t] = P(c >= t)
     let mut tail = vec![0.0; m + 2];

@@ -35,7 +35,7 @@ impl MajorityChain {
     /// Panics when `inputs < 3`.
     pub fn new(inputs: usize) -> Self {
         assert!(inputs >= 3, "majority chain needs at least 3 inputs");
-        let m = if inputs % 2 == 0 { inputs + 1 } else { inputs };
+        let m = if inputs.is_multiple_of(2) { inputs + 1 } else { inputs };
         MajorityChain { inputs, m }
     }
 
@@ -132,7 +132,7 @@ impl MajorityChain {
         if self.m != self.inputs {
             counter.add(&BitStream::alternating(len))?;
         }
-        let half = (self.m as u32 + 1) / 2;
+        let half = (self.m as u32).div_ceil(2);
         let counts = counter.counts();
         Ok(BitStream::from_bits(counts.iter().map(|&c| c >= half)))
     }

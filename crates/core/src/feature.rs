@@ -42,7 +42,7 @@ impl FeatureExtraction {
     /// Panics when `inputs` is 0.
     pub fn new(inputs: usize) -> Self {
         assert!(inputs > 0, "feature extraction needs at least one input");
-        let m = if inputs % 2 == 0 { inputs + 1 } else { inputs };
+        let m = if inputs.is_multiple_of(2) { inputs + 1 } else { inputs };
         FeatureExtraction { inputs, m }
     }
 
@@ -59,7 +59,7 @@ impl FeatureExtraction {
     /// Threshold `(M+1)/2`: the output bit is 1 when at least this many 1s
     /// are present among column + feedback.
     pub fn threshold(&self) -> u32 {
-        ((self.m + 1) / 2) as u32
+        self.m.div_ceil(2) as u32
     }
 
     /// Software reference: `clip(Σ xⱼ·wⱼ, −1, 1)`.
@@ -123,7 +123,7 @@ impl FeatureExtraction {
     /// The neutral-padding bit contribution at `cycle` (1 on even cycles):
     /// add this to externally computed counts when `width() != inputs()`.
     pub fn pad_count_at(&self, cycle: usize) -> u32 {
-        if self.m != self.inputs && cycle % 2 == 0 {
+        if self.m != self.inputs && cycle.is_multiple_of(2) {
             1
         } else {
             0
@@ -159,7 +159,7 @@ impl FeatureExtraction {
         let pad = BitStream::alternating(len);
         let mut feedback = vec![false; m]; // sorted descending (all 0)
         let mut out = Vec::with_capacity(len);
-        let threshold_index = (m + 1) / 2 - 1; // 0-based: element #(M+1)/2
+        let threshold_index = m.div_ceil(2) - 1; // 0-based: element #(M+1)/2
         for cycle in 0..len {
             let mut column: Vec<bool> = products
                 .iter()
@@ -216,7 +216,7 @@ impl FeatureExtraction {
         merged.extend_from_slice(&fbs);
         let merger = SortingNetwork::bitonic_merger(2 * m, Direction::Descending);
         netlists::apply_network(&mut net, &merger, &mut merged);
-        let threshold_index = (m + 1) / 2 - 1;
+        let threshold_index = m.div_ceil(2) - 1;
         net.output("so", merged[threshold_index]);
         for (k, &w) in merged[threshold_index + 1..threshold_index + 1 + m].iter().enumerate() {
             net.output(format!("fb_out{k}"), w);

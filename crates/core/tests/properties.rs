@@ -67,7 +67,7 @@ proptest! {
         let m = 11usize;
         let fe = FeatureExtraction::new(m);
         let so = fe.run_counts(&counts);
-        let thr = ((m + 1) / 2) as i64;
+        let thr = m.div_ceil(2) as i64;
         let mut r = 0i64;
         let mut fires = 0usize;
         for &c in &counts {
@@ -124,8 +124,8 @@ proptest! {
     #[test]
     fn stationary_value_is_monotone_in_probability(p in 0.05f64..0.95) {
         use aqfp_sc_core::accuracy::feature_stationary_value;
-        let lo = feature_stationary_value(&vec![p; 9]);
-        let hi = feature_stationary_value(&vec![(p + 0.05).min(1.0); 9]);
+        let lo = feature_stationary_value(&[p; 9]);
+        let hi = feature_stationary_value(&[(p + 0.05).min(1.0); 9]);
         prop_assert!(hi >= lo - 1e-9);
         prop_assert!((-1.0..=1.0).contains(&lo));
     }

@@ -164,7 +164,7 @@ pub enum ActivationStyle {
 /// conv7 has 3137 rows — the exact chain would be quadratic in m).
 pub fn response_table(m_rows: usize, limit: f32, points: usize) -> TableActivation {
     assert!(points >= 2, "need at least two table points");
-    let odd = if m_rows % 2 == 0 { m_rows + 1 } else { m_rows };
+    let odd = if m_rows.is_multiple_of(2) { m_rows + 1 } else { m_rows };
     let ys: Vec<f32> = (0..points)
         .map(|i| {
             let s = -limit + 2.0 * limit * i as f32 / (points - 1) as f32;
@@ -188,7 +188,7 @@ fn monte_carlo_response(m: usize, p_row: f64, seed: u64) -> f64 {
     let warmup = 2_000usize;
     let mean = m as f64 * p_row;
     let std = (m as f64 * p_row * (1.0 - p_row)).sqrt().max(1e-9);
-    let threshold = ((m + 1) / 2) as i64;
+    let threshold = m.div_ceil(2) as i64;
     let cap = m as i64;
     let mut r: i64 = 0;
     let mut fires = 0usize;
@@ -258,9 +258,12 @@ pub fn build_model(spec: &NetworkSpec, style: ActivationStyle, seed: u64) -> Seq
 fn activation_for(style: ActivationStyle, m_rows: usize) -> Activation {
     match style {
         ActivationStyle::AqfpFeature => {
-            // Sum grid wide enough to cover the rectified region and the
-            // clip; 33 points keep the table smooth and cheap.
-            Activation::table(response_table(m_rows, 4.0, 33))
+            // The response transition width scales with the column-count
+            // noise std (~√m/2), so the sum grid must widen with the block
+            // or wide layers degenerate to a clipped constant. 65 points
+            // keep the knee sharp at every width.
+            let limit = (2.0 * (m_rows as f32).sqrt()).max(4.0);
+            Activation::table(response_table(m_rows, limit, 65))
         }
         ActivationStyle::CmosTanh => Activation::tanh(1.0),
     }

@@ -73,7 +73,7 @@ fn network_jj(net: &SortingNetwork) -> (u64, u32) {
 /// `rows` product rows (paper Fig. 12): XNOR multipliers + M-sorter +
 /// 2M-merger, plus per-row SNG comparators and amortised RNG-matrix cells.
 fn fe_block_jj(rows: usize, sng_bits: u32) -> (u64, u32) {
-    let m = if rows % 2 == 0 { rows + 1 } else { rows };
+    let m = if rows.is_multiple_of(2) { rows + 1 } else { rows };
     let sorter = SortingNetwork::bitonic_sorter(m, Direction::Ascending);
     let merger = SortingNetwork::bitonic_merger(2 * m, Direction::Descending);
     let (jj_s, d_s) = network_jj(&sorter);
@@ -113,7 +113,7 @@ fn pool_block_jj(window: usize) -> (u64, u32) {
 /// buffers that grow quadratically with the chain length (matching the
 /// superlinear growth of paper Table 7).
 fn chain_block_jj(rows: usize, sng_bits: u32) -> (u64, u32) {
-    let m = if rows % 2 == 0 { rows + 1 } else { rows };
+    let m = if rows.is_multiple_of(2) { rows + 1 } else { rows };
     let links = ((m - 1) / 2) as u64;
     let maj = links * 6;
     // Input pair k arrives k phases late: buffer chains 2·(1+2+…+links).

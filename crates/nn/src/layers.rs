@@ -67,9 +67,23 @@ pub struct Conv2d {
 impl Conv2d {
     /// Creates a convolution with He-style initialisation.
     pub fn new(in_c: usize, out_c: usize, k: usize, padding: Padding, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
         let fan_in = (in_c * k * k) as f32;
-        let scale = (2.0 / fan_in).sqrt();
+        Self::with_init_scale(in_c, out_c, k, padding, seed, (2.0 / fan_in).sqrt())
+    }
+
+    /// Creates a convolution with an explicit uniform init scale
+    /// (`w ~ U(-scale, scale)`), for gain-corrected initialisation when the
+    /// following activation's slope differs from 1 (e.g. the measured AQFP
+    /// feature-extraction response).
+    pub fn with_init_scale(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        padding: Padding,
+        seed: u64,
+        scale: f32,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
         let w = (0..out_c * in_c * k * k)
             .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
             .collect();
@@ -264,8 +278,13 @@ pub struct Dense {
 impl Dense {
     /// Creates a dense layer with Xavier-style initialisation.
     pub fn new(in_f: usize, out_f: usize, seed: u64) -> Self {
+        Self::with_init_scale(in_f, out_f, seed, (1.0 / in_f as f32).sqrt())
+    }
+
+    /// Creates a dense layer with an explicit uniform init scale
+    /// (`w ~ U(-scale, scale)`); see [`Conv2d::with_init_scale`].
+    pub fn with_init_scale(in_f: usize, out_f: usize, seed: u64, scale: f32) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let scale = (1.0 / in_f as f32).sqrt();
         let w = (0..out_f * in_f)
             .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
             .collect();
@@ -309,13 +328,13 @@ impl Layer for Dense {
         let id = input.data();
         let mut out = Tensor::zeros(vec![self.out_f]);
         let od = out.data_mut();
-        for o in 0..self.out_f {
+        for (o, out_v) in od.iter_mut().enumerate() {
             let row = &self.w[o * self.in_f..(o + 1) * self.in_f];
             let mut acc = self.b[o];
             for (wv, xv) in row.iter().zip(id) {
                 acc += wv * xv;
             }
-            od[o] = acc;
+            *out_v = acc;
         }
         self.cache = Some(input.clone());
         out
@@ -328,8 +347,7 @@ impl Layer for Dense {
         let gd = grad_out.data();
         let mut gin = Tensor::zeros(vec![self.in_f]);
         let gi = gin.data_mut();
-        for o in 0..self.out_f {
-            let g = gd[o];
+        for (o, &g) in gd.iter().enumerate() {
             self.gb[o] += g;
             let row = &self.w[o * self.in_f..(o + 1) * self.in_f];
             let grow = &mut self.gw[o * self.in_f..(o + 1) * self.in_f];

@@ -132,7 +132,7 @@ fn fe_comparison(m: usize, n: u64) -> CostComparison {
         layers: vec![],
     };
     let _ = spec;
-    let sorter = SortingNetwork::bitonic_sorter(if rows % 2 == 0 { rows + 1 } else { rows }, Direction::Ascending);
+    let sorter = SortingNetwork::bitonic_sorter(if rows.is_multiple_of(2) { rows + 1 } else { rows }, Direction::Ascending);
     let merger = SortingNetwork::bitonic_merger(2 * sorter.wires(), Direction::Descending);
     let jj = 20 * (sorter.op_count() + merger.op_count()) as u64 + 28 * rows as u64;
     let depth = 2 * (sorter.depth() + merger.depth()) as u32 + 3;

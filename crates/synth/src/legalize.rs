@@ -234,6 +234,13 @@ pub fn balance_phases(input: &Netlist, align_outputs: bool) -> Netlist {
     out
 }
 
+/// Runs [`insert_splitters`] then [`balance_phases`]; the result satisfies
+/// every AQFP structural rule.
+pub fn legalize(input: &Netlist, options: &LegalizeOptions) -> Netlist {
+    let split = insert_splitters(input, options.max_splitter_ways);
+    balance_phases(&split, options.align_outputs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,11 +406,4 @@ mod tests {
             assert_eq!(net.evaluate(&iv, 0), legal.evaluate(&iv, 0), "mask {mask}");
         }
     }
-}
-
-/// Runs [`insert_splitters`] then [`balance_phases`]; the result satisfies
-/// every AQFP structural rule.
-pub fn legalize(input: &Netlist, options: &LegalizeOptions) -> Netlist {
-    let split = insert_splitters(input, options.max_splitter_ways);
-    balance_phases(&split, options.align_outputs)
 }

@@ -10,7 +10,7 @@ use aqfp_sc_dnn::core::{RngMatrix, SngBlock};
 
 fn main() {
     let n = 9;
-    let mut matrix = RngMatrix::new(n, 0xF16_8);
+    let mut matrix = RngMatrix::new(n, 0xF168);
     println!("RNG matrix: {}x{n} cells = {} JJ-pairs", n, matrix.cell_count());
     println!(
         "produces {} {n}-bit words per cycle ({}x fewer RNG cells than independent generators)",

@@ -92,6 +92,38 @@ fn majority_chain_ranks_like_exact_majority_on_separated_classes() {
 }
 
 #[test]
+fn feature_netlist_with_closed_feedback_matches_functional_model() {
+    // Full functional-vs-circuit cross-check of Algorithm 1: evaluate the
+    // legalised FE netlist cycle by cycle with the feedback loop closed
+    // through the simulator, and require bit-exact agreement with the
+    // functional counting model on real SNG-driven streams.
+    let m = 5;
+    let n = 256;
+    let xs = products(&[0.4, -0.3, 0.2, 0.6, -0.5], n, 51);
+    let ws = products(&[0.5, 0.1, -0.2, 0.3, 0.7], n, 53);
+    let prods: Vec<BitStream> = xs
+        .iter()
+        .zip(&ws)
+        .map(|(x, w)| x.xnor(w).expect("equal lengths"))
+        .collect();
+    let fe = FeatureExtraction::new(m);
+    let functional = fe.run(&prods).expect("valid inputs");
+    let legal = fe.netlist().netlist;
+    let mut fb = vec![false; m];
+    let mut out = Vec::with_capacity(n);
+    for cycle in 0..n {
+        let mut inputs: Vec<bool> = Vec::with_capacity(3 * m);
+        inputs.extend(xs.iter().map(|s| s.get(cycle).expect("in range")));
+        inputs.extend(ws.iter().map(|s| s.get(cycle).expect("in range")));
+        inputs.extend(fb.iter().copied());
+        let outs = legal.evaluate(&inputs, 0);
+        out.push(outs[0]);
+        fb.copy_from_slice(&outs[1..]);
+    }
+    assert_eq!(BitStream::from_bits(out), functional);
+}
+
+#[test]
 fn feature_netlist_survives_synthesis_and_validation() {
     for m in [3usize, 4, 5] {
         let fe = FeatureExtraction::new(m);

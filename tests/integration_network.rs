@@ -1,11 +1,13 @@
 //! Cross-crate integration: train → quantise → stochastic inference,
 //! the full Table 9 machinery at test-friendly sizes.
 
+use aqfp_sc_dnn::bitstream::{Bipolar, Sng, ThermalRng};
+use aqfp_sc_dnn::circuit::{AqfpTech, CmosTech};
+use aqfp_sc_dnn::core::FeatureExtraction;
 use aqfp_sc_dnn::data::synthetic_digits;
 use aqfp_sc_dnn::network::{
-    build_model, network_cost, ActivationStyle, CompiledNetwork, NetworkSpec,
+    build_model, network_cost, response_table, ActivationStyle, CompiledNetwork, NetworkSpec,
 };
-use aqfp_sc_dnn::circuit::{AqfpTech, CmosTech};
 use aqfp_sc_dnn::nn::Tensor;
 
 fn downscale(img: &Tensor) -> Tensor {
@@ -62,6 +64,30 @@ fn tiny_network_learns_and_survives_sc_compilation() {
         "only {agree}/{} high-margin samples agree",
         confident.len()
     );
+}
+
+#[test]
+fn training_response_table_matches_bit_level_feature_extraction() {
+    // The lookup-table activation the float model trains with must track
+    // the bit-level FE block it stands in for: drive the real block with
+    // SNG streams whose values sum to s and compare against table(s).
+    let m = 9usize;
+    let table = response_table(m, 6.0, 49);
+    let fe = FeatureExtraction::new(m);
+    let n = 16384;
+    for (k, s) in [-4.0f64, -2.0, 0.0, 2.0, 4.0].into_iter().enumerate() {
+        let v = s / m as f64;
+        let mut sng = Sng::new(10, ThermalRng::with_seed(61 + k as u64));
+        let streams: Vec<_> = (0..m)
+            .map(|_| sng.generate(Bipolar::clamped(v), n))
+            .collect();
+        let circuit = fe.run(&streams).expect("valid inputs").bipolar_value().get();
+        let functional = f64::from(table.value(s as f32));
+        assert!(
+            (circuit - functional).abs() < 0.08,
+            "s={s}: circuit {circuit} vs table {functional}"
+        );
+    }
 }
 
 #[test]

@@ -2,9 +2,39 @@
 //! function on randomly generated netlists, and legalised netlists run on
 //! the pipelined simulator.
 
+use aqfp_sc_dnn::bitstream::{maj3_streams, Bipolar, BitStream, Sng, ThermalRng};
 use aqfp_sc_dnn::circuit::{Netlist, NodeId, PipelinedSim};
 use aqfp_sc_dnn::synth::{synthesize, SynthOptions};
 use proptest::prelude::*;
+
+#[test]
+fn synthesised_majority_gate_matches_functional_maj3_on_streams() {
+    // Functional-vs-circuit cross-check at the gate level: the legalised
+    // MAJ3 netlist, run through the pipelined simulator on SNG-driven
+    // streams, must agree bit-for-bit with the bitstream crate's
+    // functional majority.
+    let mut net = Netlist::new();
+    let a = net.input("a");
+    let b = net.input("b");
+    let c = net.input("c");
+    let y = net.maj(a, b, c);
+    net.output("y", y);
+    let legal = synthesize(&net, &SynthOptions::default()).netlist;
+    let n = 512;
+    let mut sng = Sng::new(10, ThermalRng::with_seed(71));
+    let streams: Vec<BitStream> = [0.3f64, -0.4, 0.1]
+        .iter()
+        .map(|&v| sng.generate(Bipolar::clamped(v), n))
+        .collect();
+    let functional = maj3_streams(&streams[0], &streams[1], &streams[2]).expect("equal lengths");
+    let mut sim = PipelinedSim::new(&legal, 0).expect("legal netlist simulates");
+    let inputs: Vec<Vec<bool>> = (0..n)
+        .map(|cycle| streams.iter().map(|s| s.get(cycle).expect("in range")).collect())
+        .collect();
+    let outs = sim.run_aligned(&inputs);
+    let circuit = BitStream::from_bits(outs.iter().map(|o| o[0]));
+    assert_eq!(circuit, functional);
+}
 
 /// Builds a random DAG netlist from a script of small integers.
 fn random_netlist(script: &[u8], inputs: usize) -> Netlist {

@@ -1,0 +1,392 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the surface this workspace's property suites use: the
+//! [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! `any::<T>()`, integer and float range strategies, `prop::collection::vec`,
+//! and [`ProptestConfig`]. No shrinking — failures report the case number and
+//! the deterministic seed so they replay exactly.
+//!
+//! # Determinism
+//!
+//! Runs are deterministic by construction (the CI pinning asked for by the
+//! test-harness idiom in SNIPPETS.md):
+//!
+//! * Each `#[test]` gets its RNG from [`create_rng`]`(None)`, which derives a
+//!   stable seed from the test name — identical on every run and machine.
+//! * `PROPTEST_SEED=<u64>` overrides the seed globally (for replaying a
+//!   different exploration of the space).
+//! * Case count defaults to [`DEFAULT_CASES`] (64) and can be overridden per
+//!   invocation with `ProptestConfig::with_cases` or globally with
+//!   `PROPTEST_CASES=<n>`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Default number of cases per property when neither `ProptestConfig` nor
+/// `PROPTEST_CASES` says otherwise. Pinned so CI time is predictable.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Build the RNG for a property test, following the `create_rng(Option<u64>)`
+/// pattern: an explicit seed wins, otherwise a stable per-context seed is
+/// derived (here: from `PROPTEST_SEED` or the FNV-1a hash of the context
+/// name), keeping runs reproducible without any environment setup.
+pub fn create_rng(seed: Option<u64>) -> TestRng {
+    match seed {
+        Some(seed) => TestRng::seed_from_u64(seed),
+        None => TestRng::seed_from_u64(0x9E37_79B9_7F4A_7C15),
+    }
+}
+
+/// Per-test RNG: `PROPTEST_SEED` env override, else a deterministic hash of
+/// the test name so distinct tests explore distinct parts of the space.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let env_seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    create_rng(Some(env_seed.unwrap_or_else(|| fnv1a(test_name))))
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Failure raised by `prop_assert*` and propagated out of the test body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Full-domain strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_sample(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_sample(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_sample(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f32 {
+    fn arbitrary_sample(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, magnitude-spread values.
+        let unit: f32 = rng.gen();
+        let exp = rng.gen_range(-12i32..13) as f32;
+        (unit * 2.0 - 1.0) * exp.exp2()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_sample(rng: &mut TestRng) -> Self {
+        let unit: f64 = rng.gen();
+        let exp = rng.gen_range(-24i32..25) as f64;
+        (unit * 2.0 - 1.0) * exp.exp2()
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted size specifications for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange { lo, hi_inclusive: hi }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, create_rng, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Mirrors the `prop` module alias exported by the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// The `proptest!` block: expands each inner `#[test] fn` into a plain
+/// `#[test]` that samples its strategies `cases` times with a deterministic
+/// per-test RNG and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let cases = config.resolved_cases();
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(err) = result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}\n(set PROPTEST_SEED / PROPTEST_CASES to replay or extend)",
+                        stringify!($name), case + 1, cases, err
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn create_rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = create_rng(Some(5));
+        let mut b = create_rng(Some(5));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = crate::test_rng("vec_strategy_respects_bounds");
+        let strat = prop::collection::vec(any::<bool>(), 3..7);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((3..7).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_samples_are_in_range(x in 10u32..=20, v in prop::collection::vec(any::<u8>(), 0..5)) {
+            prop_assert!((10..=20).contains(&x));
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn floats_hit_requested_interval(p in 0.25f64..0.75) {
+            prop_assert!((0.25..0.75).contains(&p));
+        }
+    }
+}
