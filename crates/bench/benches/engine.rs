@@ -1,0 +1,81 @@
+//! `engine_batch_inference`: the batched, cached-weight-stream inference
+//! engine against the per-image serial path, at batch sizes 1 / 8 / 32.
+//!
+//! The serial path rebuilds its weight streams for every image (one
+//! throwaway engine per call, as `classify_aqfp` does); the batched path
+//! pays engine construction once and fans the images out over the worker
+//! pool. `BENCH_JSON=BENCH_engine.json cargo bench --bench engine`
+//! refreshes the committed baseline.
+
+use aqfp_sc_network::{
+    build_model, ActivationStyle, CompiledNetwork, InferenceEngine, NetworkSpec, Platform,
+};
+use aqfp_sc_nn::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const STREAM_LEN: usize = 512;
+const SEED: u64 = 0x15CA_2019;
+
+fn images(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            Tensor::from_vec(
+                vec![1, 8, 8],
+                (0..64).map(|p| ((p * (2 * i + 3) + i) % 13) as f32 / 13.0).collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_engine_batch_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch_inference");
+    group.sample_size(10);
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 21);
+    let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+    for batch in [1usize, 8, 32] {
+        let imgs = images(batch);
+        // The pre-refactor shape: one full weight-stream generation per
+        // image (what a classify_aqfp loop costs).
+        group.bench_with_input(
+            BenchmarkId::new("serial_per_image", batch),
+            &imgs,
+            |b, imgs| {
+                b.iter(|| {
+                    let preds: Vec<usize> = imgs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, img)| {
+                            compiled.classify_aqfp(
+                                img,
+                                STREAM_LEN,
+                                InferenceEngine::image_seed(SEED, i),
+                            )
+                        })
+                        .collect();
+                    black_box(preds)
+                })
+            },
+        );
+        // Engine construction + batch fan-out, amortising the cache.
+        group.bench_with_input(BenchmarkId::new("batched", batch), &imgs, |b, imgs| {
+            b.iter(|| {
+                let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);
+                black_box(engine.classify_batch(imgs, SEED))
+            })
+        });
+    }
+    // Construction alone, to read the amortised cost split.
+    group.bench_function("engine_construction", |b| {
+        b.iter(|| {
+            black_box(
+                InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp).cached_streams(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batch_inference);
+criterion_main!(benches);

@@ -72,6 +72,25 @@ impl ColumnCounter {
         Ok(())
     }
 
+    /// Adds every stream in `streams` (a single pass per stream, with all
+    /// lengths checked up front so the counter is never left half-updated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError::LengthMismatch`] for the first stream whose
+    /// length differs from the counter's; no stream is added in that case.
+    pub fn add_all(&mut self, streams: &[BitStream]) -> Result<(), BitstreamError> {
+        for s in streams {
+            if s.len() != self.len {
+                return Err(BitstreamError::LengthMismatch { left: self.len, right: s.len() });
+            }
+        }
+        for s in streams {
+            self.add_words(s.words());
+        }
+        Ok(())
+    }
+
     /// Adds a raw word slice (used by hot paths that compute product words on
     /// the fly instead of materialising a [`BitStream`]).
     ///
@@ -81,20 +100,44 @@ impl ColumnCounter {
     pub fn add_words(&mut self, words: &[u64]) {
         assert_eq!(words.len(), self.words, "word count mismatch");
         for (w, &word) in words.iter().enumerate() {
-            let mut carry = word;
-            let mut k = 0;
-            while carry != 0 {
-                if k == self.planes.len() {
-                    self.planes.push(vec![0u64; self.words]);
-                }
-                let plane = &mut self.planes[k][w];
-                let sum = *plane ^ carry;
-                carry &= *plane;
-                *plane = sum;
-                k += 1;
-            }
+            self.carry_save(w, word);
         }
         self.added += 1;
+    }
+
+    /// Accumulates the XNOR product of two word slices — the bipolar SC
+    /// multiplication `x XNOR w` — without materialising the product stream.
+    ///
+    /// Tail bits beyond [`ColumnCounter::len`] in the last word may be set by
+    /// the negation; they land in cycles the count accessors never read.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either slice's length differs from the counter's word
+    /// count.
+    pub fn add_xnor_words(&mut self, x: &[u64], w: &[u64]) {
+        assert_eq!(x.len(), self.words, "word count mismatch");
+        assert_eq!(w.len(), self.words, "word count mismatch");
+        for (i, (&a, &b)) in x.iter().zip(w).enumerate() {
+            self.carry_save(i, !(a ^ b));
+        }
+        self.added += 1;
+    }
+
+    /// Carry-save addition of one 64-cycle word into the bit planes.
+    fn carry_save(&mut self, w: usize, word: u64) {
+        let mut carry = word;
+        let mut k = 0;
+        while carry != 0 {
+            if k == self.planes.len() {
+                self.planes.push(vec![0u64; self.words]);
+            }
+            let plane = &mut self.planes[k][w];
+            let sum = *plane ^ carry;
+            carry &= *plane;
+            *plane = sum;
+            k += 1;
+        }
     }
 
     /// The count of 1s in the given cycle's column.
@@ -115,7 +158,16 @@ impl ColumnCounter {
 
     /// All per-cycle counts, cycle 0 first.
     pub fn counts(&self) -> Vec<u32> {
-        let mut out = vec![0u32; self.len];
+        let mut out = Vec::new();
+        self.counts_into(&mut out);
+        out
+    }
+
+    /// Writes all per-cycle counts into `out`, reusing its allocation
+    /// (the inference hot path calls this once per neuron).
+    pub fn counts_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(self.len, 0);
         for (k, plane) in self.planes.iter().enumerate() {
             for (w, &pw) in plane.iter().enumerate() {
                 let mut bits = pw;
@@ -129,12 +181,14 @@ impl ColumnCounter {
                 }
             }
         }
-        out
     }
 
-    /// Resets the counter to the empty state, keeping its configured length.
+    /// Resets the counter to the empty state, keeping its configured length
+    /// and the bit-plane allocations (cheap to reuse across neurons).
     pub fn clear(&mut self) {
-        self.planes.clear();
+        for plane in &mut self.planes {
+            plane.fill(0);
+        }
         self.added = 0;
     }
 }
@@ -161,9 +215,7 @@ impl ColumnCounter {
 pub fn column_counts(streams: &[BitStream]) -> Result<Vec<u32>, BitstreamError> {
     let first = streams.first().ok_or(BitstreamError::Empty)?;
     let mut cc = ColumnCounter::new(first.len());
-    for s in streams {
-        cc.add(s)?;
-    }
+    cc.add_all(streams)?;
     Ok(cc.counts())
 }
 
@@ -248,5 +300,65 @@ mod tests {
         a.add(&s).unwrap();
         b.add_words(s.words());
         assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn add_all_matches_one_by_one() {
+        let mut rng = ThermalRng::with_seed(31);
+        let streams: Vec<BitStream> =
+            (0..9).map(|_| BitStream::from_fn(150, |_| rng.next_bit())).collect();
+        let mut one_by_one = ColumnCounter::new(150);
+        for s in &streams {
+            one_by_one.add(s).unwrap();
+        }
+        let mut batched = ColumnCounter::new(150);
+        batched.add_all(&streams).unwrap();
+        assert_eq!(one_by_one.counts(), batched.counts());
+        assert_eq!(batched.streams_added(), 9);
+    }
+
+    #[test]
+    fn add_all_rejects_any_mismatch_without_partial_update() {
+        let streams = vec![BitStream::ones(20), BitStream::ones(21)];
+        let mut cc = ColumnCounter::new(20);
+        assert!(cc.add_all(&streams).is_err());
+        assert_eq!(cc.streams_added(), 0);
+        assert!(cc.counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn add_xnor_words_matches_materialised_product() {
+        let mut rng = ThermalRng::with_seed(41);
+        let x = BitStream::from_fn(130, |_| rng.next_bit());
+        let w = BitStream::from_fn(130, |_| rng.next_bit());
+        let mut fused = ColumnCounter::new(130);
+        fused.add_xnor_words(x.words(), w.words());
+        let mut reference = ColumnCounter::new(130);
+        reference.add(&x.xnor(&w).unwrap()).unwrap();
+        assert_eq!(fused.counts(), reference.counts());
+    }
+
+    #[test]
+    fn counts_into_reuses_buffer() {
+        let mut cc = ColumnCounter::new(70);
+        cc.add(&BitStream::ones(70)).unwrap();
+        let mut buf = vec![99u32; 3];
+        cc.counts_into(&mut buf);
+        assert_eq!(buf.len(), 70);
+        assert!(buf.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn clear_then_reuse_counts_correctly() {
+        let mut cc = ColumnCounter::new(90);
+        for _ in 0..5 {
+            cc.add(&BitStream::ones(90)).unwrap();
+        }
+        cc.clear();
+        cc.add(&BitStream::from_fn(90, |i| i % 2 == 0)).unwrap();
+        let counts = cc.counts();
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(c, u32::from(i % 2 == 0), "cycle {i}");
+        }
     }
 }

@@ -36,9 +36,7 @@ pub fn apc_feature_extraction(
     let len = first.len();
     let m = products.len() as i64;
     let mut counter = ColumnCounter::new(len);
-    for p in products {
-        counter.add(p)?;
-    }
+    counter.add_all(products)?;
     let max = states as i64 - 1;
     let mut state = max / 2;
     Ok(BitStream::from_bits(counter.counts().into_iter().map(|c| {

@@ -126,9 +126,7 @@ impl MajorityChain {
         }
         let len = first.len();
         let mut counter = aqfp_sc_bitstream::ColumnCounter::new(len);
-        for p in products {
-            counter.add(p)?;
-        }
+        counter.add_all(products)?;
         if self.m != self.inputs {
             counter.add(&BitStream::alternating(len))?;
         }

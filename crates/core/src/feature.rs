@@ -90,9 +90,7 @@ impl FeatureExtraction {
         }
         let len = first.len();
         let mut counter = ColumnCounter::new(len);
-        for p in products {
-            counter.add(p)?;
-        }
+        counter.add_all(products)?;
         if self.m != self.inputs {
             counter.add(&BitStream::alternating(len))?;
         }
@@ -160,24 +158,24 @@ impl FeatureExtraction {
         let mut feedback = vec![false; m]; // sorted descending (all 0)
         let mut out = Vec::with_capacity(len);
         let threshold_index = m.div_ceil(2) - 1; // 0-based: element #(M+1)/2
+        // Scratch for the 2M-wide sort column, reused across all cycles:
+        // [..m] is the input column, [m..] the previous feedback vector.
+        let mut merged = vec![false; 2 * m];
         for cycle in 0..len {
-            let mut column: Vec<bool> = products
-                .iter()
-                .map(|p| p.get(cycle).expect("length checked"))
-                .collect();
-            if m != self.inputs {
-                column.push(pad.get(cycle).expect("length checked"));
+            for (slot, p) in merged[..products.len()].iter_mut().zip(products) {
+                *slot = p.get(cycle).expect("length checked");
             }
-            sorter.apply_bits(&mut column); // ascending
+            if m != self.inputs {
+                merged[m - 1] = pad.get(cycle).expect("length checked");
+            }
+            sorter.apply_bits(&mut merged[..m]); // ascending
             // Bitonic input for a descending merger: ascending ++ descending.
-            let mut merged = column;
-            merged.extend_from_slice(&feedback);
+            merged[m..].copy_from_slice(&feedback);
             merger.apply_bits(&mut merged); // descending
             let so = merged[threshold_index];
             out.push(so);
             // Feedback: the M bits following the threshold element.
             feedback.copy_from_slice(&merged[threshold_index + 1..threshold_index + 1 + m]);
-            let _ = &merged;
         }
         Ok(BitStream::from_bits(out))
     }

@@ -59,9 +59,7 @@ impl AveragePooling {
             return Err(BitstreamError::LengthMismatch { left: self.m, right: streams.len() });
         }
         let mut counter = ColumnCounter::new(first.len());
-        for s in streams {
-            counter.add(s)?;
-        }
+        counter.add_all(streams)?;
         Ok(self.run_counts(&counter.counts()))
     }
 
@@ -102,14 +100,14 @@ impl AveragePooling {
         let merger = SortingNetwork::bitonic_merger(2 * m, Direction::Descending);
         let mut feedback = vec![false; m];
         let mut out = Vec::with_capacity(len);
+        // Scratch for the 2M-wide sort column, reused across all cycles.
+        let mut merged = vec![false; 2 * m];
         for cycle in 0..len {
-            let mut column: Vec<bool> = streams
-                .iter()
-                .map(|s| s.get(cycle).expect("length checked"))
-                .collect();
-            sorter.apply_bits(&mut column);
-            let mut merged = column;
-            merged.extend_from_slice(&feedback);
+            for (slot, s) in merged[..m].iter_mut().zip(streams) {
+                *slot = s.get(cycle).expect("length checked");
+            }
+            sorter.apply_bits(&mut merged[..m]);
+            merged[m..].copy_from_slice(&feedback);
             merger.apply_bits(&mut merged);
             let fire = merged[m - 1]; // M-th element (descending order)
             out.push(fire);

@@ -80,14 +80,26 @@ impl SngBlock {
     pub fn generate(&mut self, values: &[Bipolar], len: usize) -> Vec<BitStream> {
         assert_eq!(values.len(), self.outputs, "one value per output required");
         let scale = (1u64 << self.bits) as f64;
+        let levels: Vec<u64> = values
+            .iter()
+            .map(|v| (v.probability() * scale).round().min(scale) as u64)
+            .collect();
+        self.generate_levels(&levels, len)
+    }
+
+    /// Generates the stochastic streams of raw comparator levels in
+    /// `0..=2^bits` (one per output) — the form the quantised inference
+    /// engine caches, skipping the value→level conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `levels.len()` differs from [`SngBlock::outputs`].
+    pub fn generate_levels(&mut self, levels: &[u64], len: usize) -> Vec<BitStream> {
+        assert_eq!(levels.len(), self.outputs, "one level per output required");
         let per_tile = 4 * self.bits as usize;
-        let mut streams = Vec::with_capacity(values.len());
-        for (t, chunk) in values.chunks(per_tile).enumerate() {
-            let levels: Vec<u64> = chunk
-                .iter()
-                .map(|v| (v.probability() * scale).round().min(scale) as u64)
-                .collect();
-            streams.extend(self.tiles[t].generate_streams(&levels, len));
+        let mut streams = Vec::with_capacity(levels.len());
+        for (t, chunk) in levels.chunks(per_tile).enumerate() {
+            streams.extend(self.tiles[t].generate_streams(chunk, len));
         }
         streams
     }
@@ -202,6 +214,22 @@ mod tests {
         );
         let c = scc(&streams[0], &streams[1]).unwrap();
         assert!(c.abs() < 0.1, "scc = {c}");
+    }
+
+    #[test]
+    fn generate_levels_matches_generate_on_grid_values() {
+        // Bipolar values that sit exactly on the comparator grid must take
+        // the same path through generate() and generate_levels().
+        let bits = 8u32;
+        let scale = (1u64 << bits) as f64;
+        let levels: Vec<u64> = (0..50).map(|i| (i * 5) % 257).collect();
+        let values: Vec<Bipolar> = levels
+            .iter()
+            .map(|&l| Bipolar::clamped(2.0 * (l as f64 / scale) - 1.0))
+            .collect();
+        let from_values = SngBlock::new(50, bits, 11).generate(&values, 256);
+        let from_levels = SngBlock::new(50, bits, 11).generate_levels(&levels, 256);
+        assert_eq!(from_values, from_levels);
     }
 
     #[test]

@@ -1,11 +1,11 @@
-//! Quantised SC compilation and the bit-level inference engines.
+//! Quantised SC compilation: mapping trained float models onto the
+//! comparator grid. Bit-level inference lives in [`crate::engine`]; the
+//! serial entry points here construct a single-use [`InferenceEngine`].
 
-use aqfp_sc_bitstream::{Bipolar, BitStream, ColumnCounter, Sng, SplitMix64, ThermalRng};
-use aqfp_sc_core::baseline::{self, btanh_states};
-use aqfp_sc_core::{AveragePooling, FeatureExtraction, MajorityChain};
 use aqfp_sc_nn::{Padding, Sequential, Tensor};
 
 use crate::arch::{LayerSpec, NetworkSpec};
+use crate::engine::{InferenceEngine, Platform};
 
 /// One compiled (quantised) layer.
 #[derive(Debug, Clone)]
@@ -61,14 +61,14 @@ pub struct CompiledNetwork {
     spec: NetworkSpec,
     layers: Vec<CompiledLayer>,
     bits: u32,
+    stream_seed: u64,
 }
 
-/// Which hardware executes the stochastic pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Platform {
-    Aqfp,
-    Cmos,
-}
+/// Default weight-stream seed: the hardwired SNGs feeding the weight
+/// comparators are physically distinct from the input SNGs, so their
+/// randomness is a property of the compiled chip, not of the per-image
+/// seed.
+const DEFAULT_STREAM_SEED: u64 = 0x5EED_2019_15CA_0001;
 
 impl CompiledNetwork {
     /// Quantises the trainable layers of `model` (built by
@@ -133,7 +133,7 @@ impl CompiledNetwork {
             }
         }
         assert!(trainable.is_empty(), "model has extra trainable layers");
-        CompiledNetwork { spec: spec.clone(), layers, bits }
+        CompiledNetwork { spec: spec.clone(), layers, bits, stream_seed: DEFAULT_STREAM_SEED }
     }
 
     /// The network spec this was compiled from.
@@ -141,32 +141,59 @@ impl CompiledNetwork {
         &self.spec
     }
 
+    /// The compiled (quantised) layer stack.
+    pub fn layers(&self) -> &[CompiledLayer] {
+        &self.layers
+    }
+
     /// Comparator resolution in bits.
     pub fn bits(&self) -> u32 {
         self.bits
     }
 
+    /// Seed of the weight-stream RNG domain. Weight/bias streams depend
+    /// only on the quantised weights and this seed — never on the image —
+    /// which is what lets [`InferenceEngine`] cache them.
+    pub fn stream_seed(&self) -> u64 {
+        self.stream_seed
+    }
+
+    /// Replaces the weight-stream seed (a different hardwired RNG draw for
+    /// the weight SNGs; engines built afterwards cache different streams).
+    pub fn with_stream_seed(mut self, seed: u64) -> Self {
+        self.stream_seed = seed;
+        self
+    }
+
     /// Classifies an image on the AQFP path (sorter-based feature
     /// extraction, sorter pooling, majority-chain categorization, true-RNG
     /// number generators).
+    ///
+    /// `seed` drives only the image-domain streams (pixels, pooling
+    /// selectors); weight streams come from [`CompiledNetwork::stream_seed`].
+    /// Repeated calls build a throwaway [`InferenceEngine`] each time —
+    /// construct one engine and use its batch APIs to amortise the
+    /// weight-stream generation.
     pub fn classify_aqfp(&self, image: &Tensor, stream_len: usize, seed: u64) -> usize {
-        argmax(&self.scores(image, stream_len, seed, Platform::Aqfp))
+        InferenceEngine::new(self, stream_len, Platform::Aqfp).classify(image, seed)
     }
 
     /// Classifies an image on the CMOS SC baseline path (APC + Btanh
     /// counters, mux pooling, pseudo-random number generators).
     pub fn classify_cmos(&self, image: &Tensor, stream_len: usize, seed: u64) -> usize {
-        argmax(&self.scores(image, stream_len, seed, Platform::Cmos))
+        InferenceEngine::new(self, stream_len, Platform::Cmos).classify(image, seed)
     }
 
     /// Raw AQFP-path class scores (bipolar values of the majority-chain
     /// outputs).
     pub fn scores_aqfp(&self, image: &Tensor, stream_len: usize, seed: u64) -> Vec<f64> {
-        self.scores(image, stream_len, seed, Platform::Aqfp)
+        InferenceEngine::new(self, stream_len, Platform::Aqfp).scores(image, seed)
     }
 
     /// Accuracy over a labelled set on the chosen path (`cmos = false` for
-    /// AQFP).
+    /// AQFP), evaluated through a batched [`InferenceEngine`]: weight
+    /// streams are generated once and images fan out over the worker pool,
+    /// with per-image seeds derived via [`InferenceEngine::image_seed`].
     pub fn evaluate(
         &self,
         samples: &[(Tensor, usize)],
@@ -174,288 +201,8 @@ impl CompiledNetwork {
         seed: u64,
         cmos: bool,
     ) -> f64 {
-        if samples.is_empty() {
-            return 0.0;
-        }
-        let correct = samples
-            .iter()
-            .enumerate()
-            .filter(|(i, (x, y))| {
-                let s = seed ^ ((*i as u64) << 32);
-                let got = if cmos {
-                    self.classify_cmos(x, stream_len, s)
-                } else {
-                    self.classify_aqfp(x, stream_len, s)
-                };
-                got == *y
-            })
-            .count();
-        correct as f64 / samples.len() as f64
-    }
-
-    fn scores(&self, image: &Tensor, len: usize, seed: u64, platform: Platform) -> Vec<f64> {
-        assert_eq!(
-            image.shape(),
-            &[1, self.spec.input_side, self.spec.input_side],
-            "image shape mismatch"
-        );
-        let mut gen = StreamGen::new(self.bits, seed, platform);
-        // Encode the input image: pixel p ∈ [0,1] is the bipolar value p.
-        let mut streams: Vec<BitStream> = image
-            .data()
-            .iter()
-            .map(|&p| gen.stream(Bipolar::clamped(p as f64), len))
-            .collect();
-        let shapes = self.spec.shapes();
-        let neutral = BitStream::alternating(len);
-        let mut scores = Vec::new();
-        for (i, layer) in self.layers.iter().enumerate() {
-            let (in_c, h, w) = shapes[i];
-            match layer {
-                CompiledLayer::Conv { k, out_c, padding, w_levels, b_levels, .. } => {
-                    let (oh, ow) = match padding {
-                        Padding::Valid => (h - k + 1, w - k + 1),
-                        Padding::Same => (h, w),
-                    };
-                    let pad = match padding {
-                        Padding::Valid => 0isize,
-                        Padding::Same => (k / 2) as isize,
-                    };
-                    let m = in_c * k * k;
-                    let mut out = Vec::with_capacity(out_c * oh * ow);
-                    for oc in 0..*out_c {
-                        let wrow = &w_levels[oc * m..(oc + 1) * m];
-                        let wstreams: Vec<BitStream> =
-                            wrow.iter().map(|&l| gen.stream_level(l, len)).collect();
-                        let bstream = gen.stream_level(b_levels[oc], len);
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let mut counter = ColumnCounter::new(len);
-                                let mut j = 0usize;
-                                for ic in 0..in_c {
-                                    for ky in 0..*k {
-                                        for kx in 0..*k {
-                                            let iy = oy as isize + ky as isize - pad;
-                                            let ix = ox as isize + kx as isize - pad;
-                                            let x = if iy < 0
-                                                || ix < 0
-                                                || iy >= h as isize
-                                                || ix >= w as isize
-                                            {
-                                                &neutral // zero-valued padding row
-                                            } else {
-                                                &streams[(ic * h + iy as usize) * w
-                                                    + ix as usize]
-                                            };
-                                            add_product(&mut counter, x, &wstreams[j]);
-                                            j += 1;
-                                        }
-                                    }
-                                }
-                                counter.add(&bstream).expect("lengths match");
-                                out.push(neuron_output(&counter, m + 1, len, platform, &neutral));
-                            }
-                        }
-                    }
-                    streams = out;
-                }
-                CompiledLayer::Pool { k } => {
-                    let (oh, ow) = (h / k, w / k);
-                    let mut out = Vec::with_capacity(in_c * oh * ow);
-                    for c in 0..in_c {
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let window: Vec<BitStream> = (0..*k)
-                                    .flat_map(|ky| {
-                                        (0..*k).map(move |kx| (ky, kx))
-                                    })
-                                    .map(|(ky, kx)| {
-                                        streams[(c * h + oy * k + ky) * w + ox * k + kx]
-                                            .clone()
-                                    })
-                                    .collect();
-                                out.push(pool_output(&window, platform, seed ^ (c as u64) << 40));
-                            }
-                        }
-                    }
-                    streams = out;
-                }
-                CompiledLayer::Dense { in_f, out_f, w_levels, b_levels } => {
-                    let mut out = Vec::with_capacity(*out_f);
-                    for o in 0..*out_f {
-                        let wrow = &w_levels[o * in_f..(o + 1) * in_f];
-                        let mut counter = ColumnCounter::new(len);
-                        for (x, &l) in streams.iter().zip(wrow) {
-                            let ws = gen.stream_level(l, len);
-                            add_product(&mut counter, x, &ws);
-                        }
-                        let bstream = gen.stream_level(b_levels[o], len);
-                        counter.add(&bstream).expect("lengths match");
-                        out.push(neuron_output(&counter, in_f + 1, len, platform, &neutral));
-                    }
-                    streams = out;
-                }
-                CompiledLayer::Output { in_f, classes, w_levels, b_levels } => {
-                    for cl in 0..*classes {
-                        let wrow = &w_levels[cl * in_f..(cl + 1) * in_f];
-                        match platform {
-                            Platform::Aqfp => {
-                                // Majority chain over the product column.
-                                // A chain link's influence decays ~2x per
-                                // later link, so the wiring order matters:
-                                // products of high-magnitude weights are
-                                // placed at the END of the chain where
-                                // their influence is largest. (Pure wiring
-                                // choice — free in hardware; see DESIGN.md.)
-                                let mid = 1u64 << (self.bits - 1);
-                                let mut order: Vec<usize> = (0..*in_f).collect();
-                                order.sort_by_key(|&j| wrow[j].abs_diff(mid));
-                                let mut products: Vec<BitStream> = order
-                                    .iter()
-                                    .map(|&j| {
-                                        let ws = gen.stream_level(wrow[j], len);
-                                        streams[j].xnor(&ws).expect("lengths match")
-                                    })
-                                    .collect();
-                                products.push(gen.stream_level(b_levels[cl], len));
-                                let chain = MajorityChain::new(products.len());
-                                let so = chain.run(&products).expect("well-formed");
-                                scores.push(so.bipolar_value().get());
-                            }
-                            Platform::Cmos => {
-                                // APC accumulation: the class score is the
-                                // total product-ones count.
-                                let mut counter = ColumnCounter::new(len);
-                                for (x, &l) in streams.iter().zip(wrow) {
-                                    let ws = gen.stream_level(l, len);
-                                    add_product(&mut counter, x, &ws);
-                                }
-                                let bstream = gen.stream_level(b_levels[cl], len);
-                                counter.add(&bstream).expect("lengths match");
-                                let total: u64 =
-                                    counter.counts().iter().map(|&c| c as u64).sum();
-                                scores.push(total as f64 / len as f64);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        scores
-    }
-}
-
-/// XNOR-product accumulation into a column counter without materialising
-/// the product stream.
-fn add_product(counter: &mut ColumnCounter, x: &BitStream, w: &BitStream) {
-    debug_assert_eq!(x.len(), w.len());
-    let words: Vec<u64> = x
-        .words()
-        .iter()
-        .zip(w.words())
-        .map(|(&a, &b)| !(a ^ b))
-        .collect();
-    counter.add_words(&words);
-}
-
-/// Runs the platform-specific neuron (summation + activation) on the
-/// accumulated column counts. `rows` is the number of product rows already
-/// added (inputs + bias); a neutral row is appended when the sorter width
-/// requires it.
-fn neuron_output(
-    counter: &ColumnCounter,
-    rows: usize,
-    len: usize,
-    platform: Platform,
-    neutral: &BitStream,
-) -> BitStream {
-    let out = match platform {
-        Platform::Aqfp => {
-            let fe = FeatureExtraction::new(rows);
-            if fe.width() != rows {
-                let mut padded = counter.clone();
-                padded.add(neutral).expect("lengths match");
-                fe.run_counts(&padded.counts())
-            } else {
-                fe.run_counts(&counter.counts())
-            }
-        }
-        Platform::Cmos => {
-            let states = btanh_states(rows);
-            let max = states as i64 - 1;
-            let mut state = max / 2;
-            let m = rows as i64;
-            BitStream::from_bits(counter.counts().into_iter().map(|c| {
-                state = (state + 2 * c as i64 - m).clamp(0, max);
-                state > max / 2
-            }))
-        }
-    };
-    debug_assert_eq!(out.len(), len);
-    out
-}
-
-fn pool_output(window: &[BitStream], platform: Platform, seed: u64) -> BitStream {
-    match platform {
-        Platform::Aqfp => AveragePooling::new(window.len())
-            .run(window)
-            .expect("well-formed window"),
-        Platform::Cmos => baseline::mux_average_pooling(window, seed).expect("well-formed window"),
-    }
-}
-
-fn argmax(scores: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &s) in scores.iter().enumerate() {
-        if s > scores[best] {
-            best = i;
-        }
-    }
-    best
-}
-
-/// Platform-specific stochastic number generation.
-struct StreamGen {
-    bits: u32,
-    aqfp: Option<Sng<aqfp_sc_bitstream::BitsAsWords<ThermalRng>>>,
-    cmos: Option<Sng<aqfp_sc_bitstream::BitsAsWords<SplitMix64>>>,
-}
-
-impl StreamGen {
-    fn new(bits: u32, seed: u64, platform: Platform) -> Self {
-        match platform {
-            Platform::Aqfp => StreamGen {
-                bits,
-                aqfp: Some(Sng::new(bits, ThermalRng::with_seed(seed))),
-                cmos: None,
-            },
-            // The CMOS baseline uses pseudo-random generators; a whitened
-            // SplitMix stream models a well-scrambled LFSR bank (a raw
-            // shared-polynomial LFSR bank would add cross-correlation the
-            // baseline papers explicitly design away).
-            Platform::Cmos => StreamGen {
-                bits,
-                cmos: Some(Sng::new(bits, SplitMix64::new(seed))),
-                aqfp: None,
-            },
-        }
-    }
-
-    fn stream(&mut self, value: Bipolar, len: usize) -> BitStream {
-        let scale = (1u64 << self.bits) as f64;
-        let level = (value.probability() * scale).round().min(scale) as u64;
-        self.stream_level(level, len)
-    }
-
-    fn stream_level(&mut self, level: u64, len: usize) -> BitStream {
-        if let Some(sng) = &mut self.aqfp {
-            sng.generate_level(level, len)
-        } else {
-            self.cmos
-                .as_mut()
-                .expect("one platform is always set")
-                .generate_level(level, len)
-        }
+        let platform = if cmos { Platform::Cmos } else { Platform::Aqfp };
+        InferenceEngine::new(self, stream_len, platform).evaluate(samples, seed)
     }
 }
 

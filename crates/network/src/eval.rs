@@ -9,6 +9,7 @@ use aqfp_sc_nn::{Sequential, Tensor};
 use crate::arch::{build_model, ActivationStyle, NetworkSpec};
 use crate::compile::CompiledNetwork;
 use crate::cost::network_cost;
+use crate::engine::{InferenceEngine, Platform};
 
 /// Configuration of a Table 9 run.
 #[derive(Debug, Clone)]
@@ -104,8 +105,13 @@ pub fn run_table9(config: &Table9Config) -> Vec<Table9Row> {
             &CmosTech::default(),
             4.0,
         );
+        // The stochastic rows run through the batched engine: weight
+        // streams are generated once per compiled network and the test
+        // images fan out over the worker pool.
         let cmos_compiled = CompiledNetwork::from_model(spec, &mut cmos_model, config.bits);
-        let cmos_acc = cmos_compiled.evaluate(&sc_test, config.stream_len, config.seed, true);
+        let cmos_engine =
+            InferenceEngine::new(&cmos_compiled, config.stream_len, Platform::Cmos);
+        let cmos_acc = cmos_engine.evaluate(&sc_test, config.seed);
         rows.push(Table9Row {
             network: spec.name,
             platform: "CMOS",
@@ -114,7 +120,9 @@ pub fn run_table9(config: &Table9Config) -> Vec<Table9Row> {
             throughput_img_per_ms: Some(cost.cmos.throughput_img_per_ms),
         });
         let aqfp_compiled = CompiledNetwork::from_model(spec, &mut aqfp_model, config.bits);
-        let aqfp_acc = aqfp_compiled.evaluate(&sc_test, config.stream_len, config.seed, false);
+        let aqfp_engine =
+            InferenceEngine::new(&aqfp_compiled, config.stream_len, Platform::Aqfp);
+        let aqfp_acc = aqfp_engine.evaluate(&sc_test, config.seed);
         rows.push(Table9Row {
             network: spec.name,
             platform: "AQFP",

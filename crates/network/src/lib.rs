@@ -14,11 +14,14 @@
 //!    with taking all limitations of AQFP and SC into considerations".
 //! 3. [`CompiledNetwork::from_model`] quantises weights to the SNG
 //!    comparator grid.
-//! 4. [`CompiledNetwork::classify_aqfp`] / [`classify_cmos`] run bit-level
-//!    stochastic inference: XNOR products, sorter-based feature extraction
-//!    and pooling plus majority-chain categorization on the AQFP path;
-//!    APC + Btanh counters, mux pooling and LFSR number generators on the
-//!    CMOS path.
+//! 4. [`InferenceEngine`] runs bit-level stochastic inference: XNOR
+//!    products, sorter-based feature extraction and pooling plus
+//!    majority-chain categorization on the AQFP path; APC + Btanh
+//!    counters, mux pooling and LFSR number generators on the CMOS path.
+//!    Weight streams are cached at engine construction and image batches
+//!    fan out over a scoped worker pool
+//!    ([`InferenceEngine::classify_batch`]), bit-identical to the serial
+//!    [`CompiledNetwork::classify_aqfp`] / [`classify_cmos`] entry points.
 //! 5. [`network_cost`] aggregates per-block hardware costs into the
 //!    energy/throughput columns of Table 9.
 //!
@@ -45,9 +48,11 @@
 mod arch;
 mod compile;
 mod cost;
+mod engine;
 mod eval;
 
 pub use arch::{build_model, response_table, ActivationStyle, LayerSpec, NetworkSpec};
 pub use compile::{CompiledLayer, CompiledNetwork};
 pub use cost::{network_cost, NetworkCost, PlatformCost};
+pub use engine::{InferenceEngine, Platform};
 pub use eval::{run_table9, Table9Config, Table9Row};

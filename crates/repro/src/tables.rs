@@ -8,7 +8,11 @@ use aqfp_sc_core::accuracy::{
 };
 use aqfp_sc_core::baseline;
 use aqfp_sc_core::{MajorityChain, SngBlock};
-use aqfp_sc_network::{network_cost, run_table9, NetworkSpec, Table9Config};
+use aqfp_sc_network::{
+    build_model, network_cost, run_table9, ActivationStyle, CompiledNetwork, InferenceEngine,
+    NetworkSpec, Platform, Table9Config,
+};
+use aqfp_sc_nn::Tensor;
 use aqfp_sc_sorting::{Direction, SortingNetwork};
 
 use crate::Mode;
@@ -364,6 +368,45 @@ pub fn ablation(mode: Mode) {
         result.report.depth_before,
         result.report.depth_after
     );
+
+    header("Ablation: batched engine vs per-image serial SC inference");
+    {
+        let batch = trials(mode, 8);
+        let n = 512;
+        let spec = NetworkSpec::tiny(8);
+        let mut model = build_model(&spec, ActivationStyle::AqfpFeature, SEED);
+        let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+        let images: Vec<Tensor> = (0..batch)
+            .map(|i| {
+                Tensor::from_vec(
+                    vec![1, 8, 8],
+                    (0..64).map(|p| ((p * (i + 3)) % 11) as f32 / 11.0).collect(),
+                )
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        let serial: Vec<usize> = images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| {
+                compiled.classify_aqfp(img, n, InferenceEngine::image_seed(SEED, i))
+            })
+            .collect();
+        let serial_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let engine = InferenceEngine::new(&compiled, n, Platform::Aqfp);
+        let batched = engine.classify_batch(&images, SEED);
+        let batched_time = t1.elapsed();
+        assert_eq!(serial, batched, "batched inference must be bit-identical");
+        println!(
+            "{batch} images, N={n}: serial {:.1} ms | engine ({} cached streams, {} threads) {:.1} ms | {:.2}x",
+            serial_time.as_secs_f64() * 1e3,
+            engine.cached_streams(),
+            engine.threads(),
+            batched_time.as_secs_f64() * 1e3,
+            serial_time.as_secs_f64() / batched_time.as_secs_f64().max(1e-12),
+        );
+    }
 
     header("Ablation: network-level cost sensitivity to stream length");
     for n in [256u64, 512, 1024, 2048] {

@@ -13,8 +13,9 @@
 
 use aqfp_sc_dnn::data::synthetic_digits;
 use aqfp_sc_dnn::network::{
-    build_model, ActivationStyle, CompiledNetwork, NetworkSpec,
+    build_model, ActivationStyle, CompiledNetwork, InferenceEngine, NetworkSpec, Platform,
 };
+use aqfp_sc_dnn::nn::Tensor;
 
 fn main() {
     let train_n = 1500;
@@ -41,11 +42,23 @@ fn main() {
     let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
 
     println!("bit-level SC inference on {sc_n} digits (N = {stream_len}):");
+    let seed = 100u64;
+    let images: Vec<Tensor> = test.iter().take(sc_n).map(|(x, _)| x.clone()).collect();
+    // One engine per platform: the weight streams are generated once, then
+    // the whole batch fans out across the worker pool.
+    let aqfp_engine = InferenceEngine::new(&compiled, stream_len, Platform::Aqfp);
+    let cmos_engine = InferenceEngine::new(&compiled, stream_len, Platform::Cmos);
+    println!(
+        "  (engine caches {} weight streams, {} worker threads)",
+        aqfp_engine.cached_streams(),
+        aqfp_engine.threads()
+    );
+    let aqfp_preds = aqfp_engine.classify_batch(&images, seed);
+    let cmos_preds = cmos_engine.classify_batch(&images, seed);
     let mut aqfp_ok = 0usize;
     let mut cmos_ok = 0usize;
     for (i, (image, label)) in test.iter().take(sc_n).enumerate() {
-        let aqfp = compiled.classify_aqfp(image, stream_len, 100 + i as u64);
-        let cmos = compiled.classify_cmos(image, stream_len, 100 + i as u64);
+        let (aqfp, cmos) = (aqfp_preds[i], cmos_preds[i]);
         let float = model.predict(image);
         aqfp_ok += usize::from(aqfp == *label);
         cmos_ok += usize::from(cmos == *label);

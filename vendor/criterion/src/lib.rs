@@ -6,11 +6,20 @@
 //! wall-clock mean instead of criterion's statistical machinery. `cargo
 //! bench` prints one line per benchmark; `cargo bench --no-run` compiles the
 //! same harness entry points as the real crate.
+//!
+//! When the `BENCH_JSON` environment variable names a file, the harness
+//! additionally records every benchmark as a JSON array of
+//! `{"name", "mean_ns", "iterations"}` objects — the repository keeps
+//! machine-readable baselines (e.g. `BENCH_engine.json`) this way.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results accumulated for the optional `BENCH_JSON` report.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
 
 /// Identifies a benchmark within a group.
 #[derive(Clone, Debug)]
@@ -143,6 +152,42 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     }
     let mean = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
     println!("{label:<56} mean {} ({} iterations)", format_time(mean), bencher.iterations);
+    if let Ok(mut results) = RESULTS.lock() {
+        results.push((label.to_owned(), mean * 1e9, bencher.iterations));
+    }
+}
+
+/// Writes the accumulated results as a JSON array to the file named by the
+/// `BENCH_JSON` environment variable (no-op when it is unset). Called by
+/// the `criterion_main!` harness after all groups ran.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = match RESULTS.lock() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut json = String::from("[\n");
+    for (i, (name, mean_ns, iterations)) in results.iter().enumerate() {
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        json.push_str(&format!(
+            "  {{\"name\": \"{escaped}\", \"mean_ns\": {mean_ns:.1}, \"iterations\": {iterations}}}{}\n",
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("BENCH_JSON: could not write {path}: {e}");
+    } else {
+        println!("wrote {} benchmark entries to {path}", results.len());
+    }
 }
 
 fn format_time(seconds: f64) -> String {
@@ -176,6 +221,7 @@ macro_rules! criterion_main {
         fn main() {
             // `cargo bench` passes harness flags (e.g. --bench); ignore them.
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -194,6 +240,13 @@ mod tests {
         group.finish();
         // 1 warm-up + 3 measured.
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn run_one_records_results_for_the_json_report() {
+        run_one("shim/json", 2, |b| b.iter(|| 1 + 1));
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|(name, _, iters)| name == "shim/json" && *iters == 2));
     }
 
     #[test]
