@@ -1,0 +1,93 @@
+//! `streaming_inference`: chunked early-exit streaming against the
+//! fixed-N one-shot engine, on a briefly trained tiny network (so class
+//! margins exist and the margin policy has something to exit on).
+//!
+//! Three rungs per batch: the one-shot engine (baseline), streaming driven
+//! to full N with the exit policy disabled (pure chunking overhead — also
+//! the bit-identity configuration), and streaming with the margin policy
+//! (the early-exit payoff). `BENCH_JSON=BENCH_streaming.json cargo bench
+//! --bench streaming` refreshes the committed baseline.
+
+use aqfp_sc_data::synthetic_digits;
+use aqfp_sc_network::{
+    build_model, ActivationStyle, CompiledNetwork, ExitPolicy, InferenceEngine, NetworkSpec,
+    Platform, StreamingEngine,
+};
+use aqfp_sc_nn::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const STREAM_LEN: usize = 512;
+const CHUNK: usize = 64;
+const SEED: u64 = 0x15CA_2019;
+
+fn trained_tiny() -> CompiledNetwork {
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 5);
+    let train: Vec<(Tensor, usize)> = synthetic_digits(240, 9)
+        .iter()
+        .map(|(img, l)| {
+            let mut small = Tensor::zeros(vec![1, 8, 8]);
+            for y in 0..8 {
+                for x in 0..8 {
+                    small.data_mut()[y * 8 + x] = img.at3(0, 2 + y * 3, 2 + x * 3);
+                }
+            }
+            (small, *l)
+        })
+        .collect();
+    for _ in 0..12 {
+        model.train_epoch(&train, 0.05, 0.9, 16);
+    }
+    CompiledNetwork::from_model(&spec, &mut model, 8)
+}
+
+fn images(n: usize) -> Vec<Tensor> {
+    synthetic_digits(n, 77)
+        .iter()
+        .map(|(img, _)| {
+            let mut small = Tensor::zeros(vec![1, 8, 8]);
+            for y in 0..8 {
+                for x in 0..8 {
+                    small.data_mut()[y * 8 + x] = img.at3(0, 2 + y * 3, 2 + x * 3);
+                }
+            }
+            small
+        })
+        .collect()
+}
+
+fn bench_streaming_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_inference");
+    group.sample_size(10);
+    let compiled = trained_tiny();
+    let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);
+    for batch in [8usize, 32] {
+        let imgs = images(batch);
+        group.bench_with_input(BenchmarkId::new("fixed_n", batch), &imgs, |b, imgs| {
+            b.iter(|| black_box(engine.classify_batch(imgs, SEED)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("streaming_full_n", batch),
+            &imgs,
+            |b, imgs| {
+                let streaming = StreamingEngine::new(&engine, CHUNK);
+                b.iter(|| black_box(streaming.classify_batch(imgs, SEED)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming_margin", batch),
+            &imgs,
+            |b, imgs| {
+                let streaming = StreamingEngine::new(&engine, CHUNK)
+                    .with_policy(ExitPolicy::Margin { z: 2.5 })
+                    .with_min_cycles(CHUNK);
+                b.iter(|| black_box(streaming.classify_batch(imgs, SEED)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_inference);
+criterion_main!(benches);

@@ -191,6 +191,20 @@ impl ColumnCounter {
         }
         self.added = 0;
     }
+
+    /// Resets the counter to the empty state *and* retargets it to streams
+    /// of `len` bits, reusing the bit-plane allocations. The chunked
+    /// streaming path uses this when the final chunk of a stream is shorter
+    /// than the configured chunk length.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words = len.div_ceil(WORD_BITS);
+        for plane in &mut self.planes {
+            plane.clear();
+            plane.resize(self.words, 0);
+        }
+        self.added = 0;
+    }
 }
 
 /// One-shot helper: per-cycle column counts over a set of equal-length
@@ -346,6 +360,26 @@ mod tests {
         cc.counts_into(&mut buf);
         assert_eq!(buf.len(), 70);
         assert!(buf.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn reset_retargets_length_and_counts_correctly() {
+        let mut cc = ColumnCounter::new(128);
+        cc.add(&BitStream::ones(128)).unwrap();
+        // Shrink to an odd tail length (shorter final chunk) …
+        cc.reset(37);
+        assert_eq!(cc.len(), 37);
+        assert_eq!(cc.streams_added(), 0);
+        cc.add(&BitStream::from_fn(37, |i| i % 2 == 0)).unwrap();
+        let counts = cc.counts();
+        assert_eq!(counts.len(), 37);
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(c, u32::from(i % 2 == 0), "cycle {i}");
+        }
+        // … and grow back.
+        cc.reset(130);
+        cc.add(&BitStream::ones(130)).unwrap();
+        assert!(cc.counts().iter().all(|&c| c == 1));
     }
 
     #[test]

@@ -222,9 +222,23 @@ impl<S: WordSource> Sng<S> {
     /// Generates a stream from a raw comparator level in `0..=2^n`.
     ///
     /// A level of `2^n` yields the all-ones stream (bipolar +1).
+    ///
+    /// The SNG is a *cursor* over its word source: every emitted bit
+    /// consumes exactly one comparison word, so repeated calls continue the
+    /// stream where the previous call stopped. Generating `N` bits across
+    /// any partition of chunk sizes is bit-identical to one `N`-bit call —
+    /// the property that makes chunked streaming inference resumable.
     pub fn generate_level(&mut self, level: u64, len: usize) -> BitStream {
         let source = &mut self.source;
         BitStream::from_fn(len, |_| source.next_value() < level)
+    }
+
+    /// [`Sng::generate_level`] into an existing stream, reusing its
+    /// allocation: `out` becomes the next `len` bits of the stream at
+    /// `level`, continuing from where the cursor left off.
+    pub fn generate_level_into(&mut self, level: u64, len: usize, out: &mut BitStream) {
+        let source = &mut self.source;
+        out.fill_from_fn(len, |_| source.next_value() < level);
     }
 }
 
@@ -325,6 +339,23 @@ mod tests {
         for _ in 0..200 {
             assert!(src.next_value() < 32);
         }
+    }
+
+    #[test]
+    fn generate_level_is_chunk_resumable() {
+        // Two cursors over identical sources: one generates 200 bits in one
+        // call, the other in uneven chunks. The concatenation must match bit
+        // for bit (the streaming-inference resumability contract).
+        let mut one_shot = Sng::new(8, ThermalRng::with_seed(77));
+        let mut chunked = Sng::new(8, ThermalRng::with_seed(77));
+        let full = one_shot.generate_level(100, 200);
+        let mut bits = Vec::new();
+        let mut buf = BitStream::zeros(0);
+        for chunk in [1usize, 63, 64, 65, 7] {
+            chunked.generate_level_into(100, chunk, &mut buf);
+            bits.extend(buf.iter());
+        }
+        assert_eq!(BitStream::from_bits(bits), full);
     }
 
     #[test]

@@ -75,6 +75,65 @@ impl BitStream {
         Self::from_bits((0..len).map(f))
     }
 
+    /// Refills this stream in place as a fresh `len`-bit stream built from
+    /// `f(cycle)`, reusing the word allocation (the chunked streaming path
+    /// regenerates per-chunk buffers thousands of times per image).
+    pub fn fill_from_fn<F: FnMut(usize) -> bool>(&mut self, len: usize, mut f: F) {
+        self.words.clear();
+        self.words.resize(Self::words_for(len), 0);
+        self.len = len;
+        for cycle in 0..len {
+            if f(cycle) {
+                self.words[cycle / WORD_BITS] |= 1u64 << (cycle % WORD_BITS);
+            }
+        }
+    }
+
+    /// Copies the `len` bits starting at cycle `start` into a new stream
+    /// (cycle `start` of `self` becomes cycle 0 of the slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start + len` exceeds the stream length.
+    pub fn slice(&self, start: usize, len: usize) -> BitStream {
+        let mut out = BitStream::zeros(0);
+        self.slice_into(start, len, &mut out);
+        out
+    }
+
+    /// [`BitStream::slice`] into an existing stream, reusing its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start + len` exceeds the stream length.
+    pub fn slice_into(&self, start: usize, len: usize, out: &mut BitStream) {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "slice {start}..{} out of range for length {}",
+            start + len,
+            self.len
+        );
+        let words = Self::words_for(len);
+        out.words.clear();
+        out.words.resize(words, 0);
+        out.len = len;
+        let first = start / WORD_BITS;
+        let shift = start % WORD_BITS;
+        if shift == 0 {
+            out.words.copy_from_slice(&self.words[first..first + words]);
+        } else {
+            for (i, w) in out.words.iter_mut().enumerate() {
+                let lo = self.words[first + i] >> shift;
+                let hi = self
+                    .words
+                    .get(first + i + 1)
+                    .map_or(0, |&next| next << (WORD_BITS - shift));
+                *w = lo | hi;
+            }
+        }
+        out.mask_tail();
+    }
+
     /// Builds a stream directly from packed words.
     ///
     /// Extra bits in the final word beyond `len` are cleared.
@@ -471,6 +530,60 @@ mod tests {
         let sel = BitStream::from_bits([false, true, false, true]);
         let out: Vec<bool> = a.mux(&b, &sel).unwrap().iter().collect();
         assert_eq!(out, [true, false, true, false]);
+    }
+
+    #[test]
+    fn slice_matches_bit_extraction_at_any_offset() {
+        let s = BitStream::from_fn(200, |i| (i * 7) % 5 < 2);
+        for (start, len) in [(0usize, 200usize), (1, 64), (63, 65), (64, 64), (37, 97), (199, 1), (200, 0), (5, 0)] {
+            let sliced = s.slice(start, len);
+            assert_eq!(sliced.len(), len, "({start},{len})");
+            for i in 0..len {
+                assert_eq!(sliced.get(i), s.get(start + i), "({start},{len}) bit {i}");
+            }
+            // Tail bits beyond `len` in the last word must stay zero so
+            // count_ones stays exact.
+            assert_eq!(
+                sliced.count_ones(),
+                (0..len).filter(|&i| s.get(start + i) == Some(true)).count(),
+                "({start},{len}) tail not masked"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let _ = BitStream::zeros(10).slice(5, 6);
+    }
+
+    #[test]
+    fn slice_into_reuses_allocation() {
+        let s = BitStream::from_fn(130, |i| i % 3 == 0);
+        let mut out = BitStream::ones(500);
+        s.slice_into(65, 40, &mut out);
+        assert_eq!(out, s.slice(65, 40));
+    }
+
+    #[test]
+    fn alternating_slices_keep_absolute_parity() {
+        // The neutral 0101… stream sliced at an odd offset must start with 0
+        // — restarting the pattern per chunk is exactly the count-drift bug
+        // the chunked engine guards against.
+        let neutral = BitStream::alternating(100);
+        let odd = neutral.slice(37, 10);
+        assert_eq!(odd.get(0), Some(false));
+        let even = neutral.slice(38, 10);
+        assert_eq!(even.get(0), Some(true));
+    }
+
+    #[test]
+    fn fill_from_fn_matches_from_fn_and_resizes() {
+        let mut buf = BitStream::ones(7);
+        for len in [0usize, 5, 64, 129] {
+            buf.fill_from_fn(len, |i| i % 4 == 1);
+            assert_eq!(buf, BitStream::from_fn(len, |i| i % 4 == 1), "len {len}");
+        }
     }
 
     #[test]

@@ -1,9 +1,31 @@
 //! Property-based tests of the stochastic-computing substrate.
 
 use aqfp_sc_bitstream::{
-    column_counts, maj3_streams, scc, Bipolar, BitStream, ColumnCounter, Lfsr, Sng, ThermalRng,
+    column_counts, maj3_streams, scc, Bipolar, BitStream, ColumnCounter, Lfsr, Sng, SplitMix64,
+    ThermalRng,
 };
 use proptest::prelude::*;
+
+/// Concatenation of per-chunk generation over `partition` (which must sum
+/// to the reference length) from a fresh cursor, interleaving the two
+/// cursor entry points (`generate_level` / `generate_level_into`).
+fn generate_partitioned<S: aqfp_sc_bitstream::WordSource>(
+    sng: &mut Sng<S>,
+    level: u64,
+    partition: &[usize],
+) -> BitStream {
+    let mut bits = Vec::new();
+    let mut buf = BitStream::zeros(0);
+    for (i, &chunk) in partition.iter().enumerate() {
+        if i % 2 == 0 {
+            bits.extend(sng.generate_level(level, chunk).iter());
+        } else {
+            sng.generate_level_into(level, chunk, &mut buf);
+            bits.extend(buf.iter());
+        }
+    }
+    BitStream::from_bits(bits)
+}
 
 proptest! {
     // Pinned case count for predictable CI time; the harness seeds each
@@ -107,6 +129,57 @@ proptest! {
         let expect = level as f64 / 256.0;
         let got = s.count_ones() as f64 / 4096.0;
         prop_assert!((got - expect).abs() < 0.06, "level {}: got {}", level, got);
+    }
+
+    #[test]
+    fn sng_generation_is_partition_invariant_for_thermal_rng(
+        seed in any::<u64>(),
+        level in 0u64..=256,
+        chunks in prop::collection::vec(1usize..70, 1..8),
+    ) {
+        // Generating N bits across ANY partition of chunk sizes must be
+        // bit-identical to one-shot generation — the cursor contract the
+        // chunked streaming engine relies on.
+        let n: usize = chunks.iter().sum();
+        let mut one_shot = Sng::new(8, ThermalRng::with_seed(seed));
+        let full = one_shot.generate_level(level, n);
+        let mut cursor = Sng::new(8, ThermalRng::with_seed(seed));
+        prop_assert_eq!(generate_partitioned(&mut cursor, level, &chunks), full);
+    }
+
+    #[test]
+    fn sng_generation_is_partition_invariant_for_splitmix(
+        seed in any::<u64>(),
+        level in 0u64..=256,
+        chunks in prop::collection::vec(1usize..70, 1..8),
+    ) {
+        let n: usize = chunks.iter().sum();
+        let mut one_shot = Sng::new(8, SplitMix64::new(seed));
+        let full = one_shot.generate_level(level, n);
+        let mut cursor = Sng::new(8, SplitMix64::new(seed));
+        prop_assert_eq!(generate_partitioned(&mut cursor, level, &chunks), full);
+    }
+
+    #[test]
+    fn slice_concatenation_round_trips(
+        bits in prop::collection::vec(any::<bool>(), 1..300),
+        chunks in prop::collection::vec(1usize..80, 1..8),
+    ) {
+        // Slicing a stream along any partition and concatenating the
+        // slices reproduces it (tail masking must hold at every offset).
+        let s = BitStream::from_bits(bits);
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        for &c in &chunks {
+            let len = c.min(s.len() - offset);
+            out.extend(s.slice(offset, len).iter());
+            offset += len;
+            if offset == s.len() {
+                break;
+            }
+        }
+        out.extend(s.slice(offset, s.len() - offset).iter());
+        prop_assert_eq!(BitStream::from_bits(out), s);
     }
 
     #[test]

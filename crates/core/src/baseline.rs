@@ -34,15 +34,45 @@ pub fn apc_feature_extraction(
 ) -> Result<BitStream, BitstreamError> {
     let first = products.first().ok_or(BitstreamError::Empty)?;
     let len = first.len();
-    let m = products.len() as i64;
     let mut counter = ColumnCounter::new(len);
     counter.add_all(products)?;
-    let max = states as i64 - 1;
-    let mut state = max / 2;
-    Ok(BitStream::from_bits(counter.counts().into_iter().map(|c| {
-        state = (state + 2 * c as i64 - m).clamp(0, max);
-        state > max / 2
-    })))
+    let mut fsm = Btanh::with_states(products.len(), states);
+    Ok(BitStream::from_bits(counter.counts().into_iter().map(|c| fsm.step(c))))
+}
+
+/// The saturating `Btanh` up/down counter FSM of the CMOS baseline neuron,
+/// exposed as a resumable object: one instance per neuron, fed the per-cycle
+/// APC count via [`Btanh::step`]. Because the counter state lives in the
+/// struct, feeding a count sequence chunk by chunk is bit-identical to one
+/// whole-sequence pass — which is what lets the streaming engine suspend a
+/// CMOS neuron between chunks.
+#[derive(Debug, Clone)]
+pub struct Btanh {
+    state: i64,
+    max: i64,
+    m: i64,
+}
+
+impl Btanh {
+    /// FSM for an `m`-input APC neuron with the default
+    /// [`btanh_states`]`(m)` state count.
+    pub fn new(m: usize) -> Self {
+        Self::with_states(m, btanh_states(m))
+    }
+
+    /// FSM for an `m`-input APC neuron with an explicit state count; starts
+    /// at mid-range like the hardware power-on value.
+    pub fn with_states(m: usize, states: u32) -> Self {
+        let max = states.max(2) as i64 - 1;
+        Btanh { state: max / 2, max, m: m as i64 }
+    }
+
+    /// Integrates one cycle's APC count `c` (the counter steps by
+    /// `2·c − M`, saturating) and returns the output bit (counter MSB).
+    pub fn step(&mut self, c: u32) -> bool {
+        self.state = (self.state + 2 * c as i64 - self.m).clamp(0, self.max);
+        self.state > self.max / 2
+    }
 }
 
 /// Default `Btanh` state count for an `M`-input APC neuron (prior work
@@ -205,6 +235,21 @@ mod tests {
         let streams = streams_for(&values, 4096, 6);
         let out = mux_average_pooling(&streams, 7).unwrap();
         assert!(out.bipolar_value().get().abs() < 0.15, "got {}", out.bipolar_value());
+    }
+
+    #[test]
+    fn btanh_fsm_is_chunk_resumable() {
+        // One FSM fed 300 counts in one pass vs. a second FSM fed the same
+        // counts in uneven chunks: identical output bits.
+        let counts: Vec<u32> = (0..300).map(|i| ((i * 13) % 11) as u32).collect();
+        let mut whole = Btanh::new(9);
+        let reference: Vec<bool> = counts.iter().map(|&c| whole.step(c)).collect();
+        let mut chunked = Btanh::new(9);
+        let mut got = Vec::new();
+        for chunk in counts.chunks(37) {
+            got.extend(chunk.iter().map(|&c| chunked.step(c)));
+        }
+        assert_eq!(got, reference);
     }
 
     #[test]

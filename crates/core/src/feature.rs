@@ -103,17 +103,26 @@ impl FeatureExtraction {
     /// Counts must already include the neutral-padding stream when
     /// `width() != inputs()` — [`FeatureExtraction::pad_count_at`] helps.
     pub fn run_counts(&self, counts: &[u32]) -> BitStream {
+        let mut r = 0i64;
+        self.run_counts_resume(counts, &mut r)
+    }
+
+    /// Chunk-resumable [`FeatureExtraction::run_counts`]: `r` is the
+    /// feedback occupancy carried across chunks (start it at 0; the block
+    /// keeps it in `0..=width()`). Splitting a count sequence into chunks
+    /// and threading `r` through is bit-identical to one whole-sequence
+    /// call — the streaming engine holds one `r` per neuron.
+    pub fn run_counts_resume(&self, counts: &[u32], r: &mut i64) -> BitStream {
         let threshold = self.threshold() as i64;
         let cap = self.m as i64;
-        let mut r: i64 = 0;
         BitStream::from_bits(counts.iter().map(|&c| {
-            let t = c as i64 + r;
+            let t = c as i64 + *r;
             let fire = t >= threshold;
             // Firing subtracts (M-1)/2 + 1; not firing leaves T < threshold,
             // so T − threshold < 0 and the clamp lands at 0 — one formula
             // covers both branches. The upper clamp is the physical feedback
             // capacity of M wires.
-            r = (t - threshold).clamp(0, cap);
+            *r = (t - threshold).clamp(0, cap);
             fire
         }))
     }
@@ -334,6 +343,63 @@ mod tests {
             r = (t - 5).clamp(0, 9);
         }
         assert_eq!(so.count_ones() as i64, total);
+    }
+
+    #[test]
+    fn chunked_neutral_padding_needs_absolute_cycle_parity() {
+        // Regression for the chunked-accumulation count drift: with an even
+        // input count the block appends the 0101… neutral stream, whose
+        // contribution at cycle t is pad_count_at(t) — a function of the
+        // ABSOLUTE cycle. A chunked evaluator that restarts the pattern per
+        // chunk (pad_count_at(i) for chunk-local i) drifts on every chunk
+        // that starts at an odd offset, including odd-length tails.
+        let fe = FeatureExtraction::new(4); // even → padded to width 5
+        let counts: Vec<u32> = (0..101).map(|i| ((i * 3) % 5) as u32).collect();
+        // One-shot reference: pad folded in from cycle 0.
+        let mut padded: Vec<u32> = counts.clone();
+        for (i, c) in padded.iter_mut().enumerate() {
+            *c += fe.pad_count_at(i);
+        }
+        let whole = fe.run_counts(&padded);
+        // Chunked with ABSOLUTE parity: bit-identical, odd 37-cycle chunks.
+        let mut r = 0i64;
+        let mut bits = Vec::new();
+        let mut offset = 0usize;
+        for chunk in counts.chunks(37) {
+            let local: Vec<u32> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c + fe.pad_count_at(offset + i))
+                .collect();
+            bits.extend(fe.run_counts_resume(&local, &mut r).iter());
+            offset += chunk.len();
+        }
+        assert_eq!(BitStream::from_bits(bits), whole);
+        // Chunk-local parity (the bug): drifts away from the reference.
+        let mut r_bad = 0i64;
+        let mut bad = Vec::new();
+        for chunk in counts.chunks(37) {
+            let local: Vec<u32> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c + fe.pad_count_at(i))
+                .collect();
+            bad.extend(fe.run_counts_resume(&local, &mut r_bad).iter());
+        }
+        assert_ne!(BitStream::from_bits(bad), whole, "drift went undetected");
+    }
+
+    #[test]
+    fn run_counts_resume_is_chunk_identical() {
+        let fe = FeatureExtraction::new(9);
+        let counts: Vec<u32> = (0..257).map(|i| ((i * 7) % 10) as u32).collect();
+        let whole = fe.run_counts(&counts);
+        let mut r = 0i64;
+        let mut bits = Vec::new();
+        for chunk in counts.chunks(37) {
+            bits.extend(fe.run_counts_resume(chunk, &mut r).iter());
+        }
+        assert_eq!(BitStream::from_bits(bits), whole);
     }
 
     #[test]

@@ -65,12 +65,20 @@ impl AveragePooling {
 
     /// Runs the block on precomputed per-cycle column counts.
     pub fn run_counts(&self, counts: &[u32]) -> BitStream {
+        let mut r = 0i64;
+        self.run_counts_resume(counts, &mut r)
+    }
+
+    /// Chunk-resumable [`AveragePooling::run_counts`]: `r` is the feedback
+    /// occupancy carried across chunks (start it at 0). Splitting a count
+    /// sequence into chunks and threading `r` through is bit-identical to
+    /// one whole-sequence call.
+    pub fn run_counts_resume(&self, counts: &[u32], r: &mut i64) -> BitStream {
         let m = self.m as i64;
-        let mut r: i64 = 0;
         BitStream::from_bits(counts.iter().map(|&c| {
-            let t = c as i64 + r;
+            let t = c as i64 + *r;
             let fire = t >= m;
-            r = t - m * i64::from(fire);
+            *r = t - m * i64::from(fire);
             fire
         }))
     }
@@ -206,6 +214,19 @@ mod tests {
         let streams = vec![BitStream::ones(256); 4];
         let so = pool.run(&streams).unwrap();
         assert_eq!(so.count_ones(), 256);
+    }
+
+    #[test]
+    fn run_counts_resume_is_chunk_identical() {
+        let pool = AveragePooling::new(4);
+        let counts: Vec<u32> = (0..200).map(|i| ((i * 5) % 6) as u32).collect();
+        let whole = pool.run_counts(&counts);
+        let mut r = 0i64;
+        let mut bits = Vec::new();
+        for chunk in counts.chunks(23) {
+            bits.extend(pool.run_counts_resume(chunk, &mut r).iter());
+        }
+        assert_eq!(BitStream::from_bits(bits), whole);
     }
 
     #[test]

@@ -194,13 +194,16 @@ impl CompiledNetwork {
     /// AQFP), evaluated through a batched [`InferenceEngine`]: weight
     /// streams are generated once and images fan out over the worker pool,
     /// with per-image seeds derived via [`InferenceEngine::image_seed`].
+    ///
+    /// Returns `None` for an empty sample set (no accuracy is defined, and
+    /// 0.0 would read as a 0 %-accurate model).
     pub fn evaluate(
         &self,
         samples: &[(Tensor, usize)],
         stream_len: usize,
         seed: u64,
         cmos: bool,
-    ) -> f64 {
+    ) -> Option<f64> {
         let platform = if cmos { Platform::Cmos } else { Platform::Aqfp };
         InferenceEngine::new(self, stream_len, platform).evaluate(samples, seed)
     }

@@ -26,7 +26,7 @@
 //!   bit for bit, regardless of worker count.
 
 use aqfp_sc_bitstream::{Bipolar, BitStream, ColumnCounter, SplitMix64, Sng, ThermalRng};
-use aqfp_sc_core::baseline::{self, btanh_states};
+use aqfp_sc_core::baseline::{self, Btanh};
 use aqfp_sc_core::{AveragePooling, FeatureExtraction, MajorityChain};
 use aqfp_sc_nn::{Padding, Tensor};
 
@@ -44,15 +44,18 @@ pub enum Platform {
 }
 
 /// Domain tags separating the independent RNG streams (arbitrary odd
-/// constants; only inequality matters).
-const TAG_WEIGHT: u64 = 0x57E1_6877_0000_0001;
-const TAG_BIAS: u64 = 0xB1A5_0000_0000_0003;
-const TAG_PIXEL: u64 = 0x01AE_D1D0_0000_0005;
-const TAG_POOL: u64 = 0x9001_0000_0000_0007;
-const TAG_IMAGE: u64 = 0x1111_A6E5_0000_0009;
+/// constants; only inequality matters). `TAG_PIXEL` is mixed with the
+/// pixel's raster index: every pixel owns its own SNG (the paper's
+/// one-SNG-per-input wiring), which is also what lets the streaming engine
+/// resume each pixel's stream across chunks without any chunk-domain tag.
+pub(crate) const TAG_WEIGHT: u64 = 0x57E1_6877_0000_0001;
+pub(crate) const TAG_BIAS: u64 = 0xB1A5_0000_0000_0003;
+pub(crate) const TAG_PIXEL: u64 = 0x01AE_D1D0_0000_0005;
+pub(crate) const TAG_POOL: u64 = 0x9001_0000_0000_0007;
+pub(crate) const TAG_IMAGE: u64 = 0x1111_A6E5_0000_0009;
 
 /// One compiled layer with its image-independent streams attached.
-enum CachedLayer {
+pub(crate) enum CachedLayer {
     Conv {
         k: usize,
         in_c: usize,
@@ -114,12 +117,12 @@ enum CachedLayer {
 /// assert_eq!(classes[0], serial);
 /// ```
 pub struct InferenceEngine<'a> {
-    net: &'a CompiledNetwork,
+    pub(crate) net: &'a CompiledNetwork,
     platform: Platform,
     stream_len: usize,
-    layers: Vec<CachedLayer>,
-    shapes: Vec<(usize, usize, usize)>,
-    neutral: BitStream,
+    pub(crate) layers: Vec<CachedLayer>,
+    pub(crate) shapes: Vec<(usize, usize, usize)>,
+    pub(crate) neutral: BitStream,
     threads: usize,
     cached_streams: usize,
 }
@@ -299,10 +302,13 @@ impl<'a> InferenceEngine<'a> {
         self.run_batch(&refs, base_seed, |scores| argmax(&scores))
     }
 
-    /// Accuracy over a labelled set through the batch pipeline.
-    pub fn evaluate(&self, samples: &[(Tensor, usize)], base_seed: u64) -> f64 {
+    /// Accuracy over a labelled set through the batch pipeline, or `None`
+    /// for an empty sample set (an empty set has no accuracy — returning
+    /// 0.0 would be indistinguishable from a model that got every sample
+    /// wrong).
+    pub fn evaluate(&self, samples: &[(Tensor, usize)], base_seed: u64) -> Option<f64> {
         if samples.is_empty() {
-            return 0.0;
+            return None;
         }
         let images: Vec<&Tensor> = samples.iter().map(|(x, _)| x).collect();
         let correct = self
@@ -311,7 +317,7 @@ impl<'a> InferenceEngine<'a> {
             .zip(samples)
             .filter(|(got, (_, want))| *got == want)
             .count();
-        correct as f64 / samples.len() as f64
+        Some(correct as f64 / samples.len() as f64)
     }
 
     /// Shared batch driver: contiguous chunks of the image list go to
@@ -359,28 +365,20 @@ impl<'a> InferenceEngine<'a> {
         assert_eq!(image.shape(), &[1, side, side], "image shape mismatch");
         let len = self.stream_len;
         let bits = self.net.bits();
-        // Encode the input image: pixel p ∈ [0,1] is the bipolar value p,
-        // one SNG sequence over all pixels in raster order.
+        // Encode the input image: pixel p ∈ [0,1] is the bipolar value p.
+        // Every pixel owns its own SNG, keyed by its raster index — the
+        // paper's one-SNG-per-input wiring, and the discipline that lets
+        // the streaming engine hold a resumable cursor per pixel.
         let scale = (1u64 << bits) as f64;
-        let pixel_key = derive(image_seed, [TAG_PIXEL, 0, 0]);
-        let mut streams: Vec<BitStream> = match self.platform {
-            Platform::Aqfp => {
-                let mut sng = Sng::new(bits, ThermalRng::with_seed(pixel_key));
-                image
-                    .data()
-                    .iter()
-                    .map(|&p| sng.generate_level(pixel_level(p, scale), len))
-                    .collect()
-            }
-            Platform::Cmos => {
-                let mut sng = Sng::new(bits, SplitMix64::new(pixel_key));
-                image
-                    .data()
-                    .iter()
-                    .map(|&p| sng.generate_level(pixel_level(p, scale), len))
-                    .collect()
-            }
-        };
+        let mut streams: Vec<BitStream> = image
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(p, &v)| {
+                let key = derive(image_seed, [TAG_PIXEL, p as u64, 0]);
+                generate_stream(self.platform, bits, key, pixel_level(v, scale), len)
+            })
+            .collect();
         let mut scores = Vec::new();
         for (li, layer) in self.layers.iter().enumerate() {
             let (layer_in_c, h, w_dim) = self.shapes[li];
@@ -518,14 +516,8 @@ impl<'a> InferenceEngine<'a> {
                 fe.run_counts(&scratch.counts)
             }
             Platform::Cmos => {
-                let states = btanh_states(rows);
-                let max = states as i64 - 1;
-                let mut state = max / 2;
-                let m = rows as i64;
-                BitStream::from_bits(scratch.counts.iter().map(|&c| {
-                    state = (state + 2 * c as i64 - m).clamp(0, max);
-                    state > max / 2
-                }))
+                let mut fsm = Btanh::new(rows);
+                BitStream::from_bits(scratch.counts.iter().map(|&c| fsm.step(c)))
             }
         }
     }
@@ -559,13 +551,13 @@ impl<'a> InferenceEngine<'a> {
 
 /// Per-worker scratch buffers: one column counter and one counts vector,
 /// reused across every neuron of every image the worker processes.
-struct Scratch {
-    counter: ColumnCounter,
-    counts: Vec<u32>,
+pub(crate) struct Scratch {
+    pub(crate) counter: ColumnCounter,
+    pub(crate) counts: Vec<u32>,
 }
 
 impl Scratch {
-    fn new(len: usize) -> Self {
+    pub(crate) fn new(len: usize) -> Self {
         Scratch { counter: ColumnCounter::new(len), counts: Vec::with_capacity(len) }
     }
 }
@@ -583,13 +575,13 @@ pub(crate) fn argmax(scores: &[f64]) -> usize {
 
 /// Comparator level of a pixel value `p ∈ [0, 1]` read as the bipolar
 /// value `p`: `round(Bipolar::clamped(p).probability() · 2^bits)`.
-fn pixel_level(p: f32, scale: f64) -> u64 {
+pub(crate) fn pixel_level(p: f32, scale: f64) -> u64 {
     let prob = Bipolar::clamped(f64::from(p)).probability();
     (prob * scale).round().min(scale) as u64
 }
 
 /// Seed-domain separation: three keyed SplitMix64 steps over `base`.
-fn derive(base: u64, tags: [u64; 3]) -> u64 {
+pub(crate) fn derive(base: u64, tags: [u64; 3]) -> u64 {
     let mut x = base;
     for t in tags {
         x = SplitMix64::new(x ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();

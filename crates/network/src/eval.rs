@@ -111,7 +111,9 @@ pub fn run_table9(config: &Table9Config) -> Vec<Table9Row> {
         let cmos_compiled = CompiledNetwork::from_model(spec, &mut cmos_model, config.bits);
         let cmos_engine =
             InferenceEngine::new(&cmos_compiled, config.stream_len, Platform::Cmos);
-        let cmos_acc = cmos_engine.evaluate(&sc_test, config.seed);
+        // An empty SC test set (sc_test = 0) has no accuracy; NaN keeps the
+        // row honest instead of reporting a fake 0 %.
+        let cmos_acc = cmos_engine.evaluate(&sc_test, config.seed).unwrap_or(f64::NAN);
         rows.push(Table9Row {
             network: spec.name,
             platform: "CMOS",
@@ -122,7 +124,7 @@ pub fn run_table9(config: &Table9Config) -> Vec<Table9Row> {
         let aqfp_compiled = CompiledNetwork::from_model(spec, &mut aqfp_model, config.bits);
         let aqfp_engine =
             InferenceEngine::new(&aqfp_compiled, config.stream_len, Platform::Aqfp);
-        let aqfp_acc = aqfp_engine.evaluate(&sc_test, config.seed);
+        let aqfp_acc = aqfp_engine.evaluate(&sc_test, config.seed).unwrap_or(f64::NAN);
         rows.push(Table9Row {
             network: spec.name,
             platform: "AQFP",

@@ -22,7 +22,12 @@
 //!    fan out over a scoped worker pool
 //!    ([`InferenceEngine::classify_batch`]), bit-identical to the serial
 //!    [`CompiledNetwork::classify_aqfp`] / [`classify_cmos`] entry points.
-//! 5. [`network_cost`] aggregates per-block hardware costs into the
+//! 5. [`StreamingEngine`] evaluates the same pipeline in chunks of
+//!    `chunk_len` cycles with running per-class score accumulators and a
+//!    pluggable [`ExitPolicy`], so each image consumes only as many cycles
+//!    as its decision needs — bit-identical to the one-shot engine when
+//!    driven to full N with the policy disabled.
+//! 6. [`network_cost`] aggregates per-block hardware costs into the
 //!    energy/throughput columns of Table 9.
 //!
 //! [`classify_cmos`]: CompiledNetwork::classify_cmos
@@ -50,9 +55,13 @@ mod compile;
 mod cost;
 mod engine;
 mod eval;
+mod streaming;
 
 pub use arch::{build_model, response_table, ActivationStyle, LayerSpec, NetworkSpec};
 pub use compile::{CompiledLayer, CompiledNetwork};
 pub use cost::{network_cost, NetworkCost, PlatformCost};
 pub use engine::{InferenceEngine, Platform};
 pub use eval::{run_table9, Table9Config, Table9Row};
+pub use streaming::{
+    ExitPolicy, StreamingEngine, StreamingEvaluation, StreamingOutcome,
+};

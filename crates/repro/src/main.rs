@@ -4,7 +4,7 @@
 //! repro <experiment> [--quick|--full]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
-//!              table9 fig7b fig11 fig13 ablation all
+//!              table9 fig7b fig11 fig13 ablation streaming all
 //! ```
 //!
 //! Every experiment prints the paper's reported values next to the
@@ -38,6 +38,7 @@ fn main() {
         "fig11" => tables::fig11(),
         "fig13" => tables::fig13(mode),
         "ablation" => tables::ablation(mode),
+        "streaming" => tables::streaming(mode),
         "all" => {
             tables::table1(mode);
             tables::table2(mode);
@@ -51,11 +52,12 @@ fn main() {
             tables::fig11();
             tables::fig13(mode);
             tables::ablation(mode);
+            tables::streaming(mode);
             tables::table9(mode);
         }
         _ => {
             eprintln!(
-                "usage: repro <table1..table9|fig7b|fig11|fig13|ablation|all> [--quick|--full]"
+                "usage: repro <table1..table9|fig7b|fig11|fig13|ablation|streaming|all> [--quick|--full]"
             );
             std::process::exit(2);
         }

@@ -128,13 +128,15 @@ fn batch_evaluate_matches_manual_accuracy() {
         .filter(|(i, (_, label))| preds[*i] == *label)
         .count() as f64
         / samples.len() as f64;
-    assert_eq!(engine.evaluate(&samples, BASE_SEED), want);
+    assert_eq!(engine.evaluate(&samples, BASE_SEED), Some(want));
 }
 
 #[test]
-fn empty_batch_is_fine() {
+fn empty_batch_is_fine_and_has_no_accuracy() {
     let compiled = compiled_tiny();
     let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);
     assert!(engine.classify_batch(&[], BASE_SEED).is_empty());
-    assert_eq!(engine.evaluate(&[], BASE_SEED), 0.0);
+    // An empty set has no accuracy — `None`, not a 0.0 that would read as
+    // a 0 %-accurate model.
+    assert_eq!(engine.evaluate(&[], BASE_SEED), None);
 }

@@ -1,0 +1,190 @@
+//! Cross-crate integration of the chunked streaming engine: bit-exact
+//! equivalence with the one-shot engine at full N, odd-tail chunk
+//! handling, early-exit behaviour, and batch/thread invariance.
+
+use aqfp_sc_dnn::network::{
+    build_model, ActivationStyle, CompiledNetwork, ExitPolicy, InferenceEngine, LayerSpec,
+    NetworkSpec, Platform, StreamingEngine,
+};
+use aqfp_sc_dnn::nn::{Padding, Tensor};
+
+const STREAM_LEN: usize = 256;
+const BASE_SEED: u64 = 0x57E3_A21C;
+
+fn compiled_tiny() -> CompiledNetwork {
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 17);
+    CompiledNetwork::from_model(&spec, &mut model, 8)
+}
+
+fn probe_images(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            Tensor::from_vec(
+                vec![1, 8, 8],
+                (0..64).map(|p| ((p * (2 * i + 3) + i) % 13) as f32 / 13.0).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn full_run_with_exit_disabled_is_bit_identical_to_one_shot_on_both_platforms() {
+    let compiled = compiled_tiny();
+    let images = probe_images(3);
+    // Chunk lengths exercising word alignment, odd offsets, short final
+    // chunks (37·6 = 222, tail 34; 100·2 = 200, tail 56), chunk == N, and
+    // chunk > N.
+    for platform in [Platform::Aqfp, Platform::Cmos] {
+        let engine = InferenceEngine::new(&compiled, STREAM_LEN, platform);
+        for chunk_len in [64usize, 37, 100, STREAM_LEN, STREAM_LEN + 11] {
+            let streaming = StreamingEngine::new(&engine, chunk_len);
+            for (i, image) in images.iter().enumerate() {
+                let seed = InferenceEngine::image_seed(BASE_SEED, i);
+                let outcome = streaming.classify(image, seed);
+                assert_eq!(
+                    outcome.scores,
+                    engine.scores(image, seed),
+                    "{platform:?} chunk {chunk_len} image {i}: scores diverged"
+                );
+                assert_eq!(outcome.class, engine.classify(image, seed));
+                assert_eq!(outcome.cycles, STREAM_LEN);
+                assert!(!outcome.early_exit);
+                assert_eq!(outcome.chunks, STREAM_LEN.div_ceil(chunk_len.min(STREAM_LEN)));
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_identity_covers_dense_same_padding_and_even_output_fan_in() {
+    // `tiny` is Conv(Valid)+Pool+Output with an odd output fan-in, so this
+    // spec deliberately drives the remaining streaming arms: Same padding
+    // (out-of-bounds taps read the neutral slice), a Dense layer, and an
+    // Output whose fan-in (5 weights + bias = 6) is even — forcing the
+    // parity-sensitive neutral pad of the majority chain. The odd N also
+    // leaves a short final chunk for every chunk length below.
+    let spec = NetworkSpec {
+        name: "probe",
+        input_side: 6,
+        layers: vec![
+            LayerSpec::Conv { k: 3, out_c: 2, padding: Padding::Same },
+            LayerSpec::AvgPool { k: 2 },
+            LayerSpec::Dense { out: 5 },
+            LayerSpec::Output { classes: 3 },
+        ],
+    };
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 23);
+    let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+    let image = Tensor::from_vec(
+        vec![1, 6, 6],
+        (0..36).map(|p| ((p * 5 + 2) % 9) as f32 / 9.0).collect(),
+    );
+    let n = 193; // odd full length: every tail below is odd-sized too
+    for platform in [Platform::Aqfp, Platform::Cmos] {
+        let engine = InferenceEngine::new(&compiled, n, platform);
+        let want = engine.scores(&image, 31);
+        for chunk_len in [64usize, 37, 193] {
+            let got = StreamingEngine::new(&engine, chunk_len).classify(&image, 31);
+            assert_eq!(
+                got.scores, want,
+                "{platform:?} chunk {chunk_len}: scores diverged on probe spec"
+            );
+            assert_eq!(got.cycles, n);
+        }
+    }
+}
+
+#[test]
+fn streaming_batch_matches_one_shot_batch_and_is_thread_invariant() {
+    let compiled = compiled_tiny();
+    let images = probe_images(5);
+    let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);
+    let one_shot = engine.scores_batch(&images, BASE_SEED);
+    let outcomes = StreamingEngine::new(&engine, 64).classify_batch(&images, BASE_SEED);
+    for (o, s) in outcomes.iter().zip(&one_shot) {
+        assert_eq!(&o.scores, s, "batch streaming diverged from one-shot batch");
+    }
+    // Worker count never changes results.
+    let single = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp).with_threads(1);
+    let serial = StreamingEngine::new(&single, 64).classify_batch(&images, BASE_SEED);
+    assert_eq!(serial, outcomes);
+}
+
+#[test]
+fn margin_policy_exits_early_and_keeps_the_confident_class() {
+    let compiled = compiled_tiny();
+    let images = probe_images(8);
+    let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);
+    let fixed = engine.classify_batch(&images, BASE_SEED);
+    let streaming = StreamingEngine::new(&engine, 32)
+        .with_policy(ExitPolicy::Margin { z: 2.0 });
+    let outcomes = streaming.classify_batch(&images, BASE_SEED);
+    let saved: usize = outcomes.iter().map(|o| STREAM_LEN - o.cycles).sum();
+    assert!(
+        outcomes.iter().any(|o| o.early_exit) && saved > 0,
+        "a loose margin at z=2 should exit early on some probe image"
+    );
+    // Early exits must still mostly agree with the fixed-N decision (the
+    // margin bound makes a flip a >2-sigma event per image).
+    let agree = outcomes.iter().zip(&fixed).filter(|(o, f)| o.class == **f).count();
+    assert!(agree * 10 >= images.len() * 7, "only {agree}/{} agree", images.len());
+}
+
+#[test]
+fn stable_argmax_policy_exits_after_k_stable_chunks() {
+    let compiled = compiled_tiny();
+    let image = &probe_images(1)[0];
+    let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);
+    let outcome = StreamingEngine::new(&engine, 32)
+        .with_policy(ExitPolicy::StableArgmax { k: 1 })
+        .classify(image, 7);
+    // k = 1 exits at the first policy check (after the second chunk starts
+    // being unnecessary), so exactly one chunk-check boundary is consumed.
+    assert!(outcome.early_exit);
+    assert_eq!(outcome.cycles, 32);
+    // A k larger than the chunk count can never fire.
+    let never = StreamingEngine::new(&engine, 32)
+        .with_policy(ExitPolicy::StableArgmax { k: 100 })
+        .classify(image, 7);
+    assert!(!never.early_exit);
+    assert_eq!(never.cycles, STREAM_LEN);
+}
+
+#[test]
+fn min_cycles_floor_delays_exit() {
+    let compiled = compiled_tiny();
+    let image = &probe_images(1)[0];
+    let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);
+    let eager = StreamingEngine::new(&engine, 32)
+        .with_policy(ExitPolicy::StableArgmax { k: 1 })
+        .classify(image, 9);
+    let floored = StreamingEngine::new(&engine, 32)
+        .with_policy(ExitPolicy::StableArgmax { k: 1 })
+        .with_min_cycles(128)
+        .classify(image, 9);
+    assert!(eager.cycles <= floored.cycles);
+    assert!(floored.cycles >= 128);
+}
+
+#[test]
+fn evaluate_reports_cycle_statistics_and_rejects_empty_sets() {
+    let compiled = compiled_tiny();
+    let images = probe_images(4);
+    let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);
+    let streaming = StreamingEngine::new(&engine, 64);
+    assert!(streaming.evaluate(&[], BASE_SEED).is_none());
+    let preds = engine.classify_batch(&images, BASE_SEED);
+    let samples: Vec<(Tensor, usize)> = images
+        .iter()
+        .zip(&preds)
+        .map(|(img, &p)| (img.clone(), p))
+        .collect();
+    let eval = streaming.evaluate(&samples, BASE_SEED).expect("non-empty");
+    // Labels are the fixed-N predictions and the policy is disabled, so
+    // the streamed accuracy is exactly 1 and every cycle is consumed.
+    assert_eq!(eval.accuracy, 1.0);
+    assert_eq!(eval.avg_cycles, STREAM_LEN as f64);
+    assert_eq!(eval.early_exit_fraction, 0.0);
+    assert_eq!(eval.cycle_savings(STREAM_LEN), 0.0);
+}
