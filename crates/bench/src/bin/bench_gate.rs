@@ -1,0 +1,143 @@
+//! Regression gate over the `BENCH_JSON` criterion-shim reports.
+//!
+//! ```text
+//! bench_gate <current.json> <baseline.json> <benchmark-name> [max-regress] [reference-name]
+//! ```
+//!
+//! Compares the `mean_ns` of `benchmark-name` (e.g.
+//! `engine_batch_inference/batched/32`) in the freshly generated
+//! `current.json` against the committed `baseline.json` and exits non-zero
+//! when the current value exceeds the baseline by more than `max-regress`
+//! (a fraction; default 0.10 = +10%). Faster-than-baseline runs always
+//! pass — the gate only catches regressions.
+//!
+//! With a `reference-name` (e.g.
+//! `engine_batch_inference/serial_per_image/32`), the gate additionally
+//! computes the *ratio* `mean_ns(name) / mean_ns(reference)` within each
+//! report and passes when **either** the raw mean **or** the normalised
+//! ratio is within budget. A genuine regression of the gated benchmark
+//! inflates both; a slower CI runner inflates only the raw mean (the
+//! same-run ratio cancels the machine-speed factor), and a noisy
+//! reference benchmark inflates only the ratio — neither alone should
+//! fail the build.
+//!
+//! The report format is the flat array the vendored criterion shim writes:
+//! `[{"name": "...", "mean_ns": 123.4, "iterations": 10}, …]`; parsing is
+//! hand-rolled so the gate needs no JSON dependency.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, baseline_path, name) = match (args.first(), args.get(1), args.get(2)) {
+        (Some(c), Some(b), Some(n)) => (c, b, n),
+        _ => {
+            eprintln!(
+                "usage: bench_gate <current.json> <baseline.json> <benchmark-name> \
+                 [max-regress] [reference-name]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let max_regress: f64 = match args.get(3).map(|s| s.parse()) {
+        None => 0.10,
+        Some(Ok(v)) if v >= 0.0 => v,
+        _ => {
+            eprintln!("bench_gate: max-regress must be a non-negative fraction");
+            return ExitCode::from(2);
+        }
+    };
+    let reference = args.get(4);
+    // (label, current value, baseline value) per gated quantity.
+    let mut checks: Vec<(&str, f64, f64)> = Vec::new();
+    let read = |path: &str, bench: &str| -> Option<f64> {
+        match mean_ns_of(path, bench) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("bench_gate: {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(cur_raw), Some(base_raw)) = (read(current_path, name), read(baseline_path, name))
+    else {
+        return ExitCode::from(2);
+    };
+    checks.push(("raw mean_ns", cur_raw, base_raw));
+    if let Some(r) = reference {
+        let (Some(cur_ref), Some(base_ref)) =
+            (read(current_path, r), read(baseline_path, r))
+        else {
+            return ExitCode::from(2);
+        };
+        checks.push(("normalised by reference", cur_raw / cur_ref, base_raw / base_ref));
+    }
+    let mut any_ok = false;
+    for (label, current, baseline) in &checks {
+        let delta = current / baseline - 1.0;
+        let ok = delta <= max_regress;
+        any_ok |= ok;
+        println!(
+            "bench_gate: {name} [{label}]: current {current:.4e} vs baseline {baseline:.4e} \
+             ({:+.1}%) — {}",
+            delta * 100.0,
+            if ok { "within budget" } else { "over budget" }
+        );
+    }
+    if !any_ok {
+        eprintln!(
+            "bench_gate: FAIL — every gated quantity regressed beyond the {:.0}% budget",
+            max_regress * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: OK (budget {:.0}%)", max_regress * 100.0);
+    ExitCode::SUCCESS
+}
+
+/// Extracts `mean_ns` of the entry whose `name` matches exactly.
+fn mean_ns_of(path: &str, name: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let needle = format!("\"name\": \"{name}\"");
+    for entry in text.split('{') {
+        if !entry.contains(&needle) {
+            continue;
+        }
+        let after = entry
+            .split("\"mean_ns\":")
+            .nth(1)
+            .ok_or_else(|| format!("entry {name} has no mean_ns field"))?;
+        let num: String = after
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        return num
+            .parse()
+            .map_err(|_| format!("entry {name}: unparsable mean_ns `{num}`"));
+    }
+    Err(format!("no benchmark named `{name}` in report"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mean_ns_of;
+
+    #[test]
+    fn parses_the_committed_baseline_format() {
+        let dir = std::env::temp_dir().join("bench_gate_test.json");
+        std::fs::write(
+            &dir,
+            r#"[
+  {"name": "g/serial/1", "mean_ns": 24943982.9, "iterations": 10},
+  {"name": "g/batched/32", "mean_ns": 118894476.4, "iterations": 10}
+]"#,
+        )
+        .unwrap();
+        let path = dir.to_str().unwrap();
+        assert_eq!(mean_ns_of(path, "g/batched/32").unwrap(), 118894476.4);
+        assert_eq!(mean_ns_of(path, "g/serial/1").unwrap(), 24943982.9);
+        assert!(mean_ns_of(path, "g/missing").is_err());
+        std::fs::remove_file(dir).ok();
+    }
+}

@@ -94,24 +94,22 @@ impl FeatureExtraction {
         if self.m != self.inputs {
             counter.add(&BitStream::alternating(len))?;
         }
-        Ok(self.run_counts(&counter.counts()))
+        Ok(self.run_counts_resume(&counter.counts(), &mut 0))
     }
 
     /// Runs the block on precomputed per-cycle column counts (the network
-    /// engine computes counts directly from weight levels).
+    /// engine computes counts directly from weight levels) — the single
+    /// count-level entry point, chunk-resumable by construction.
+    ///
+    /// `r` is the feedback occupancy carried across chunks: start it at 0
+    /// for a whole-stream (non-resumed) run; the block keeps it in
+    /// `0..=width()`. Splitting a count sequence into chunks and threading
+    /// `r` through is bit-identical to one whole-sequence call — the
+    /// network execution core holds one `r` per neuron.
     ///
     /// Counts must already include the neutral-padding stream when
-    /// `width() != inputs()` — [`FeatureExtraction::pad_count_at`] helps.
-    pub fn run_counts(&self, counts: &[u32]) -> BitStream {
-        let mut r = 0i64;
-        self.run_counts_resume(counts, &mut r)
-    }
-
-    /// Chunk-resumable [`FeatureExtraction::run_counts`]: `r` is the
-    /// feedback occupancy carried across chunks (start it at 0; the block
-    /// keeps it in `0..=width()`). Splitting a count sequence into chunks
-    /// and threading `r` through is bit-identical to one whole-sequence
-    /// call — the streaming engine holds one `r` per neuron.
+    /// `width() != inputs()` — [`FeatureExtraction::pad_count_at`] helps
+    /// (index it by the ABSOLUTE cycle when resuming mid-stream).
     pub fn run_counts_resume(&self, counts: &[u32], r: &mut i64) -> BitStream {
         let threshold = self.threshold() as i64;
         let cap = self.m as i64;
@@ -333,7 +331,7 @@ mod tests {
         // here against a direct scalar recursion.
         let fe = FeatureExtraction::new(9);
         let counts: Vec<u32> = (0..200).map(|i| ((i * 7) % 10) as u32).collect();
-        let so = fe.run_counts(&counts);
+        let so = fe.run_counts_resume(&counts, &mut 0);
         let mut r = 0i64;
         let mut total = 0i64;
         for &c in &counts {
@@ -360,7 +358,7 @@ mod tests {
         for (i, c) in padded.iter_mut().enumerate() {
             *c += fe.pad_count_at(i);
         }
-        let whole = fe.run_counts(&padded);
+        let whole = fe.run_counts_resume(&padded, &mut 0);
         // Chunked with ABSOLUTE parity: bit-identical, odd 37-cycle chunks.
         let mut r = 0i64;
         let mut bits = Vec::new();
@@ -393,7 +391,7 @@ mod tests {
     fn run_counts_resume_is_chunk_identical() {
         let fe = FeatureExtraction::new(9);
         let counts: Vec<u32> = (0..257).map(|i| ((i * 7) % 10) as u32).collect();
-        let whole = fe.run_counts(&counts);
+        let whole = fe.run_counts_resume(&counts, &mut 0);
         let mut r = 0i64;
         let mut bits = Vec::new();
         for chunk in counts.chunks(37) {

@@ -60,19 +60,16 @@ impl AveragePooling {
         }
         let mut counter = ColumnCounter::new(first.len());
         counter.add_all(streams)?;
-        Ok(self.run_counts(&counter.counts()))
+        Ok(self.run_counts_resume(&counter.counts(), &mut 0))
     }
 
-    /// Runs the block on precomputed per-cycle column counts.
-    pub fn run_counts(&self, counts: &[u32]) -> BitStream {
-        let mut r = 0i64;
-        self.run_counts_resume(counts, &mut r)
-    }
-
-    /// Chunk-resumable [`AveragePooling::run_counts`]: `r` is the feedback
-    /// occupancy carried across chunks (start it at 0). Splitting a count
-    /// sequence into chunks and threading `r` through is bit-identical to
-    /// one whole-sequence call.
+    /// Runs the block on precomputed per-cycle column counts — the single
+    /// count-level entry point, chunk-resumable by construction.
+    ///
+    /// `r` is the feedback occupancy carried across chunks: start it at 0
+    /// for a whole-stream (non-resumed) run. Splitting a count sequence
+    /// into chunks and threading `r` through is bit-identical to one
+    /// whole-sequence call.
     pub fn run_counts_resume(&self, counts: &[u32], r: &mut i64) -> BitStream {
         let m = self.m as i64;
         BitStream::from_bits(counts.iter().map(|&c| {
@@ -220,7 +217,7 @@ mod tests {
     fn run_counts_resume_is_chunk_identical() {
         let pool = AveragePooling::new(4);
         let counts: Vec<u32> = (0..200).map(|i| ((i * 5) % 6) as u32).collect();
-        let whole = pool.run_counts(&counts);
+        let whole = pool.run_counts_resume(&counts, &mut 0);
         let mut r = 0i64;
         let mut bits = Vec::new();
         for chunk in counts.chunks(23) {

@@ -66,7 +66,7 @@ proptest! {
     ) {
         let m = 11usize;
         let fe = FeatureExtraction::new(m);
-        let so = fe.run_counts(&counts);
+        let so = fe.run_counts_resume(&counts, &mut 0);
         let thr = m.div_ceil(2) as i64;
         let mut r = 0i64;
         let mut fires = 0usize;
@@ -87,9 +87,9 @@ proptest! {
         // Adding ones to the input can never remove output ones.
         let m = 9usize;
         let fe = FeatureExtraction::new(m);
-        let base = fe.run_counts(&counts).count_ones();
+        let base = fe.run_counts_resume(&counts, &mut 0).count_ones();
         let boosted: Vec<u32> = counts.iter().map(|&c| (c + 1).min(m as u32)).collect();
-        let more = fe.run_counts(&boosted).count_ones();
+        let more = fe.run_counts_resume(&boosted, &mut 0).count_ones();
         prop_assert!(more >= base);
     }
 

@@ -1,11 +1,13 @@
 //! Quantised SC compilation: mapping trained float models onto the
-//! comparator grid. Bit-level inference lives in [`crate::engine`]; the
-//! serial entry points here construct a single-use [`InferenceEngine`].
+//! comparator grid. Bit-level inference lives in [`crate::plan`]; the
+//! serial entry points here construct a single-use [`ExecPlan`] and run
+//! one full-length chunk through it.
 
 use aqfp_sc_nn::{Padding, Sequential, Tensor};
 
 use crate::arch::{LayerSpec, NetworkSpec};
-use crate::engine::{InferenceEngine, Platform};
+use crate::engine::InferenceEngine;
+use crate::plan::{argmax, ExecPlan, Platform};
 
 /// One compiled (quantised) layer.
 #[derive(Debug, Clone)]
@@ -171,23 +173,36 @@ impl CompiledNetwork {
     ///
     /// `seed` drives only the image-domain streams (pixels, pooling
     /// selectors); weight streams come from [`CompiledNetwork::stream_seed`].
-    /// Repeated calls build a throwaway [`InferenceEngine`] each time —
-    /// construct one engine and use its batch APIs to amortise the
+    /// Repeated calls build a throwaway [`ExecPlan`] each time — construct
+    /// an [`InferenceEngine`] and use its batch APIs to amortise the
     /// weight-stream generation.
     pub fn classify_aqfp(&self, image: &Tensor, stream_len: usize, seed: u64) -> usize {
-        InferenceEngine::new(self, stream_len, Platform::Aqfp).classify(image, seed)
+        argmax(&self.scores_on(image, stream_len, seed, Platform::Aqfp))
     }
 
     /// Classifies an image on the CMOS SC baseline path (APC + Btanh
     /// counters, mux pooling, pseudo-random number generators).
     pub fn classify_cmos(&self, image: &Tensor, stream_len: usize, seed: u64) -> usize {
-        InferenceEngine::new(self, stream_len, Platform::Cmos).classify(image, seed)
+        argmax(&self.scores_on(image, stream_len, seed, Platform::Cmos))
     }
 
     /// Raw AQFP-path class scores (bipolar values of the majority-chain
     /// outputs).
     pub fn scores_aqfp(&self, image: &Tensor, stream_len: usize, seed: u64) -> Vec<f64> {
-        InferenceEngine::new(self, stream_len, Platform::Aqfp).scores(image, seed)
+        self.scores_on(image, stream_len, seed, Platform::Aqfp)
+    }
+
+    /// The shared serial path: one throwaway plan, one full-length chunk.
+    fn scores_on(
+        &self,
+        image: &Tensor,
+        stream_len: usize,
+        seed: u64,
+        platform: Platform,
+    ) -> Vec<f64> {
+        let plan = ExecPlan::new(self, stream_len, platform);
+        let mut state = plan.new_state();
+        plan.run_one_shot(&mut state, image, seed)
     }
 
     /// Accuracy over a labelled set on the chosen path (`cmos = false` for

@@ -1,99 +1,25 @@
-//! The reusable stochastic inference engine: weight streams cached once,
-//! images fanned out across a scoped worker pool.
+//! The reusable batched inference front-end: one [`ExecPlan`] (cached
+//! weight streams) shared immutably across a scoped worker pool, one
+//! [`ExecState`] per worker reused across its images.
 //!
-//! [`CompiledNetwork::scores`-style inference][crate::CompiledNetwork]
-//! regenerated every weight/bias bit-stream from the SNG on every call —
-//! per image, per neuron. Those streams depend only on the quantised
-//! weights and the network's [stream seed](CompiledNetwork::stream_seed),
-//! never on the image, so the [`InferenceEngine`] generates them exactly
-//! once at construction and shares the cache (immutably) across every image
-//! and every worker thread.
-//!
-//! # Seed discipline
-//!
-//! Two independent RNG domains keep batched results bit-identical to
-//! serial ones:
-//!
-//! * **Weight domain** — every cached weight/bias stream draws from its own
-//!   generator, seeded by mixing the network's `stream_seed` with the
-//!   layer/row/column coordinates of the weight. Any engine built from the
-//!   same compiled network caches byte-identical streams.
-//! * **Image domain** — the per-call `image_seed` drives the input-pixel
-//!   SNGs and the (CMOS) pooling selectors. Batch APIs derive one seed per
-//!   image via [`InferenceEngine::image_seed`], so
-//!   `classify_batch(&images, s)[i]` equals the serial
-//!   `classify_aqfp(&images[i], len, InferenceEngine::image_seed(s, i))`
-//!   bit for bit, regardless of worker count.
+//! The forward pass itself lives in [`crate::plan`] — this module only
+//! owns the batching policy: static contiguous partitioning of the image
+//! list across `threads` workers, with per-image seeds derived via
+//! [`InferenceEngine::image_seed`] so results never depend on scheduling.
 
-use aqfp_sc_bitstream::{Bipolar, BitStream, ColumnCounter, SplitMix64, Sng, ThermalRng};
-use aqfp_sc_core::baseline::{self, Btanh};
-use aqfp_sc_core::{AveragePooling, FeatureExtraction, MajorityChain};
-use aqfp_sc_nn::{Padding, Tensor};
+use aqfp_sc_nn::Tensor;
 
-use crate::compile::{CompiledLayer, CompiledNetwork};
-
-/// Which hardware executes the stochastic pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Platform {
-    /// Sorter-based feature extraction and pooling, majority-chain
-    /// categorization, true-RNG number generators.
-    Aqfp,
-    /// The CMOS SC baseline: APC + Btanh counters, mux pooling,
-    /// pseudo-random number generators.
-    Cmos,
-}
-
-/// Domain tags separating the independent RNG streams (arbitrary odd
-/// constants; only inequality matters). `TAG_PIXEL` is mixed with the
-/// pixel's raster index: every pixel owns its own SNG (the paper's
-/// one-SNG-per-input wiring), which is also what lets the streaming engine
-/// resume each pixel's stream across chunks without any chunk-domain tag.
-pub(crate) const TAG_WEIGHT: u64 = 0x57E1_6877_0000_0001;
-pub(crate) const TAG_BIAS: u64 = 0xB1A5_0000_0000_0003;
-pub(crate) const TAG_PIXEL: u64 = 0x01AE_D1D0_0000_0005;
-pub(crate) const TAG_POOL: u64 = 0x9001_0000_0000_0007;
-pub(crate) const TAG_IMAGE: u64 = 0x1111_A6E5_0000_0009;
-
-/// One compiled layer with its image-independent streams attached.
-pub(crate) enum CachedLayer {
-    Conv {
-        k: usize,
-        in_c: usize,
-        out_c: usize,
-        padding: Padding,
-        /// `[out_c][in_c·k·k]` row-major weight streams.
-        w: Vec<BitStream>,
-        /// One bias stream per output channel.
-        b: Vec<BitStream>,
-    },
-    Pool {
-        k: usize,
-    },
-    Dense {
-        in_f: usize,
-        out_f: usize,
-        w: Vec<BitStream>,
-        b: Vec<BitStream>,
-    },
-    Output {
-        in_f: usize,
-        classes: usize,
-        /// AQFP: per class, input indices in majority-chain wiring order
-        /// (products of high-magnitude weights at the chain end).
-        order: Vec<Vec<usize>>,
-        /// `[classes][in_f]` row-major weight streams (natural order).
-        w: Vec<BitStream>,
-        b: Vec<BitStream>,
-    },
-}
+use crate::compile::CompiledNetwork;
+use crate::plan::{argmax, derive, ExecPlan, Platform, TAG_IMAGE};
 
 /// Reusable, thread-safe stochastic inference engine over a
 /// [`CompiledNetwork`].
 ///
-/// Construction pays the full weight-stream generation cost once; every
-/// subsequent image only generates its pixel streams and runs the
-/// word-level column-count pipeline. [`scores_batch`] /
-/// [`classify_batch`] split the batch across `threads` scoped workers.
+/// Construction pays the full weight-stream generation cost once (the
+/// engine owns an [`ExecPlan`]); every subsequent image only generates its
+/// pixel streams and runs the word-level column-count pipeline as a single
+/// full-length chunk. [`scores_batch`] / [`classify_batch`] split the
+/// batch across `threads` scoped workers.
 ///
 /// [`scores_batch`]: InferenceEngine::scores_batch
 /// [`classify_batch`]: InferenceEngine::classify_batch
@@ -117,14 +43,8 @@ pub(crate) enum CachedLayer {
 /// assert_eq!(classes[0], serial);
 /// ```
 pub struct InferenceEngine<'a> {
-    pub(crate) net: &'a CompiledNetwork,
-    platform: Platform,
-    stream_len: usize,
-    pub(crate) layers: Vec<CachedLayer>,
-    pub(crate) shapes: Vec<(usize, usize, usize)>,
-    pub(crate) neutral: BitStream,
+    plan: ExecPlan<'a>,
     threads: usize,
-    cached_streams: usize,
 }
 
 impl<'a> InferenceEngine<'a> {
@@ -134,107 +54,8 @@ impl<'a> InferenceEngine<'a> {
     /// The worker count defaults to [`std::thread::available_parallelism`]
     /// (see [`InferenceEngine::with_threads`]).
     pub fn new(net: &'a CompiledNetwork, stream_len: usize, platform: Platform) -> Self {
-        let bits = net.bits();
-        let seed = net.stream_seed();
-        let mut layers = Vec::with_capacity(net.layers().len());
-        let mut cached_streams = 0usize;
-        let gen_stream = |tag: u64, layer: u64, row: u64, col: u64, level: u64| {
-            let key = derive(seed, [tag ^ layer, row, col]);
-            generate_stream(platform, bits, key, level, stream_len)
-        };
-        for (li, layer) in net.layers().iter().enumerate() {
-            let li64 = li as u64;
-            match layer {
-                CompiledLayer::Conv { k, in_c, out_c, padding, w_levels, b_levels } => {
-                    let m = in_c * k * k;
-                    let w: Vec<BitStream> = w_levels
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &l)| {
-                            gen_stream(TAG_WEIGHT, li64, (i / m) as u64, (i % m) as u64, l)
-                        })
-                        .collect();
-                    let b: Vec<BitStream> = b_levels
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &l)| gen_stream(TAG_BIAS, li64, i as u64, 0, l))
-                        .collect();
-                    cached_streams += w.len() + b.len();
-                    layers.push(CachedLayer::Conv {
-                        k: *k,
-                        in_c: *in_c,
-                        out_c: *out_c,
-                        padding: *padding,
-                        w,
-                        b,
-                    });
-                }
-                CompiledLayer::Pool { k } => layers.push(CachedLayer::Pool { k: *k }),
-                CompiledLayer::Dense { in_f, out_f, w_levels, b_levels } => {
-                    let w: Vec<BitStream> = w_levels
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &l)| {
-                            gen_stream(TAG_WEIGHT, li64, (i / in_f) as u64, (i % in_f) as u64, l)
-                        })
-                        .collect();
-                    let b: Vec<BitStream> = b_levels
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &l)| gen_stream(TAG_BIAS, li64, i as u64, 0, l))
-                        .collect();
-                    cached_streams += w.len() + b.len();
-                    layers.push(CachedLayer::Dense { in_f: *in_f, out_f: *out_f, w, b });
-                }
-                CompiledLayer::Output { in_f, classes, w_levels, b_levels } => {
-                    let w: Vec<BitStream> = w_levels
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &l)| {
-                            gen_stream(TAG_WEIGHT, li64, (i / in_f) as u64, (i % in_f) as u64, l)
-                        })
-                        .collect();
-                    let b: Vec<BitStream> = b_levels
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &l)| gen_stream(TAG_BIAS, li64, i as u64, 0, l))
-                        .collect();
-                    // Majority-chain wiring order: a chain link's influence
-                    // decays ~2x per later link, so products of
-                    // high-magnitude weights go to the END of the chain
-                    // where their influence is largest. (Pure wiring choice
-                    // — free in hardware.)
-                    let mid = 1u64 << (bits - 1);
-                    let order: Vec<Vec<usize>> = (0..*classes)
-                        .map(|cl| {
-                            let wrow = &w_levels[cl * in_f..(cl + 1) * in_f];
-                            let mut idx: Vec<usize> = (0..*in_f).collect();
-                            idx.sort_by_key(|&j| wrow[j].abs_diff(mid));
-                            idx
-                        })
-                        .collect();
-                    cached_streams += w.len() + b.len();
-                    layers.push(CachedLayer::Output {
-                        in_f: *in_f,
-                        classes: *classes,
-                        order,
-                        w,
-                        b,
-                    });
-                }
-            }
-        }
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        InferenceEngine {
-            net,
-            platform,
-            stream_len,
-            layers,
-            shapes: net.spec().shapes(),
-            neutral: BitStream::alternating(stream_len),
-            threads,
-            cached_streams,
-        }
+        InferenceEngine { plan: ExecPlan::new(net, stream_len, platform), threads }
     }
 
     /// Overrides the worker-pool size used by the batch APIs (clamped to at
@@ -244,14 +65,19 @@ impl<'a> InferenceEngine<'a> {
         self
     }
 
+    /// The execution plan this engine drives (shared, immutable).
+    pub fn plan(&self) -> &ExecPlan<'a> {
+        &self.plan
+    }
+
     /// The platform this engine simulates.
     pub fn platform(&self) -> Platform {
-        self.platform
+        self.plan.platform()
     }
 
     /// Stochastic stream length N in cycles.
     pub fn stream_len(&self) -> usize {
-        self.stream_len
+        self.plan.stream_len()
     }
 
     /// Configured worker-pool size.
@@ -261,7 +87,7 @@ impl<'a> InferenceEngine<'a> {
 
     /// Number of weight/bias streams generated and cached at construction.
     pub fn cached_streams(&self) -> usize {
-        self.cached_streams
+        self.plan.cached_streams()
     }
 
     /// The per-image seed the batch APIs derive for image `index` from a
@@ -277,8 +103,8 @@ impl<'a> InferenceEngine<'a> {
     ///
     /// Panics when the image shape does not match the compiled spec.
     pub fn scores(&self, image: &Tensor, image_seed: u64) -> Vec<f64> {
-        let mut scratch = Scratch::new(self.stream_len);
-        self.scores_with_scratch(image, image_seed, &mut scratch)
+        let mut state = self.plan.new_state();
+        self.plan.run_one_shot(&mut state, image, image_seed)
     }
 
     /// Classifies one image under `image_seed` (argmax of [`scores`]).
@@ -307,24 +133,16 @@ impl<'a> InferenceEngine<'a> {
     /// 0.0 would be indistinguishable from a model that got every sample
     /// wrong).
     pub fn evaluate(&self, samples: &[(Tensor, usize)], base_seed: u64) -> Option<f64> {
-        if samples.is_empty() {
-            return None;
-        }
         let images: Vec<&Tensor> = samples.iter().map(|(x, _)| x).collect();
-        let correct = self
-            .run_batch(&images, base_seed, |scores| argmax(&scores))
-            .iter()
-            .zip(samples)
-            .filter(|(got, (_, want))| *got == want)
-            .count();
-        Some(correct as f64 / samples.len() as f64)
+        let classes = self.run_batch(&images, base_seed, |scores| argmax(&scores));
+        accuracy(&classes, samples, |&c| c)
     }
 
     /// Shared batch driver: contiguous chunks of the image list go to
-    /// scoped workers, each reusing one scratch across its chunk. The
-    /// static partition keeps the output ordering (and the per-image
-    /// seeds) independent of scheduling.
-    fn run_batch<T, F>(&self, images: &[&Tensor], base_seed: u64, finish: F) -> Vec<T>
+    /// scoped workers, each reusing one [`ExecState`] (and its arena)
+    /// across its chunk. The static partition keeps the output ordering
+    /// (and the per-image seeds) independent of scheduling.
+    pub(crate) fn run_batch<T, F>(&self, images: &[&Tensor], base_seed: u64, finish: F) -> Vec<T>
     where
         T: Send,
         F: Fn(Vec<f64>) -> T + Sync,
@@ -342,267 +160,36 @@ impl<'a> InferenceEngine<'a> {
             {
                 let finish = &finish;
                 scope.spawn(move || {
-                    let mut scratch = Scratch::new(self.stream_len);
+                    let mut state = self.plan.new_state();
                     for (j, (img, slot)) in imgs.iter().zip(slots).enumerate() {
                         let seed = Self::image_seed(base_seed, ci * chunk + j);
-                        *slot = Some(finish(self.scores_with_scratch(img, seed, &mut scratch)));
+                        *slot =
+                            Some(finish(self.plan.run_one_shot(&mut state, img, seed)));
                     }
                 });
             }
         });
         out.into_iter().map(|s| s.expect("every slot filled")).collect()
     }
-
-    /// The full per-image pipeline, reusing `scratch` buffers across
-    /// neurons (and across images within one worker).
-    fn scores_with_scratch(
-        &self,
-        image: &Tensor,
-        image_seed: u64,
-        scratch: &mut Scratch,
-    ) -> Vec<f64> {
-        let side = self.net.spec().input_side;
-        assert_eq!(image.shape(), &[1, side, side], "image shape mismatch");
-        let len = self.stream_len;
-        let bits = self.net.bits();
-        // Encode the input image: pixel p ∈ [0,1] is the bipolar value p.
-        // Every pixel owns its own SNG, keyed by its raster index — the
-        // paper's one-SNG-per-input wiring, and the discipline that lets
-        // the streaming engine hold a resumable cursor per pixel.
-        let scale = (1u64 << bits) as f64;
-        let mut streams: Vec<BitStream> = image
-            .data()
-            .iter()
-            .enumerate()
-            .map(|(p, &v)| {
-                let key = derive(image_seed, [TAG_PIXEL, p as u64, 0]);
-                generate_stream(self.platform, bits, key, pixel_level(v, scale), len)
-            })
-            .collect();
-        let mut scores = Vec::new();
-        for (li, layer) in self.layers.iter().enumerate() {
-            let (layer_in_c, h, w_dim) = self.shapes[li];
-            match layer {
-                CachedLayer::Conv { k, in_c, out_c, padding, w, b } => {
-                    let (oh, ow) = match padding {
-                        Padding::Valid => (h - k + 1, w_dim - k + 1),
-                        Padding::Same => (h, w_dim),
-                    };
-                    let pad = match padding {
-                        Padding::Valid => 0isize,
-                        Padding::Same => (k / 2) as isize,
-                    };
-                    let m = in_c * k * k;
-                    debug_assert_eq!(*in_c, layer_in_c);
-                    let mut out = Vec::with_capacity(out_c * oh * ow);
-                    for oc in 0..*out_c {
-                        let wrow = &w[oc * m..(oc + 1) * m];
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                scratch.counter.clear();
-                                let mut j = 0usize;
-                                for ic in 0..*in_c {
-                                    for ky in 0..*k {
-                                        for kx in 0..*k {
-                                            let iy = oy as isize + ky as isize - pad;
-                                            let ix = ox as isize + kx as isize - pad;
-                                            let x = if iy < 0
-                                                || ix < 0
-                                                || iy >= h as isize
-                                                || ix >= w_dim as isize
-                                            {
-                                                &self.neutral // zero-valued padding row
-                                            } else {
-                                                &streams[(ic * h + iy as usize) * w_dim
-                                                    + ix as usize]
-                                            };
-                                            scratch
-                                                .counter
-                                                .add_xnor_words(x.words(), wrow[j].words());
-                                            j += 1;
-                                        }
-                                    }
-                                }
-                                scratch.counter.add_words(b[oc].words());
-                                out.push(self.neuron_output(m + 1, scratch));
-                            }
-                        }
-                    }
-                    streams = out;
-                }
-                CachedLayer::Pool { k } => {
-                    let (oh, ow) = (h / k, w_dim / k);
-                    let mut out = Vec::with_capacity(layer_in_c * oh * ow);
-                    for c in 0..layer_in_c {
-                        let select_seed = derive(image_seed, [TAG_POOL ^ li as u64, c as u64, 0]);
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let window = (0..k * k).map(|i| {
-                                    &streams[(c * h + oy * k + i / k) * w_dim + ox * k + i % k]
-                                });
-                                out.push(self.pool_output(window, k * k, select_seed, scratch));
-                            }
-                        }
-                    }
-                    streams = out;
-                }
-                CachedLayer::Dense { in_f, out_f, w, b } => {
-                    let mut out = Vec::with_capacity(*out_f);
-                    for o in 0..*out_f {
-                        let wrow = &w[o * in_f..(o + 1) * in_f];
-                        scratch.counter.clear();
-                        for (x, ws) in streams.iter().zip(wrow) {
-                            scratch.counter.add_xnor_words(x.words(), ws.words());
-                        }
-                        scratch.counter.add_words(b[o].words());
-                        out.push(self.neuron_output(in_f + 1, scratch));
-                    }
-                    streams = out;
-                }
-                CachedLayer::Output { in_f, classes, order, w, b } => {
-                    for cl in 0..*classes {
-                        let wrow = &w[cl * in_f..(cl + 1) * in_f];
-                        match self.platform {
-                            Platform::Aqfp => {
-                                // Majority chain over the product column in
-                                // the cached wiring order.
-                                let mut products: Vec<BitStream> = order[cl]
-                                    .iter()
-                                    .map(|&j| {
-                                        streams[j].xnor(&wrow[j]).expect("lengths match")
-                                    })
-                                    .collect();
-                                products.push(b[cl].clone());
-                                let chain = MajorityChain::new(products.len());
-                                let so = chain.run(&products).expect("well-formed");
-                                scores.push(so.bipolar_value().get());
-                            }
-                            Platform::Cmos => {
-                                // APC accumulation: the class score is the
-                                // total product-ones count.
-                                scratch.counter.clear();
-                                for (x, ws) in streams.iter().zip(wrow) {
-                                    scratch.counter.add_xnor_words(x.words(), ws.words());
-                                }
-                                scratch.counter.add_words(b[cl].words());
-                                scratch.counter.counts_into(&mut scratch.counts);
-                                let total: u64 =
-                                    scratch.counts.iter().map(|&c| c as u64).sum();
-                                scores.push(total as f64 / len as f64);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        scores
-    }
-
-    /// Runs the platform-specific neuron (summation + activation) on the
-    /// column counts accumulated in `scratch.counter`. `rows` is the number
-    /// of product rows already added (inputs + bias); the neutral padding
-    /// row required by an even sorter width is folded into the counts
-    /// directly instead of materialising a stream.
-    fn neuron_output(&self, rows: usize, scratch: &mut Scratch) -> BitStream {
-        scratch.counter.counts_into(&mut scratch.counts);
-        match self.platform {
-            Platform::Aqfp => {
-                let fe = FeatureExtraction::new(rows);
-                if fe.width() != rows {
-                    for (cycle, c) in scratch.counts.iter_mut().enumerate() {
-                        *c += fe.pad_count_at(cycle);
-                    }
-                }
-                fe.run_counts(&scratch.counts)
-            }
-            Platform::Cmos => {
-                let mut fsm = Btanh::new(rows);
-                BitStream::from_bits(scratch.counts.iter().map(|&c| fsm.step(c)))
-            }
-        }
-    }
-
-    /// Pools one window: word-level counts + the conserving sorter
-    /// recursion on AQFP, the mux tree on CMOS.
-    fn pool_output<'w>(
-        &self,
-        window: impl Iterator<Item = &'w BitStream> + Clone,
-        m: usize,
-        select_seed: u64,
-        scratch: &mut Scratch,
-    ) -> BitStream {
-        match self.platform {
-            Platform::Aqfp => {
-                scratch.counter.clear();
-                for s in window {
-                    scratch.counter.add_words(s.words());
-                }
-                scratch.counter.counts_into(&mut scratch.counts);
-                AveragePooling::new(m).run_counts(&scratch.counts)
-            }
-            Platform::Cmos => {
-                let cloned: Vec<BitStream> = window.cloned().collect();
-                baseline::mux_average_pooling(&cloned, select_seed)
-                    .expect("well-formed window")
-            }
-        }
-    }
 }
 
-/// Per-worker scratch buffers: one column counter and one counts vector,
-/// reused across every neuron of every image the worker processes.
-pub(crate) struct Scratch {
-    pub(crate) counter: ColumnCounter,
-    pub(crate) counts: Vec<u32>,
-}
-
-impl Scratch {
-    pub(crate) fn new(len: usize) -> Self {
-        Scratch { counter: ColumnCounter::new(len), counts: Vec::with_capacity(len) }
+/// Shared accuracy accumulation over per-sample outcomes: `None` for an
+/// empty sample set (an empty set has no accuracy — 0.0 would read as a
+/// 0 %-accurate model). Used by both the one-shot and streaming
+/// `evaluate` front-ends.
+pub(crate) fn accuracy<T>(
+    outcomes: &[T],
+    samples: &[(Tensor, usize)],
+    class_of: impl Fn(&T) -> usize,
+) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
     }
-}
-
-/// Index of the largest score (first on ties).
-pub(crate) fn argmax(scores: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &s) in scores.iter().enumerate() {
-        if s > scores[best] {
-            best = i;
-        }
-    }
-    best
-}
-
-/// Comparator level of a pixel value `p ∈ [0, 1]` read as the bipolar
-/// value `p`: `round(Bipolar::clamped(p).probability() · 2^bits)`.
-pub(crate) fn pixel_level(p: f32, scale: f64) -> u64 {
-    let prob = Bipolar::clamped(f64::from(p)).probability();
-    (prob * scale).round().min(scale) as u64
-}
-
-/// Seed-domain separation: three keyed SplitMix64 steps over `base`.
-pub(crate) fn derive(base: u64, tags: [u64; 3]) -> u64 {
-    let mut x = base;
-    for t in tags {
-        x = SplitMix64::new(x ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
-    }
-    x
-}
-
-/// One weight/bias stream from its own platform-specific generator.
-fn generate_stream(
-    platform: Platform,
-    bits: u32,
-    key: u64,
-    level: u64,
-    len: usize,
-) -> BitStream {
-    match platform {
-        Platform::Aqfp => Sng::new(bits, ThermalRng::with_seed(key)).generate_level(level, len),
-        // The CMOS baseline uses pseudo-random generators; a whitened
-        // SplitMix stream models a well-scrambled LFSR bank (a raw
-        // shared-polynomial LFSR bank would add cross-correlation the
-        // baseline papers explicitly design away).
-        Platform::Cmos => Sng::new(bits, SplitMix64::new(key)).generate_level(level, len),
-    }
+    debug_assert_eq!(outcomes.len(), samples.len());
+    let correct = outcomes
+        .iter()
+        .zip(samples)
+        .filter(|(o, (_, want))| class_of(o) == *want)
+        .count();
+    Some(correct as f64 / samples.len() as f64)
 }

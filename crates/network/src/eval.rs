@@ -9,7 +9,8 @@ use aqfp_sc_nn::{Sequential, Tensor};
 use crate::arch::{build_model, ActivationStyle, NetworkSpec};
 use crate::compile::CompiledNetwork;
 use crate::cost::network_cost;
-use crate::engine::{InferenceEngine, Platform};
+use crate::engine::InferenceEngine;
+use crate::plan::Platform;
 
 /// Configuration of a Table 9 run.
 #[derive(Debug, Clone)]

@@ -14,19 +14,21 @@
 //!    with taking all limitations of AQFP and SC into considerations".
 //! 3. [`CompiledNetwork::from_model`] quantises weights to the SNG
 //!    comparator grid.
-//! 4. [`InferenceEngine`] runs bit-level stochastic inference: XNOR
+//! 4. [`ExecPlan`] is the single chunk-resumable forward-pass core: XNOR
 //!    products, sorter-based feature extraction and pooling plus
 //!    majority-chain categorization on the AQFP path; APC + Btanh
 //!    counters, mux pooling and LFSR number generators on the CMOS path.
-//!    Weight streams are cached at engine construction and image batches
-//!    fan out over a scoped worker pool
-//!    ([`InferenceEngine::classify_batch`]), bit-identical to the serial
-//!    [`CompiledNetwork::classify_aqfp`] / [`classify_cmos`] entry points.
-//! 5. [`StreamingEngine`] evaluates the same pipeline in chunks of
-//!    `chunk_len` cycles with running per-class score accumulators and a
-//!    pluggable [`ExitPolicy`], so each image consumes only as many cycles
-//!    as its decision needs — bit-identical to the one-shot engine when
-//!    driven to full N with the policy disabled.
+//!    Weight streams are cached at plan construction; a per-image
+//!    [`ExecState`] carries resumable cursors and a scratch arena through
+//!    [`ExecPlan::advance`].
+//! 5. Every front-end is a thin wrapper over the same plan, bit-identical
+//!    by construction: the serial [`CompiledNetwork::classify_aqfp`] /
+//!    [`classify_cmos`] entry points run one full-length chunk, the
+//!    batched [`InferenceEngine`] fans images out over a scoped worker
+//!    pool ([`InferenceEngine::classify_batch`]), and the
+//!    [`StreamingEngine`] drives smaller chunks through a
+//!    [`ChunkSchedule`] with a pluggable [`ExitPolicy`], so each image
+//!    consumes only as many cycles as its decision needs.
 //! 6. [`network_cost`] aggregates per-block hardware costs into the
 //!    energy/throughput columns of Table 9.
 //!
@@ -55,13 +57,15 @@ mod compile;
 mod cost;
 mod engine;
 mod eval;
+mod plan;
 mod streaming;
 
 pub use arch::{build_model, response_table, ActivationStyle, LayerSpec, NetworkSpec};
 pub use compile::{CompiledLayer, CompiledNetwork};
 pub use cost::{network_cost, NetworkCost, PlatformCost};
-pub use engine::{InferenceEngine, Platform};
+pub use engine::InferenceEngine;
 pub use eval::{run_table9, Table9Config, Table9Row};
+pub use plan::{ExecPlan, ExecState, Platform};
 pub use streaming::{
-    ExitPolicy, StreamingEngine, StreamingEvaluation, StreamingOutcome,
+    ChunkSchedule, ExitPolicy, StreamingEngine, StreamingEvaluation, StreamingOutcome,
 };

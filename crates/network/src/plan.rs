@@ -1,0 +1,914 @@
+//! The unified, chunk-resumable execution core: **one** forward-pass
+//! implementation shared by every inference front-end.
+//!
+//! The paper's pipeline (SNG → XNOR multiply → sorter feature extraction /
+//! pooling → majority-chain or APC/Btanh categorization) used to exist in
+//! three copies — serial, batched one-shot, and chunk-streaming. This
+//! module collapses them into a pair of types:
+//!
+//! * [`ExecPlan`] — everything that is a property of the *compiled network*
+//!   on a chosen [`Platform`] at a chosen stream length N: the cached
+//!   weight/bias bit-streams (generated once, image-independent), the layer
+//!   topology and shapes, and the absolute-parity neutral padding stream.
+//!   A plan is immutable and shareable across threads.
+//! * [`ExecState`] — everything that is a property of one *in-flight
+//!   image*: the per-pixel SNG cursors, the per-neuron feedback / FSM
+//!   state, the running class accumulators, and a reusable scratch arena
+//!   (column counter, counts buffer, chunk-slice buffers) so the chunk
+//!   bookkeeping that used to allocate per chunk reuses persistent
+//!   buffers. (Per-layer activation streams are still allocated inside
+//!   [`ExecPlan::advance`]; they are the remaining per-chunk churn.)
+//!
+//! The single entry point is [`ExecPlan::advance`]: evaluate the next
+//! `max_cycles` cycles of the whole pipeline and fold them into the state.
+//! A one-shot inference is exactly one chunk of length N; a streaming run
+//! is many smaller chunks. Because there is only one implementation, the
+//! serial [`CompiledNetwork::classify_aqfp`]-style wrappers, the batched
+//! [`crate::InferenceEngine`], and the chunked [`crate::StreamingEngine`]
+//! are bit-identical **by construction**: any partition of N cycles into
+//! `advance` calls produces the same bits (enforced by the partition
+//! proptest in `tests/integration_plan.rs`).
+//!
+//! # Seed discipline
+//!
+//! Two independent RNG domains keep every front-end bit-identical:
+//!
+//! * **Weight domain** — every cached weight/bias stream draws from its own
+//!   generator, seeded by mixing the network's
+//!   [stream seed](CompiledNetwork::stream_seed) with the layer/row/column
+//!   coordinates of the weight. Any plan built from the same compiled
+//!   network caches byte-identical streams.
+//! * **Image domain** — the per-run `image_seed` drives the input-pixel
+//!   SNGs and the (CMOS) pooling selectors. Every pixel owns its own SNG,
+//!   keyed by its raster index (the paper's one-SNG-per-input wiring),
+//!   which is also what lets a chunked run resume each pixel's stream
+//!   exactly where the previous chunk stopped.
+//!
+//! # Absolute-cycle parity
+//!
+//! The `0101…` neutral stream (zero-valued padding rows, even-width sorter
+//! pads, even-fan-in majority-chain pads) is indexed by *absolute* cycle,
+//! not chunk-local cycle: a chunk starting at an odd offset sees a neutral
+//! slice that starts with 0. Restarting the pattern per chunk would drift
+//! every odd-offset count by one.
+
+use aqfp_sc_bitstream::{
+    mux_add, Bipolar, BitStream, BitsAsWords, ColumnCounter, SplitMix64, Sng, ThermalRng,
+};
+use aqfp_sc_core::baseline::Btanh;
+use aqfp_sc_core::{AveragePooling, FeatureExtraction, MajorityChain};
+use aqfp_sc_nn::{Padding, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::compile::{CompiledLayer, CompiledNetwork};
+
+/// Which hardware executes the stochastic pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// Sorter-based feature extraction and pooling, majority-chain
+    /// categorization, true-RNG number generators.
+    Aqfp,
+    /// The CMOS SC baseline: APC + Btanh counters, mux pooling,
+    /// pseudo-random number generators.
+    Cmos,
+}
+
+/// Domain tags separating the independent RNG streams (arbitrary odd
+/// constants; only inequality matters). `TAG_PIXEL` is mixed with the
+/// pixel's raster index: every pixel owns its own SNG.
+pub(crate) const TAG_WEIGHT: u64 = 0x57E1_6877_0000_0001;
+pub(crate) const TAG_BIAS: u64 = 0xB1A5_0000_0000_0003;
+pub(crate) const TAG_PIXEL: u64 = 0x01AE_D1D0_0000_0005;
+pub(crate) const TAG_POOL: u64 = 0x9001_0000_0000_0007;
+pub(crate) const TAG_IMAGE: u64 = 0x1111_A6E5_0000_0009;
+
+/// One compiled layer with its image-independent streams attached.
+pub(crate) enum CachedLayer {
+    Conv {
+        k: usize,
+        in_c: usize,
+        out_c: usize,
+        padding: Padding,
+        /// `[out_c][in_c·k·k]` row-major weight streams.
+        w: Vec<BitStream>,
+        /// One bias stream per output channel.
+        b: Vec<BitStream>,
+    },
+    Pool {
+        k: usize,
+    },
+    Dense {
+        in_f: usize,
+        out_f: usize,
+        w: Vec<BitStream>,
+        b: Vec<BitStream>,
+    },
+    Output {
+        in_f: usize,
+        classes: usize,
+        /// AQFP: per class, input indices in majority-chain wiring order
+        /// (products of high-magnitude weights at the chain end).
+        order: Vec<Vec<usize>>,
+        /// `[classes][in_f]` row-major weight streams (natural order).
+        w: Vec<BitStream>,
+        b: Vec<BitStream>,
+    },
+}
+
+/// The immutable, shareable execution plan of a [`CompiledNetwork`] on one
+/// [`Platform`] at stream length N.
+///
+/// Construction pays the full weight-stream generation cost once. The plan
+/// holds no per-image state — pair it with an [`ExecState`] and drive it
+/// with [`ExecPlan::advance`].
+///
+/// # Example
+///
+/// ```
+/// use aqfp_sc_network::{build_model, ActivationStyle, CompiledNetwork};
+/// use aqfp_sc_network::{ExecPlan, NetworkSpec, Platform};
+/// use aqfp_sc_nn::Tensor;
+///
+/// let spec = NetworkSpec::tiny(8);
+/// let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 1);
+/// let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+/// let plan = ExecPlan::new(&compiled, 128, Platform::Aqfp);
+/// let mut state = plan.new_state();
+/// plan.begin(&mut state, &Tensor::zeros(vec![1, 8, 8]), 42);
+/// // Any partition of the 128 cycles yields the same bits:
+/// plan.advance(&mut state, 37);
+/// plan.advance(&mut state, 128); // clamped to the remaining 91
+/// assert_eq!(state.cycles(), 128);
+/// assert_eq!(plan.scores(&state).len(), 10);
+/// ```
+pub struct ExecPlan<'n> {
+    net: &'n CompiledNetwork,
+    platform: Platform,
+    stream_len: usize,
+    pub(crate) layers: Vec<CachedLayer>,
+    pub(crate) shapes: Vec<(usize, usize, usize)>,
+    neutral: BitStream,
+    cached_streams: usize,
+}
+
+impl<'n> ExecPlan<'n> {
+    /// Builds a plan for `net` at stream length `stream_len` on `platform`,
+    /// generating and caching every weight/bias stream.
+    pub fn new(net: &'n CompiledNetwork, stream_len: usize, platform: Platform) -> Self {
+        let bits = net.bits();
+        let seed = net.stream_seed();
+        let mut layers = Vec::with_capacity(net.layers().len());
+        let mut cached_streams = 0usize;
+        let gen_stream = |tag: u64, layer: u64, row: u64, col: u64, level: u64| {
+            let key = derive(seed, [tag ^ layer, row, col]);
+            generate_stream(platform, bits, key, level, stream_len)
+        };
+        for (li, layer) in net.layers().iter().enumerate() {
+            let li64 = li as u64;
+            match layer {
+                CompiledLayer::Conv { k, in_c, out_c, padding, w_levels, b_levels } => {
+                    let m = in_c * k * k;
+                    let w: Vec<BitStream> = w_levels
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &l)| {
+                            gen_stream(TAG_WEIGHT, li64, (i / m) as u64, (i % m) as u64, l)
+                        })
+                        .collect();
+                    let b: Vec<BitStream> = b_levels
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &l)| gen_stream(TAG_BIAS, li64, i as u64, 0, l))
+                        .collect();
+                    cached_streams += w.len() + b.len();
+                    layers.push(CachedLayer::Conv {
+                        k: *k,
+                        in_c: *in_c,
+                        out_c: *out_c,
+                        padding: *padding,
+                        w,
+                        b,
+                    });
+                }
+                CompiledLayer::Pool { k } => layers.push(CachedLayer::Pool { k: *k }),
+                CompiledLayer::Dense { in_f, out_f, w_levels, b_levels } => {
+                    let w: Vec<BitStream> = w_levels
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &l)| {
+                            gen_stream(TAG_WEIGHT, li64, (i / in_f) as u64, (i % in_f) as u64, l)
+                        })
+                        .collect();
+                    let b: Vec<BitStream> = b_levels
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &l)| gen_stream(TAG_BIAS, li64, i as u64, 0, l))
+                        .collect();
+                    cached_streams += w.len() + b.len();
+                    layers.push(CachedLayer::Dense { in_f: *in_f, out_f: *out_f, w, b });
+                }
+                CompiledLayer::Output { in_f, classes, w_levels, b_levels } => {
+                    let w: Vec<BitStream> = w_levels
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &l)| {
+                            gen_stream(TAG_WEIGHT, li64, (i / in_f) as u64, (i % in_f) as u64, l)
+                        })
+                        .collect();
+                    let b: Vec<BitStream> = b_levels
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &l)| gen_stream(TAG_BIAS, li64, i as u64, 0, l))
+                        .collect();
+                    // Majority-chain wiring order: a chain link's influence
+                    // decays ~2x per later link, so products of
+                    // high-magnitude weights go to the END of the chain
+                    // where their influence is largest. (Pure wiring choice
+                    // — free in hardware.)
+                    let mid = 1u64 << (bits - 1);
+                    let order: Vec<Vec<usize>> = (0..*classes)
+                        .map(|cl| {
+                            let wrow = &w_levels[cl * in_f..(cl + 1) * in_f];
+                            let mut idx: Vec<usize> = (0..*in_f).collect();
+                            idx.sort_by_key(|&j| wrow[j].abs_diff(mid));
+                            idx
+                        })
+                        .collect();
+                    cached_streams += w.len() + b.len();
+                    layers.push(CachedLayer::Output {
+                        in_f: *in_f,
+                        classes: *classes,
+                        order,
+                        w,
+                        b,
+                    });
+                }
+            }
+        }
+        ExecPlan {
+            net,
+            platform,
+            stream_len,
+            layers,
+            shapes: net.spec().shapes(),
+            neutral: BitStream::alternating(stream_len),
+            cached_streams,
+        }
+    }
+
+    /// The compiled network this plan executes.
+    pub fn network(&self) -> &'n CompiledNetwork {
+        self.net
+    }
+
+    /// The platform this plan simulates.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Stochastic stream length N in cycles (the full per-image budget).
+    pub fn stream_len(&self) -> usize {
+        self.stream_len
+    }
+
+    /// Number of weight/bias streams generated and cached at construction.
+    pub fn cached_streams(&self) -> usize {
+        self.cached_streams
+    }
+
+    /// Fan-in of the categorization layer (inputs + bias), if present.
+    /// Drives the CMOS margin variance bound of the streaming exit policy.
+    pub(crate) fn output_fan_in(&self) -> Option<usize> {
+        self.layers.iter().find_map(|l| match l {
+            CachedLayer::Output { in_f, .. } => Some(in_f + 1),
+            _ => None,
+        })
+    }
+
+    /// The identity `begin` stamps onto a state and `advance` checks, so a
+    /// state bound through one plan cannot be silently driven by a
+    /// different one (wrong weights/shapes would corrupt bits, or panic
+    /// deep inside stream indexing).
+    fn fingerprint(&self) -> PlanFingerprint {
+        let side = self.net.spec().input_side;
+        PlanFingerprint {
+            platform: self.platform,
+            stream_len: self.stream_len,
+            layer_count: self.layers.len(),
+            cached_streams: self.cached_streams,
+            pixel_count: side * side,
+        }
+    }
+
+    /// A fresh, unbound state whose arena buffers grow on first use and are
+    /// reused across images ([`ExecPlan::begin`] rebinds in place).
+    pub fn new_state(&self) -> ExecState {
+        ExecState {
+            bound: None,
+            pixels: Vec::new(),
+            layers: Vec::new(),
+            class_acc: Vec::new(),
+            cycles: 0,
+            pixel_chunks: Vec::new(),
+            counter: ColumnCounter::new(0),
+            counts: Vec::new(),
+            neutral_chunk: BitStream::zeros(0),
+            w_chunks: Vec::new(),
+            b_chunks: Vec::new(),
+        }
+    }
+
+    /// (Re)binds `state` to `image` under `image_seed`: pixel cursors rewound
+    /// to cycle 0, per-neuron feedback/FSM state cleared, class accumulators
+    /// zeroed. Arena allocations from previous images are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image shape does not match the compiled spec.
+    pub fn begin(&self, state: &mut ExecState, image: &Tensor, image_seed: u64) {
+        let side = self.net.spec().input_side;
+        assert_eq!(image.shape(), &[1, side, side], "image shape mismatch");
+        let bits = self.net.bits();
+        let scale = (1u64 << bits) as f64;
+        let platform = self.platform;
+        state.bound = Some(self.fingerprint());
+        state.cycles = 0;
+        state.pixels.clear();
+        state
+            .pixels
+            .extend(image.data().iter().enumerate().map(|(p, &v)| {
+                let key = derive(image_seed, [TAG_PIXEL, p as u64, 0]);
+                let level = pixel_level(v, scale);
+                let sng = match platform {
+                    Platform::Aqfp => {
+                        PixelSng::Aqfp(Sng::new(bits, ThermalRng::with_seed(key)))
+                    }
+                    Platform::Cmos => PixelSng::Cmos(Sng::new(bits, SplitMix64::new(key))),
+                };
+                PixelCursor { sng, level }
+            }));
+        state
+            .pixel_chunks
+            .resize_with(state.pixels.len(), || BitStream::zeros(0));
+        if state.layers.len() != self.layers.len() {
+            // First bind (or a state borrowed from another plan): make the
+            // slot count match; every slot is (re)initialised below.
+            state.layers.clear();
+            state.layers.resize_with(self.layers.len(), || LayerState::Output);
+        }
+        let mut classes = 0usize;
+        for (li, (layer, slot)) in
+            self.layers.iter().zip(state.layers.iter_mut()).enumerate()
+        {
+            let (layer_in_c, h, w_dim) = self.shapes[li];
+            match layer {
+                CachedLayer::Conv { k, in_c, out_c, padding, .. } => {
+                    let (oh, ow) = conv_out_dims(h, w_dim, *k, *padding);
+                    reset_neuron_slot(platform, slot, in_c * k * k + 1, out_c * oh * ow);
+                }
+                CachedLayer::Pool { k } => {
+                    let (oh, ow) = (h / k, w_dim / k);
+                    reset_pool_slot(
+                        platform,
+                        slot,
+                        layer_in_c,
+                        oh * ow,
+                        |c| derive(image_seed, [TAG_POOL ^ li as u64, c as u64, 0]),
+                    );
+                }
+                CachedLayer::Dense { in_f, out_f, .. } => {
+                    reset_neuron_slot(platform, slot, in_f + 1, *out_f);
+                }
+                CachedLayer::Output { classes: c, .. } => {
+                    classes = *c;
+                    *slot = LayerState::Output;
+                }
+            }
+        }
+        state.class_acc.clear();
+        state.class_acc.resize(classes, 0);
+    }
+
+    /// Evaluates the next `max_cycles` cycles of the whole pipeline
+    /// (clamped to the cycles remaining of the plan's stream length) and
+    /// folds them into `state`. Returns the cycles actually consumed — 0
+    /// once the budget is exhausted.
+    ///
+    /// Splitting N cycles across any sequence of `advance` calls is
+    /// bit-identical to one N-cycle call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` was never bound via [`ExecPlan::begin`], or was
+    /// bound through a plan with a different platform, stream length,
+    /// layer count, cached-stream count, or input size.
+    pub fn advance(&self, state: &mut ExecState, max_cycles: usize) -> usize {
+        assert_eq!(
+            state.bound,
+            Some(self.fingerprint()),
+            "state is not bound to this plan (call begin first)"
+        );
+        let offset = state.cycles;
+        let clen = max_cycles.min(self.stream_len - offset);
+        if clen == 0 {
+            return 0;
+        }
+        // One-shot fast path: a chunk spanning the whole stream borrows the
+        // cached weight streams and the neutral stream directly — no
+        // per-chunk slicing or copying.
+        let full = offset == 0 && clen == self.stream_len;
+        let platform = self.platform;
+        let ExecState {
+            pixels,
+            layers,
+            class_acc,
+            pixel_chunks,
+            counter,
+            counts,
+            neutral_chunk,
+            w_chunks,
+            b_chunks,
+            ..
+        } = state;
+        // Retarget the counter at the (possibly shorter, final) chunk and
+        // slice the neutral stream at the absolute offset so its 0101…
+        // parity matches a whole-stream run.
+        counter.reset(clen);
+        let neutral: &BitStream = if full {
+            &self.neutral
+        } else {
+            self.neutral.slice_into(offset, clen, neutral_chunk);
+            neutral_chunk
+        };
+        // Generate this chunk of every pixel stream from its cursor, into
+        // the state's persistent chunk buffers.
+        for (cursor, buf) in pixels.iter_mut().zip(pixel_chunks.iter_mut()) {
+            cursor.generate_into(clen, buf);
+        }
+        // Activations of the layer under evaluation: the first layer reads
+        // the pixel buffers directly, later ones the previous layer's
+        // output.
+        let mut owned: Vec<BitStream> = Vec::new();
+        for (li, (layer, lstate)) in self.layers.iter().zip(layers.iter_mut()).enumerate()
+        {
+            let streams: &[BitStream] = if li == 0 { pixel_chunks } else { &owned };
+            let (layer_in_c, h, w_dim) = self.shapes[li];
+            let next: Option<Vec<BitStream>> = match layer {
+                CachedLayer::Conv { k, in_c, out_c, padding, w, b } => {
+                    let (oh, ow) = conv_out_dims(h, w_dim, *k, *padding);
+                    let pad = match padding {
+                        Padding::Valid => 0isize,
+                        Padding::Same => (k / 2) as isize,
+                    };
+                    let m = in_c * k * k;
+                    let (w_run, b_run) =
+                        chunk_streams(full, w, b, offset, clen, w_chunks, b_chunks);
+                    let mut out = Vec::with_capacity(out_c * oh * ow);
+                    let mut idx = 0usize;
+                    for oc in 0..*out_c {
+                        let wrow = &w_run[oc * m..(oc + 1) * m];
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                counter.clear();
+                                let mut j = 0usize;
+                                for ic in 0..*in_c {
+                                    for ky in 0..*k {
+                                        for kx in 0..*k {
+                                            let iy = oy as isize + ky as isize - pad;
+                                            let ix = ox as isize + kx as isize - pad;
+                                            let x = if iy < 0
+                                                || ix < 0
+                                                || iy >= h as isize
+                                                || ix >= w_dim as isize
+                                            {
+                                                neutral // zero-valued padding row
+                                            } else {
+                                                &streams[(ic * h + iy as usize) * w_dim
+                                                    + ix as usize]
+                                            };
+                                            counter
+                                                .add_xnor_words(x.words(), wrow[j].words());
+                                            j += 1;
+                                        }
+                                    }
+                                }
+                                counter.add_words(b_run[oc].words());
+                                out.push(neuron_chunk(
+                                    m + 1,
+                                    offset,
+                                    lstate,
+                                    idx,
+                                    counter,
+                                    counts,
+                                ));
+                                idx += 1;
+                            }
+                        }
+                    }
+                    Some(out)
+                }
+                CachedLayer::Pool { k } => {
+                    let (oh, ow) = (h / k, w_dim / k);
+                    let mut out = Vec::with_capacity(layer_in_c * oh * ow);
+                    let mut idx = 0usize;
+                    for c in 0..layer_in_c {
+                        // All windows of a channel share one selector
+                        // sequence, so each window advances a clone and the
+                        // canonical cursor steps once per chunk.
+                        let mut advanced: Option<StdRng> = None;
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let window = (0..k * k).map(|i| {
+                                    &streams[(c * h + oy * k + i / k) * w_dim + ox * k + i % k]
+                                });
+                                match (platform, &mut *lstate) {
+                                    (Platform::Aqfp, LayerState::PoolSorter { r }) => {
+                                        counter.clear();
+                                        for s in window {
+                                            counter.add_words(s.words());
+                                        }
+                                        counter.counts_into(counts);
+                                        out.push(
+                                            AveragePooling::new(k * k)
+                                                .run_counts_resume(counts, &mut r[idx]),
+                                        );
+                                    }
+                                    (Platform::Cmos, LayerState::PoolMux { rngs }) => {
+                                        let mut rng = rngs[c].clone();
+                                        let cloned: Vec<BitStream> = window.cloned().collect();
+                                        out.push(
+                                            mux_add(&cloned, &mut rng)
+                                                .expect("well-formed window"),
+                                        );
+                                        advanced = Some(rng);
+                                    }
+                                    _ => unreachable!("pool state matches platform"),
+                                }
+                                idx += 1;
+                            }
+                        }
+                        if let (LayerState::PoolMux { rngs }, Some(rng)) =
+                            (&mut *lstate, advanced)
+                        {
+                            rngs[c] = rng;
+                        }
+                    }
+                    Some(out)
+                }
+                CachedLayer::Dense { in_f, out_f, w, b } => {
+                    let (w_run, b_run) =
+                        chunk_streams(full, w, b, offset, clen, w_chunks, b_chunks);
+                    let mut out = Vec::with_capacity(*out_f);
+                    for o in 0..*out_f {
+                        let wrow = &w_run[o * in_f..(o + 1) * in_f];
+                        counter.clear();
+                        for (x, ws) in streams.iter().zip(wrow) {
+                            counter.add_xnor_words(x.words(), ws.words());
+                        }
+                        counter.add_words(b_run[o].words());
+                        out.push(neuron_chunk(in_f + 1, offset, lstate, o, counter, counts));
+                    }
+                    Some(out)
+                }
+                CachedLayer::Output { in_f, classes, order, w, b } => {
+                    let (w_run, b_run) =
+                        chunk_streams(full, w, b, offset, clen, w_chunks, b_chunks);
+                    for (cl, class_order) in order.iter().enumerate().take(*classes) {
+                        let wrow = &w_run[cl * in_f..(cl + 1) * in_f];
+                        match platform {
+                            Platform::Aqfp => {
+                                let mut products: Vec<BitStream> = class_order
+                                    .iter()
+                                    .map(|&j| {
+                                        streams[j].xnor(&wrow[j]).expect("lengths match")
+                                    })
+                                    .collect();
+                                products.push(b_run[cl].clone());
+                                if products.len().is_multiple_of(2) {
+                                    // The chain pads even widths with the
+                                    // neutral stream; supply the
+                                    // absolute-parity slice ourselves so an
+                                    // odd chunk offset cannot restart the
+                                    // 0101… pattern.
+                                    products.push(neutral.clone());
+                                }
+                                let chain = MajorityChain::new(products.len());
+                                let so = chain.run(&products).expect("well-formed");
+                                class_acc[cl] += so.count_ones() as u64;
+                            }
+                            Platform::Cmos => {
+                                counter.clear();
+                                for (x, ws) in streams.iter().zip(wrow) {
+                                    counter.add_xnor_words(x.words(), ws.words());
+                                }
+                                counter.add_words(b_run[cl].words());
+                                counter.counts_into(counts);
+                                class_acc[cl] +=
+                                    counts.iter().map(|&c| u64::from(c)).sum::<u64>();
+                            }
+                        }
+                    }
+                    None
+                }
+            };
+            if let Some(out) = next {
+                owned = out;
+            }
+        }
+        state.cycles = offset + clen;
+        clen
+    }
+
+    /// Class scores from the running accumulators after the cycles consumed
+    /// so far — the same floating-point reduction every front-end reports,
+    /// so a full-N run reproduces the historical one-shot scores exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no cycles have been consumed yet.
+    pub fn scores(&self, state: &ExecState) -> Vec<f64> {
+        assert!(state.cycles > 0, "no cycles consumed yet");
+        let n = state.cycles as f64;
+        state
+            .class_acc
+            .iter()
+            .map(|&acc| {
+                let ones = acc as f64;
+                match self.platform {
+                    // Bipolar value of the majority-chain output stream.
+                    Platform::Aqfp => (2.0 * ones - n) / n,
+                    // APC accumulation: total product-ones count per cycle.
+                    Platform::Cmos => ones / n,
+                }
+            })
+            .collect()
+    }
+
+    /// Convenience one-shot run: bind, consume the full stream length in a
+    /// single chunk (the zero-copy fast path), and report the scores.
+    pub fn run_one_shot(
+        &self,
+        state: &mut ExecState,
+        image: &Tensor,
+        image_seed: u64,
+    ) -> Vec<f64> {
+        self.begin(state, image, image_seed);
+        self.advance(state, self.stream_len);
+        self.scores(state)
+    }
+}
+
+/// All resumable state of one in-flight image plus the reusable scratch
+/// arena. Create via [`ExecPlan::new_state`], bind via [`ExecPlan::begin`]
+/// — rebinding reuses every allocation, so one state can serve a whole
+/// batch of images without per-image arena churn.
+pub struct ExecState {
+    /// Identity of the plan that last bound this state (`None` until the
+    /// first [`ExecPlan::begin`]).
+    bound: Option<PlanFingerprint>,
+    /// One resumable SNG cursor per pixel.
+    pixels: Vec<PixelCursor>,
+    /// Cross-chunk state of every layer.
+    layers: Vec<LayerState>,
+    /// Per class: accumulated 1s of the output stream (AQFP) or the
+    /// accumulated APC count total (CMOS).
+    class_acc: Vec<u64>,
+    /// Cycles consumed since [`ExecPlan::begin`].
+    cycles: usize,
+    // ---- arena: reused per chunk, kept across rebinds ----
+    /// Per-chunk buffers the pixel cursors generate into.
+    pixel_chunks: Vec<BitStream>,
+    /// The shared product column counter.
+    counter: ColumnCounter,
+    /// Per-cycle counts buffer.
+    counts: Vec<u32>,
+    /// Absolute-parity neutral slice of the current chunk.
+    neutral_chunk: BitStream,
+    /// Weight-stream chunk slices of the layer under evaluation.
+    w_chunks: Vec<BitStream>,
+    /// Bias-stream chunk slices of the layer under evaluation.
+    b_chunks: Vec<BitStream>,
+}
+
+impl ExecState {
+    /// Cycles consumed since the last [`ExecPlan::begin`] — the per-image
+    /// cycle count every front-end reports (no recomputation needed).
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+}
+
+/// Cheap structural identity of a plan, stamped onto bound states. Two
+/// plans agreeing on every field are interchangeable for `advance` in
+/// practice: the cached-stream count ties it to the weight tensor sizes
+/// and the pixel count to the input side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlanFingerprint {
+    platform: Platform,
+    stream_len: usize,
+    layer_count: usize,
+    cached_streams: usize,
+    pixel_count: usize,
+}
+
+/// Output spatial dims of a convolution layer.
+fn conv_out_dims(h: usize, w: usize, k: usize, padding: Padding) -> (usize, usize) {
+    match padding {
+        Padding::Valid => (h - k + 1, w - k + 1),
+        Padding::Same => (h, w),
+    }
+}
+
+/// Borrows the cached full-length streams on the one-shot fast path, or
+/// slices the current chunk of every weight/bias stream into the arena
+/// buffers (reusing their allocations).
+fn chunk_streams<'s>(
+    full: bool,
+    w: &'s [BitStream],
+    b: &'s [BitStream],
+    offset: usize,
+    clen: usize,
+    w_chunks: &'s mut Vec<BitStream>,
+    b_chunks: &'s mut Vec<BitStream>,
+) -> (&'s [BitStream], &'s [BitStream]) {
+    if full {
+        (w, b)
+    } else {
+        slice_all(w, offset, clen, w_chunks);
+        slice_all(b, offset, clen, b_chunks);
+        (w_chunks, b_chunks)
+    }
+}
+
+/// Slices every stream in `src` to `offset .. offset + clen`, reusing the
+/// buffers in `out`.
+fn slice_all(src: &[BitStream], offset: usize, clen: usize, out: &mut Vec<BitStream>) {
+    out.resize_with(src.len(), || BitStream::zeros(0));
+    for (s, o) in src.iter().zip(out.iter_mut()) {
+        s.slice_into(offset, clen, o);
+    }
+}
+
+/// One neuron's chunk output from the counts accumulated in `counter`,
+/// resuming the neuron's cross-chunk state at slot `idx`. The even-width
+/// sorter pad is folded in at the ABSOLUTE cycle so odd chunk offsets keep
+/// the 0101… phase.
+fn neuron_chunk(
+    rows: usize,
+    offset: usize,
+    lstate: &mut LayerState,
+    idx: usize,
+    counter: &ColumnCounter,
+    counts: &mut Vec<u32>,
+) -> BitStream {
+    counter.counts_into(counts);
+    match lstate {
+        LayerState::Feature { r } => {
+            let fe = FeatureExtraction::new(rows);
+            if fe.width() != rows {
+                for (i, c) in counts.iter_mut().enumerate() {
+                    *c += fe.pad_count_at(offset + i);
+                }
+            }
+            fe.run_counts_resume(counts, &mut r[idx])
+        }
+        LayerState::Fsm { fsm } => {
+            let f = &mut fsm[idx];
+            BitStream::from_bits(counts.iter().map(|&c| f.step(c)))
+        }
+        _ => unreachable!("neuron state matches layer kind"),
+    }
+}
+
+/// Resets a conv/dense layer's state slot in place for a fresh image:
+/// sorter feedback on AQFP, a `Btanh` FSM per neuron on CMOS.
+fn reset_neuron_slot(platform: Platform, slot: &mut LayerState, rows: usize, count: usize) {
+    match (platform, &mut *slot) {
+        (Platform::Aqfp, LayerState::Feature { r }) => {
+            r.clear();
+            r.resize(count, 0);
+        }
+        (Platform::Cmos, LayerState::Fsm { fsm }) => {
+            fsm.clear();
+            fsm.resize(count, Btanh::new(rows));
+        }
+        _ => {
+            *slot = match platform {
+                Platform::Aqfp => LayerState::Feature { r: vec![0; count] },
+                Platform::Cmos => LayerState::Fsm { fsm: vec![Btanh::new(rows); count] },
+            }
+        }
+    }
+}
+
+/// Resets a pooling layer's state slot in place for a fresh image: sorter
+/// feedback per window on AQFP, a reseeded selector RNG per channel on CMOS.
+fn reset_pool_slot(
+    platform: Platform,
+    slot: &mut LayerState,
+    channels: usize,
+    windows_per_channel: usize,
+    seed_of: impl Fn(usize) -> u64,
+) {
+    match (platform, &mut *slot) {
+        (Platform::Aqfp, LayerState::PoolSorter { r }) => {
+            r.clear();
+            r.resize(channels * windows_per_channel, 0);
+        }
+        (Platform::Cmos, LayerState::PoolMux { rngs }) => {
+            rngs.clear();
+            rngs.extend((0..channels).map(|c| StdRng::seed_from_u64(seed_of(c))));
+        }
+        _ => {
+            *slot = match platform {
+                Platform::Aqfp => LayerState::PoolSorter {
+                    r: vec![0; channels * windows_per_channel],
+                },
+                Platform::Cmos => LayerState::PoolMux {
+                    rngs: (0..channels).map(|c| StdRng::seed_from_u64(seed_of(c))).collect(),
+                },
+            }
+        }
+    }
+}
+
+/// A resumable per-pixel SNG cursor (platform-specific word source).
+enum PixelSng {
+    Aqfp(Sng<BitsAsWords<ThermalRng>>),
+    Cmos(Sng<BitsAsWords<SplitMix64>>),
+}
+
+struct PixelCursor {
+    sng: PixelSng,
+    level: u64,
+}
+
+impl PixelCursor {
+    fn generate_into(&mut self, len: usize, out: &mut BitStream) {
+        match &mut self.sng {
+            PixelSng::Aqfp(sng) => sng.generate_level_into(self.level, len, out),
+            PixelSng::Cmos(sng) => sng.generate_level_into(self.level, len, out),
+        }
+    }
+}
+
+/// Cross-chunk state of one layer.
+enum LayerState {
+    /// AQFP conv/dense: feature-extraction feedback occupancy per neuron.
+    Feature { r: Vec<i64> },
+    /// CMOS conv/dense: Btanh counter FSM per neuron.
+    Fsm { fsm: Vec<Btanh> },
+    /// AQFP pooling: conserving-sorter feedback occupancy per window.
+    PoolSorter { r: Vec<i64> },
+    /// CMOS pooling: one selector RNG cursor per channel.
+    PoolMux { rngs: Vec<StdRng> },
+    /// The categorization layer is stateless per cycle; its running score
+    /// lives in `ExecState::class_acc`.
+    Output,
+}
+
+/// Index of the largest score (first on ties).
+pub(crate) fn argmax(scores: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Comparator level of a pixel value `p ∈ [0, 1]` read as the bipolar
+/// value `p`: `round(Bipolar::clamped(p).probability() · 2^bits)`.
+pub(crate) fn pixel_level(p: f32, scale: f64) -> u64 {
+    let prob = Bipolar::clamped(f64::from(p)).probability();
+    (prob * scale).round().min(scale) as u64
+}
+
+/// Seed-domain separation: three keyed SplitMix64 steps over `base`.
+pub(crate) fn derive(base: u64, tags: [u64; 3]) -> u64 {
+    let mut x = base;
+    for t in tags {
+        x = SplitMix64::new(x ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
+    }
+    x
+}
+
+/// One weight/bias stream from its own platform-specific generator.
+fn generate_stream(
+    platform: Platform,
+    bits: u32,
+    key: u64,
+    level: u64,
+    len: usize,
+) -> BitStream {
+    match platform {
+        Platform::Aqfp => Sng::new(bits, ThermalRng::with_seed(key)).generate_level(level, len),
+        // The CMOS baseline uses pseudo-random generators; a whitened
+        // SplitMix stream models a well-scrambled LFSR bank (a raw
+        // shared-polynomial LFSR bank would add cross-correlation the
+        // baseline papers explicitly design away).
+        Platform::Cmos => Sng::new(bits, SplitMix64::new(key)).generate_level(level, len),
+    }
+}

@@ -1,48 +1,30 @@
 //! Progressive-precision streaming inference: evaluate an image in chunks
-//! of `chunk_len` cycles and stop as soon as the decision is stable.
+//! and stop as soon as the decision is stable.
 //!
 //! The stochastic stream length N is the paper's central accuracy/cost
 //! knob — accuracy climbs with N while energy and latency scale linearly
 //! with cycles (§V). A fixed-N engine spends the worst-case budget on every
-//! image; the [`StreamingEngine`] instead maintains running per-class score
-//! accumulators and consults a pluggable [`ExitPolicy`] after each chunk,
-//! so easy images pay a fraction of N and only ambiguous ones run long.
+//! image; the [`StreamingEngine`] instead drives the shared
+//! [`ExecPlan`](crate::ExecPlan) chunk by chunk through a
+//! [`ChunkSchedule`] and consults a pluggable [`ExitPolicy`] after each
+//! chunk, so easy images pay a fraction of N and only ambiguous ones run
+//! long.
 //!
 //! # The bit-identity invariant
 //!
 //! A streaming run driven to full N with [`ExitPolicy::Disabled`] is
 //! **bit-identical** to the one-shot [`InferenceEngine::classify`] at the
-//! same seed, on both [`Platform::Aqfp`] and [`Platform::Cmos`] (enforced
-//! by `tests/integration_streaming.rs`). Three mechanisms make that hold:
-//!
-//! * **Resumable stream cursors** — every pixel owns its own SNG
-//!   ([`Sng::generate_level_into`] continues where the previous chunk
-//!   stopped), and every stateful block carries its state across chunks:
-//!   the feature-extraction / pooling feedback occupancy
-//!   (`run_counts_resume`), the CMOS `Btanh` counter FSM, and the mux
-//!   pooling selector RNG.
-//! * **Sliced weight streams** — the engine's cached weight/bias streams
-//!   are sliced per chunk ([`BitStream::slice_into`]), so every product
-//!   column sees exactly the bits the one-shot path sees.
-//! * **Absolute-cycle neutral padding** — the `0101…` neutral stream and
-//!   the even-width sorter pad are indexed by *absolute* cycle, not
-//!   chunk-local cycle: a chunk starting at an odd offset gets a neutral
-//!   slice that starts with 0. Restarting the pattern per chunk would
-//!   drift every odd-offset count by one.
+//! same seed, on both [`Platform::Aqfp`] and [`Platform::Cmos`] — for
+//! *any* chunk schedule whose lengths sum to N (enforced by
+//! `tests/integration_streaming.rs` and the partition proptest in
+//! `tests/integration_plan.rs`). This holds by construction: streaming and
+//! one-shot runs execute the same [`ExecPlan::advance`](crate::ExecPlan)
+//! core, whose output never depends on how N cycles are partitioned.
 
-use aqfp_sc_bitstream::{
-    mux_add, BitStream, BitsAsWords, SplitMix64, Sng, ThermalRng,
-};
-use aqfp_sc_core::baseline::Btanh;
-use aqfp_sc_core::{AveragePooling, FeatureExtraction, MajorityChain};
-use aqfp_sc_nn::{Padding, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use aqfp_sc_nn::Tensor;
 
-use crate::engine::{
-    argmax, derive, pixel_level, CachedLayer, InferenceEngine, Platform, Scratch, TAG_PIXEL,
-    TAG_POOL,
-};
+use crate::engine::{accuracy, InferenceEngine};
+use crate::plan::{argmax, ExecState, Platform};
 
 /// When a streaming run is allowed to stop consuming cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +57,73 @@ pub enum ExitPolicy {
     },
 }
 
+/// How the per-image cycle budget N is partitioned into chunks (the exit
+/// policy is consulted at every chunk boundary).
+///
+/// Chunk lengths are clamped to the cycles remaining, so every schedule
+/// sums to at most N and the final chunk may be short. With the policy
+/// disabled, **every** schedule is bit-identical to the one-shot engine —
+/// the schedule only moves the policy checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChunkSchedule {
+    /// Every chunk has the same length (the classic `chunk_len` mode).
+    Fixed {
+        /// Chunk length in cycles (≥ 1).
+        len: usize,
+    },
+    /// Geometric growth: chunk `i` has `round(first · factor^i)` cycles,
+    /// capped at `cap`. Small early chunks give confident images frequent
+    /// early exit opportunities; growing chunks amortise the per-chunk
+    /// overhead (state resume, count reduction) once a run has proven
+    /// ambiguous and is likely to go long.
+    Geometric {
+        /// Length of the first chunk in cycles (≥ 1).
+        first: usize,
+        /// Per-chunk growth factor (≥ 1.0; 2.0 doubles every chunk).
+        factor: f64,
+        /// Upper bound on any single chunk's length.
+        cap: usize,
+    },
+}
+
+impl ChunkSchedule {
+    /// A fixed-length schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is 0.
+    pub fn fixed(len: usize) -> Self {
+        assert!(len > 0, "chunk length must be at least 1 cycle");
+        ChunkSchedule::Fixed { len }
+    }
+
+    /// A geometric-growth schedule: `first, first·factor, first·factor², …`
+    /// capped at `cap` cycles per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `first` is 0, `factor < 1.0`, or `cap < first`.
+    pub fn geometric(first: usize, factor: f64, cap: usize) -> Self {
+        assert!(first > 0, "first chunk must be at least 1 cycle");
+        assert!(factor >= 1.0, "growth factor must be >= 1.0");
+        assert!(cap >= first, "cap must be at least the first chunk length");
+        ChunkSchedule::Geometric { first, factor, cap }
+    }
+
+    /// Length of chunk `index` (0-based), before clamping to the cycles
+    /// remaining. Always at least 1.
+    pub fn len_at(&self, index: usize) -> usize {
+        match *self {
+            ChunkSchedule::Fixed { len } => len.max(1),
+            ChunkSchedule::Geometric { first, factor, cap } => {
+                // f64 → usize casts saturate, so overflow lands on `cap`.
+                let grown = (first as f64) * factor.powi(index.min(i32::MAX as usize) as i32);
+                (grown.round() as usize).clamp(1, cap.max(1))
+            }
+        }
+    }
+}
+
 /// Result of one streamed classification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamingOutcome {
@@ -82,7 +131,8 @@ pub struct StreamingOutcome {
     pub class: usize,
     /// Class scores at the cycle the run stopped.
     pub scores: Vec<f64>,
-    /// Cycles actually consumed (≤ the engine's stream length).
+    /// Cycles actually consumed (≤ the engine's stream length), read from
+    /// the execution state's cycle counter.
     pub cycles: usize,
     /// Chunks evaluated.
     pub chunks: usize,
@@ -103,24 +153,30 @@ pub struct StreamingEvaluation {
 
 impl StreamingEvaluation {
     /// Fraction of the fixed-N cycle budget saved on average
-    /// (`1 − avg_cycles / n`).
+    /// (`1 − avg_cycles / n`), or 0.0 for a zero budget (a run with no
+    /// cycles has nothing to save — dividing by 0 would yield ±∞/NaN).
     pub fn cycle_savings(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
         1.0 - self.avg_cycles / n as f64
     }
 }
 
 /// Chunked early-exit wrapper around an [`InferenceEngine`].
 ///
-/// Construction is free — the underlying engine's cached weight streams
-/// are shared, sliced per chunk. The engine's `stream_len` is the full
-/// budget N; `chunk_len` is the evaluation granularity (the final chunk is
-/// shortened when `chunk_len` does not divide N).
+/// Construction is free — the underlying engine's [`ExecPlan`] (cached
+/// weight streams) is shared. The engine's `stream_len` is the full budget
+/// N; the [`ChunkSchedule`] sets the evaluation granularity (the final
+/// chunk is shortened when the schedule does not divide N).
+///
+/// [`ExecPlan`]: crate::ExecPlan
 ///
 /// # Example
 ///
 /// ```
 /// use aqfp_sc_network::{build_model, ActivationStyle, CompiledNetwork};
-/// use aqfp_sc_network::{ExitPolicy, InferenceEngine, NetworkSpec, Platform, StreamingEngine};
+/// use aqfp_sc_network::{ChunkSchedule, ExitPolicy, InferenceEngine, NetworkSpec, Platform, StreamingEngine};
 /// use aqfp_sc_nn::Tensor;
 ///
 /// let spec = NetworkSpec::tiny(8);
@@ -128,6 +184,7 @@ impl StreamingEvaluation {
 /// let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
 /// let engine = InferenceEngine::new(&compiled, 256, Platform::Aqfp);
 /// let streaming = StreamingEngine::new(&engine, 64)
+///     .with_schedule(ChunkSchedule::geometric(16, 2.0, 64))
 ///     .with_policy(ExitPolicy::Margin { z: 3.0 });
 /// let outcome = streaming.classify(&Tensor::zeros(vec![1, 8, 8]), 42);
 /// assert!(outcome.cycles <= 256 && outcome.class < 10);
@@ -137,7 +194,7 @@ impl StreamingEvaluation {
 /// ```
 pub struct StreamingEngine<'e, 'n> {
     engine: &'e InferenceEngine<'n>,
-    chunk_len: usize,
+    schedule: ChunkSchedule,
     policy: ExitPolicy,
     min_cycles: usize,
     /// CMOS worst-case standard-error scale of the top-two margin:
@@ -147,27 +204,20 @@ pub struct StreamingEngine<'e, 'n> {
 }
 
 impl<'e, 'n> StreamingEngine<'e, 'n> {
-    /// Wraps `engine` for chunked evaluation with chunks of `chunk_len`
-    /// cycles and the exit policy disabled (full-N, bit-identical runs).
+    /// Wraps `engine` for chunked evaluation with fixed chunks of
+    /// `chunk_len` cycles and the exit policy disabled (full-N,
+    /// bit-identical runs).
     ///
     /// # Panics
     ///
     /// Panics when `chunk_len` is 0.
     pub fn new(engine: &'e InferenceEngine<'n>, chunk_len: usize) -> Self {
-        assert!(chunk_len > 0, "chunk_len must be at least 1 cycle");
         // Output-layer fan-in drives the CMOS margin variance bound.
-        let rows = engine
-            .layers
-            .iter()
-            .find_map(|l| match l {
-                CachedLayer::Output { in_f, .. } => Some(in_f + 1),
-                _ => None,
-            })
-            .unwrap_or(2);
+        let rows = engine.plan().output_fan_in().unwrap_or(2);
         let cmos_sigma_factor = (rows as f64 / 2.0).sqrt();
         StreamingEngine {
             engine,
-            chunk_len,
+            schedule: ChunkSchedule::fixed(chunk_len),
             policy: ExitPolicy::Disabled,
             min_cycles: 0,
             cmos_sigma_factor,
@@ -180,6 +230,15 @@ impl<'e, 'n> StreamingEngine<'e, 'n> {
         self
     }
 
+    /// Replaces the chunk schedule (default: fixed at the `chunk_len`
+    /// passed to [`StreamingEngine::new`]). The schedule never changes
+    /// bits with the policy disabled — it only moves the policy
+    /// checkpoints.
+    pub fn with_schedule(mut self, schedule: ChunkSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// Sets a floor of cycles that must be consumed before the exit policy
     /// is consulted (default 0; rounded up to whole chunks by evaluation).
     pub fn with_min_cycles(mut self, min_cycles: usize) -> Self {
@@ -187,9 +246,15 @@ impl<'e, 'n> StreamingEngine<'e, 'n> {
         self
     }
 
-    /// The chunk granularity in cycles.
+    /// The first chunk's granularity in cycles (the uniform granularity for
+    /// a fixed schedule).
     pub fn chunk_len(&self) -> usize {
-        self.chunk_len
+        self.schedule.len_at(0)
+    }
+
+    /// The configured chunk schedule.
+    pub fn schedule(&self) -> ChunkSchedule {
+        self.schedule
     }
 
     /// The configured exit policy.
@@ -205,8 +270,8 @@ impl<'e, 'n> StreamingEngine<'e, 'n> {
     /// Streams one image under `image_seed` until the exit policy fires or
     /// the full stream length is consumed.
     pub fn classify(&self, image: &Tensor, image_seed: u64) -> StreamingOutcome {
-        let mut scratch = StreamScratch::new(self.chunk_len);
-        self.classify_with_scratch(image, image_seed, &mut scratch)
+        let mut state = self.engine.plan().new_state();
+        self.classify_with_state(image, image_seed, &mut state)
     }
 
     /// Streams a batch, fanned out over the engine's worker pool. Image `i`
@@ -225,28 +290,24 @@ impl<'e, 'n> StreamingEngine<'e, 'n> {
         samples: &[(Tensor, usize)],
         base_seed: u64,
     ) -> Option<StreamingEvaluation> {
-        if samples.is_empty() {
-            return None;
-        }
         let images: Vec<&Tensor> = samples.iter().map(|(x, _)| x).collect();
         let outcomes = self.run_batch(&images, base_seed);
-        let correct = outcomes
-            .iter()
-            .zip(samples)
-            .filter(|(o, (_, want))| o.class == *want)
-            .count();
+        let accuracy = accuracy(&outcomes, samples, |o| o.class)?;
+        // Per-image cycle counts come straight from each run's ExecState
+        // cycle counter (carried on the outcome) — nothing is recomputed.
         let total_cycles: u64 = outcomes.iter().map(|o| o.cycles as u64).sum();
         let early = outcomes.iter().filter(|o| o.early_exit).count();
         let n = samples.len() as f64;
         Some(StreamingEvaluation {
-            accuracy: correct as f64 / n,
+            accuracy,
             avg_cycles: total_cycles as f64 / n,
             early_exit_fraction: early as f64 / n,
         })
     }
 
     /// Static-partition batch driver mirroring the engine's: contiguous
-    /// image chunks per worker, per-image seeds independent of scheduling.
+    /// image chunks per worker, per-image seeds independent of scheduling,
+    /// one reused `ExecState` per worker.
     fn run_batch(&self, images: &[&Tensor], base_seed: u64) -> Vec<StreamingOutcome> {
         if images.is_empty() {
             return Vec::new();
@@ -260,10 +321,10 @@ impl<'e, 'n> StreamingEngine<'e, 'n> {
                 images.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
             {
                 scope.spawn(move || {
-                    let mut scratch = StreamScratch::new(self.chunk_len);
+                    let mut state = self.engine.plan().new_state();
                     for (j, (img, slot)) in imgs.iter().zip(slots).enumerate() {
                         let seed = InferenceEngine::image_seed(base_seed, ci * chunk + j);
-                        *slot = Some(self.classify_with_scratch(img, seed, &mut scratch));
+                        *slot = Some(self.classify_with_state(img, seed, &mut state));
                     }
                 });
             }
@@ -271,43 +332,44 @@ impl<'e, 'n> StreamingEngine<'e, 'n> {
         out.into_iter().map(|s| s.expect("every slot filled")).collect()
     }
 
-    /// The chunk loop for one image.
-    fn classify_with_scratch(
+    /// The chunk loop for one image: schedule-driven `advance` calls with a
+    /// policy check at every chunk boundary.
+    fn classify_with_state(
         &self,
         image: &Tensor,
         image_seed: u64,
-        scratch: &mut StreamScratch,
+        state: &mut ExecState,
     ) -> StreamingOutcome {
-        let n = self.engine.stream_len();
-        let mut state = self.image_state(image, image_seed);
-        let mut offset = 0usize;
+        let plan = self.engine.plan();
+        let n = plan.stream_len();
+        plan.begin(state, image, image_seed);
         let mut chunks = 0usize;
         let mut early_exit = false;
         let mut last_argmax: Option<usize> = None;
         let mut stable_chunks = 0usize;
-        while offset < n {
-            let clen = self.chunk_len.min(n - offset);
-            self.process_chunk(&mut state, offset, clen, scratch);
-            offset += clen;
+        while state.cycles() < n {
+            let want = self.schedule.len_at(chunks);
+            plan.advance(state, want);
             chunks += 1;
-            if offset >= n {
+            let consumed = state.cycles();
+            if consumed >= n {
                 break;
             }
             match self.policy {
                 ExitPolicy::Disabled => {}
                 ExitPolicy::Margin { z } => {
-                    if offset >= self.min_cycles {
-                        let scores = self.scores_at(&state.class_acc, offset);
+                    if consumed >= self.min_cycles {
+                        let scores = plan.scores(state);
                         let (best, second) = top_two(&scores);
-                        let sigma = match self.engine.platform() {
+                        let sigma = match plan.platform() {
                             // Exact Bernoulli variance of the two running
                             // bipolar estimates.
                             Platform::Aqfp => (((1.0 - best * best).max(0.0)
                                 + (1.0 - second * second).max(0.0))
-                                / offset as f64)
+                                / consumed as f64)
                                 .sqrt(),
                             Platform::Cmos => {
-                                self.cmos_sigma_factor / (offset as f64).sqrt()
+                                self.cmos_sigma_factor / (consumed as f64).sqrt()
                             }
                         };
                         if best - second >= z * sigma {
@@ -317,370 +379,27 @@ impl<'e, 'n> StreamingEngine<'e, 'n> {
                     }
                 }
                 ExitPolicy::StableArgmax { k } => {
-                    let scores = self.scores_at(&state.class_acc, offset);
-                    let winner = argmax(&scores);
+                    let winner = argmax(&plan.scores(state));
                     stable_chunks = if last_argmax == Some(winner) {
                         stable_chunks + 1
                     } else {
                         1
                     };
                     last_argmax = Some(winner);
-                    if offset >= self.min_cycles && stable_chunks >= k {
+                    if consumed >= self.min_cycles && stable_chunks >= k {
                         early_exit = true;
                         break;
                     }
                 }
             }
         }
-        let scores = self.scores_at(&state.class_acc, offset);
+        let scores = plan.scores(state);
         StreamingOutcome {
             class: argmax(&scores),
             scores,
-            cycles: offset,
+            cycles: state.cycles(),
             chunks,
             early_exit,
-        }
-    }
-
-    /// Class scores from the running 1s accumulators after `t` cycles —
-    /// the same floating-point reduction the one-shot engine applies to a
-    /// full stream, so a full-N streaming run reproduces its scores
-    /// exactly.
-    fn scores_at(&self, class_acc: &[u64], t: usize) -> Vec<f64> {
-        let n = t as f64;
-        class_acc
-            .iter()
-            .map(|&acc| {
-                let ones = acc as f64;
-                match self.engine.platform() {
-                    // Bipolar value of the majority-chain output stream.
-                    Platform::Aqfp => (2.0 * ones - n) / n,
-                    // APC accumulation: total product-ones count per cycle.
-                    Platform::Cmos => ones / n,
-                }
-            })
-            .collect()
-    }
-
-    /// Builds the per-image resumable state: one SNG cursor per pixel and
-    /// one feedback/FSM slot per stateful neuron.
-    fn image_state(&self, image: &Tensor, image_seed: u64) -> ImageState {
-        let side = self.engine.net.spec().input_side;
-        assert_eq!(image.shape(), &[1, side, side], "image shape mismatch");
-        let bits = self.engine.net.bits();
-        let scale = (1u64 << bits) as f64;
-        let platform = self.engine.platform();
-        let pixels: Vec<PixelCursor> = image
-            .data()
-            .iter()
-            .enumerate()
-            .map(|(p, &v)| {
-                let key = derive(image_seed, [TAG_PIXEL, p as u64, 0]);
-                let level = pixel_level(v, scale);
-                let sng = match platform {
-                    Platform::Aqfp => PixelSng::Aqfp(Sng::new(bits, ThermalRng::with_seed(key))),
-                    Platform::Cmos => PixelSng::Cmos(Sng::new(bits, SplitMix64::new(key))),
-                };
-                PixelCursor { sng, level }
-            })
-            .collect();
-        let mut classes = 0usize;
-        let layers: Vec<LayerState> = self
-            .engine
-            .layers
-            .iter()
-            .enumerate()
-            .map(|(li, layer)| {
-                let (layer_in_c, h, w_dim) = self.engine.shapes[li];
-                match layer {
-                    CachedLayer::Conv { k, in_c, out_c, padding, .. } => {
-                        let (oh, ow) = match padding {
-                            Padding::Valid => (h - k + 1, w_dim - k + 1),
-                            Padding::Same => (h, w_dim),
-                        };
-                        let rows = in_c * k * k + 1; // + bias
-                        self.neuron_states(rows, out_c * oh * ow)
-                    }
-                    CachedLayer::Pool { k } => {
-                        let (oh, ow) = (h / k, w_dim / k);
-                        match platform {
-                            Platform::Aqfp => {
-                                LayerState::PoolSorter { r: vec![0; layer_in_c * oh * ow] }
-                            }
-                            Platform::Cmos => LayerState::PoolMux {
-                                rngs: (0..layer_in_c)
-                                    .map(|c| {
-                                        let seed = derive(
-                                            image_seed,
-                                            [TAG_POOL ^ li as u64, c as u64, 0],
-                                        );
-                                        StdRng::seed_from_u64(seed)
-                                    })
-                                    .collect(),
-                            },
-                        }
-                    }
-                    CachedLayer::Dense { in_f, out_f, .. } => {
-                        self.neuron_states(in_f + 1, *out_f)
-                    }
-                    CachedLayer::Output { classes: c, .. } => {
-                        classes = *c;
-                        LayerState::Output
-                    }
-                }
-            })
-            .collect();
-        let pixel_chunks = vec![BitStream::zeros(0); pixels.len()];
-        ImageState { pixels, layers, class_acc: vec![0; classes], pixel_chunks }
-    }
-
-    /// Fresh state for a layer of `count` neurons with `rows` product rows
-    /// each: sorter feedback on AQFP, a `Btanh` FSM on CMOS.
-    fn neuron_states(&self, rows: usize, count: usize) -> LayerState {
-        match self.engine.platform() {
-            Platform::Aqfp => LayerState::Feature { r: vec![0; count] },
-            Platform::Cmos => LayerState::Fsm { fsm: vec![Btanh::new(rows); count] },
-        }
-    }
-
-    /// Evaluates cycles `offset .. offset + clen` of the whole pipeline,
-    /// advancing every cursor and accumulating the class scores.
-    fn process_chunk(
-        &self,
-        state: &mut ImageState,
-        offset: usize,
-        clen: usize,
-        scratch: &mut StreamScratch,
-    ) {
-        let engine = self.engine;
-        let platform = engine.platform();
-        // Retarget the counter at the (possibly shorter, final) chunk and
-        // slice the neutral stream at the absolute offset so its 0101…
-        // parity matches the one-shot run.
-        scratch.inner.counter.reset(clen);
-        engine.neutral.slice_into(offset, clen, &mut scratch.neutral);
-        let ImageState { pixels, layers, class_acc, pixel_chunks } = state;
-        // Generate this chunk of every pixel stream from its cursor, into
-        // the image's persistent chunk buffers.
-        for (cursor, buf) in pixels.iter_mut().zip(pixel_chunks.iter_mut()) {
-            cursor.generate_into(clen, buf);
-        }
-        // Activations of the layer under evaluation: the first layer reads
-        // the pixel buffers directly, later ones the previous layer's
-        // output.
-        let mut owned: Vec<BitStream> = Vec::new();
-        for (li, (layer, lstate)) in engine.layers.iter().zip(layers.iter_mut()).enumerate()
-        {
-            let streams: &[BitStream] = if li == 0 { pixel_chunks } else { &owned };
-            let (layer_in_c, h, w_dim) = engine.shapes[li];
-            let next: Option<Vec<BitStream>> = match layer {
-                CachedLayer::Conv { k, in_c, out_c, padding, w, b } => {
-                    let (oh, ow) = match padding {
-                        Padding::Valid => (h - k + 1, w_dim - k + 1),
-                        Padding::Same => (h, w_dim),
-                    };
-                    let pad = match padding {
-                        Padding::Valid => 0isize,
-                        Padding::Same => (k / 2) as isize,
-                    };
-                    let m = in_c * k * k;
-                    // Weight/bias chunk slices, computed once per chunk and
-                    // shared across all output positions.
-                    slice_all(w, offset, clen, &mut scratch.w_chunks);
-                    slice_all(b, offset, clen, &mut scratch.b_chunks);
-                    let mut out = Vec::with_capacity(out_c * oh * ow);
-                    let mut idx = 0usize;
-                    for oc in 0..*out_c {
-                        let wrow = &scratch.w_chunks[oc * m..(oc + 1) * m];
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                scratch.inner.counter.clear();
-                                let mut j = 0usize;
-                                for ic in 0..*in_c {
-                                    for ky in 0..*k {
-                                        for kx in 0..*k {
-                                            let iy = oy as isize + ky as isize - pad;
-                                            let ix = ox as isize + kx as isize - pad;
-                                            let x = if iy < 0
-                                                || ix < 0
-                                                || iy >= h as isize
-                                                || ix >= w_dim as isize
-                                            {
-                                                &scratch.neutral
-                                            } else {
-                                                &streams[(ic * h + iy as usize) * w_dim
-                                                    + ix as usize]
-                                            };
-                                            scratch
-                                                .inner
-                                                .counter
-                                                .add_xnor_words(x.words(), wrow[j].words());
-                                            j += 1;
-                                        }
-                                    }
-                                }
-                                scratch.inner.counter.add_words(scratch.b_chunks[oc].words());
-                                out.push(self.neuron_chunk(
-                                    m + 1,
-                                    offset,
-                                    lstate,
-                                    idx,
-                                    &mut scratch.inner,
-                                ));
-                                idx += 1;
-                            }
-                        }
-                    }
-                    Some(out)
-                }
-                CachedLayer::Pool { k } => {
-                    let (oh, ow) = (h / k, w_dim / k);
-                    let mut out = Vec::with_capacity(layer_in_c * oh * ow);
-                    let mut idx = 0usize;
-                    for c in 0..layer_in_c {
-                        // All windows of a channel share one selector
-                        // sequence (fresh from the same seed in the
-                        // one-shot path), so each window advances a clone
-                        // and the canonical cursor steps once per chunk.
-                        let mut advanced: Option<StdRng> = None;
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let window = (0..k * k).map(|i| {
-                                    &streams[(c * h + oy * k + i / k) * w_dim + ox * k + i % k]
-                                });
-                                match (platform, &mut *lstate) {
-                                    (Platform::Aqfp, LayerState::PoolSorter { r }) => {
-                                        scratch.inner.counter.clear();
-                                        for s in window {
-                                            scratch.inner.counter.add_words(s.words());
-                                        }
-                                        scratch
-                                            .inner
-                                            .counter
-                                            .counts_into(&mut scratch.inner.counts);
-                                        out.push(
-                                            AveragePooling::new(k * k).run_counts_resume(
-                                                &scratch.inner.counts,
-                                                &mut r[idx],
-                                            ),
-                                        );
-                                    }
-                                    (Platform::Cmos, LayerState::PoolMux { rngs }) => {
-                                        let mut rng = rngs[c].clone();
-                                        let cloned: Vec<BitStream> = window.cloned().collect();
-                                        out.push(
-                                            mux_add(&cloned, &mut rng)
-                                                .expect("well-formed window"),
-                                        );
-                                        advanced = Some(rng);
-                                    }
-                                    _ => unreachable!("pool state matches platform"),
-                                }
-                                idx += 1;
-                            }
-                        }
-                        if let (LayerState::PoolMux { rngs }, Some(rng)) =
-                            (&mut *lstate, advanced)
-                        {
-                            rngs[c] = rng;
-                        }
-                    }
-                    Some(out)
-                }
-                CachedLayer::Dense { in_f, out_f, w, b } => {
-                    slice_all(w, offset, clen, &mut scratch.w_chunks);
-                    slice_all(b, offset, clen, &mut scratch.b_chunks);
-                    let mut out = Vec::with_capacity(*out_f);
-                    for o in 0..*out_f {
-                        let wrow = &scratch.w_chunks[o * in_f..(o + 1) * in_f];
-                        scratch.inner.counter.clear();
-                        for (x, ws) in streams.iter().zip(wrow) {
-                            scratch.inner.counter.add_xnor_words(x.words(), ws.words());
-                        }
-                        scratch.inner.counter.add_words(scratch.b_chunks[o].words());
-                        out.push(self.neuron_chunk(in_f + 1, offset, lstate, o, &mut scratch.inner));
-                    }
-                    Some(out)
-                }
-                CachedLayer::Output { in_f, classes, order, w, b } => {
-                    slice_all(w, offset, clen, &mut scratch.w_chunks);
-                    slice_all(b, offset, clen, &mut scratch.b_chunks);
-                    for (cl, class_order) in order.iter().enumerate().take(*classes) {
-                        let wrow = &scratch.w_chunks[cl * in_f..(cl + 1) * in_f];
-                        match platform {
-                            Platform::Aqfp => {
-                                let mut products: Vec<BitStream> = class_order
-                                    .iter()
-                                    .map(|&j| {
-                                        streams[j].xnor(&wrow[j]).expect("lengths match")
-                                    })
-                                    .collect();
-                                products.push(scratch.b_chunks[cl].clone());
-                                if products.len().is_multiple_of(2) {
-                                    // The chain pads even widths with the
-                                    // neutral stream; supply the
-                                    // absolute-parity slice ourselves so an
-                                    // odd chunk offset cannot restart the
-                                    // 0101… pattern.
-                                    products.push(scratch.neutral.clone());
-                                }
-                                let chain = MajorityChain::new(products.len());
-                                let so = chain.run(&products).expect("well-formed");
-                                class_acc[cl] += so.count_ones() as u64;
-                            }
-                            Platform::Cmos => {
-                                scratch.inner.counter.clear();
-                                for (x, ws) in streams.iter().zip(wrow) {
-                                    scratch.inner.counter.add_xnor_words(x.words(), ws.words());
-                                }
-                                scratch.inner.counter.add_words(scratch.b_chunks[cl].words());
-                                scratch.inner.counter.counts_into(&mut scratch.inner.counts);
-                                class_acc[cl] += scratch
-                                    .inner
-                                    .counts
-                                    .iter()
-                                    .map(|&c| u64::from(c))
-                                    .sum::<u64>();
-                            }
-                        }
-                    }
-                    None
-                }
-            };
-            if let Some(out) = next {
-                owned = out;
-            }
-        }
-    }
-
-    /// One neuron's chunk output from the counts accumulated in the scratch
-    /// counter, resuming the neuron's cross-chunk state at slot `idx`.
-    fn neuron_chunk(
-        &self,
-        rows: usize,
-        offset: usize,
-        lstate: &mut LayerState,
-        idx: usize,
-        scratch: &mut Scratch,
-    ) -> BitStream {
-        scratch.counter.counts_into(&mut scratch.counts);
-        match lstate {
-            LayerState::Feature { r } => {
-                let fe = FeatureExtraction::new(rows);
-                if fe.width() != rows {
-                    // Even sorter width: fold the neutral pad in at the
-                    // ABSOLUTE cycle, so odd offsets keep the 0101… phase.
-                    for (i, c) in scratch.counts.iter_mut().enumerate() {
-                        *c += fe.pad_count_at(offset + i);
-                    }
-                }
-                fe.run_counts_resume(&scratch.counts, &mut r[idx])
-            }
-            LayerState::Fsm { fsm } => {
-                let f = &mut fsm[idx];
-                BitStream::from_bits(scratch.counts.iter().map(|&c| f.step(c)))
-            }
-            _ => unreachable!("neuron state matches layer kind"),
         }
     }
 }
@@ -702,80 +421,5 @@ fn top_two(scores: &[f64]) -> (f64, f64) {
         (best, best)
     } else {
         (best, second)
-    }
-}
-
-/// Slices every stream in `src` to `offset .. offset + clen`, reusing the
-/// buffers in `out`.
-fn slice_all(src: &[BitStream], offset: usize, clen: usize, out: &mut Vec<BitStream>) {
-    out.resize_with(src.len(), || BitStream::zeros(0));
-    for (s, o) in src.iter().zip(out.iter_mut()) {
-        s.slice_into(offset, clen, o);
-    }
-}
-
-/// A resumable per-pixel SNG cursor (platform-specific word source).
-enum PixelSng {
-    Aqfp(Sng<BitsAsWords<ThermalRng>>),
-    Cmos(Sng<BitsAsWords<SplitMix64>>),
-}
-
-struct PixelCursor {
-    sng: PixelSng,
-    level: u64,
-}
-
-impl PixelCursor {
-    fn generate_into(&mut self, len: usize, out: &mut BitStream) {
-        match &mut self.sng {
-            PixelSng::Aqfp(sng) => sng.generate_level_into(self.level, len, out),
-            PixelSng::Cmos(sng) => sng.generate_level_into(self.level, len, out),
-        }
-    }
-}
-
-/// Cross-chunk state of one layer.
-enum LayerState {
-    /// AQFP conv/dense: feature-extraction feedback occupancy per neuron.
-    Feature { r: Vec<i64> },
-    /// CMOS conv/dense: Btanh counter FSM per neuron.
-    Fsm { fsm: Vec<Btanh> },
-    /// AQFP pooling: conserving-sorter feedback occupancy per window.
-    PoolSorter { r: Vec<i64> },
-    /// CMOS pooling: one selector RNG cursor per channel.
-    PoolMux { rngs: Vec<StdRng> },
-    /// The categorization layer is stateless per cycle; its running score
-    /// lives in [`ImageState::class_acc`].
-    Output,
-}
-
-/// All resumable state of one in-flight image.
-struct ImageState {
-    pixels: Vec<PixelCursor>,
-    layers: Vec<LayerState>,
-    /// Per class: accumulated 1s of the output stream (AQFP) or the
-    /// accumulated APC count total (CMOS).
-    class_acc: Vec<u64>,
-    /// Reused per-chunk buffers the pixel cursors generate into (one per
-    /// pixel, refilled every chunk).
-    pixel_chunks: Vec<BitStream>,
-}
-
-/// Per-worker scratch: the engine scratch plus chunk-slice buffers.
-struct StreamScratch {
-    inner: Scratch,
-    neutral: BitStream,
-    w_chunks: Vec<BitStream>,
-    b_chunks: Vec<BitStream>,
-}
-
-impl StreamScratch {
-    fn new(chunk_len: usize) -> Self {
-        StreamScratch {
-            inner: Scratch::new(chunk_len),
-            neutral: BitStream::zeros(0),
-            w_chunks: Vec::new(),
-            b_chunks: Vec::new(),
-        }
     }
 }

@@ -9,8 +9,8 @@ use aqfp_sc_core::accuracy::{
 use aqfp_sc_core::baseline;
 use aqfp_sc_core::{MajorityChain, SngBlock};
 use aqfp_sc_network::{
-    build_model, network_cost, run_table9, ActivationStyle, CompiledNetwork, ExitPolicy,
-    InferenceEngine, NetworkSpec, Platform, StreamingEngine, Table9Config,
+    build_model, network_cost, run_table9, ActivationStyle, ChunkSchedule, CompiledNetwork,
+    ExitPolicy, InferenceEngine, NetworkSpec, Platform, StreamingEngine, Table9Config,
 };
 use aqfp_sc_nn::Tensor;
 use aqfp_sc_sorting::{Direction, SortingNetwork};
@@ -334,6 +334,46 @@ pub fn streaming(mode: Mode) {
             savings * 100.0,
             if savings >= 0.25 && loss <= 0.005 { "  [meets ≥25% @ ≤0.5 pt]" } else { "" },
         );
+    }
+    // Chunk-schedule comparison: the schedule moves the policy
+    // checkpoints (never the bits) — geometric growth starts with small
+    // chunks so confident images get early exit opportunities sooner,
+    // then grows so long-running ambiguous images pay fewer per-chunk
+    // overheads.
+    {
+        let n = 1024usize;
+        let engine = InferenceEngine::new(&compiled, n, Platform::Aqfp);
+        println!("chunk-schedule comparison (N={n}, margin z={z}, floor {}):", n / 16);
+        println!("  schedule               | stream acc | avg cycles | savings | chunks/img");
+        let schedules = [
+            ("fixed n/8 (128)", ChunkSchedule::fixed(n / 8)),
+            ("fixed n/16 (64)", ChunkSchedule::fixed(n / 16)),
+            ("geometric 64*2^i..256", ChunkSchedule::geometric(n / 16, 2.0, n / 4)),
+        ];
+        let images: Vec<Tensor> = samples.iter().map(|(x, _)| x.clone()).collect();
+        for (name, schedule) in schedules {
+            let streaming = StreamingEngine::new(&engine, n / 16)
+                .with_schedule(schedule)
+                .with_policy(ExitPolicy::Margin { z })
+                .with_min_cycles(n / 16);
+            // One batch sweep per schedule; every stat derives from it.
+            let outcomes = streaming.classify_batch(&images, SEED);
+            let correct = outcomes
+                .iter()
+                .zip(&samples)
+                .filter(|(o, (_, want))| o.class == *want)
+                .count();
+            let total_cycles: usize = outcomes.iter().map(|o| o.cycles).sum();
+            let chunks: usize = outcomes.iter().map(|o| o.chunks).sum();
+            let count = samples.len() as f64;
+            let avg_cycles = total_cycles as f64 / count;
+            println!(
+                "  {name:22} | {:9.2}% | {avg_cycles:10.1} | {:6.1}% | {:10.2}",
+                correct as f64 / count * 100.0,
+                (1.0 - avg_cycles / n as f64) * 100.0,
+                chunks as f64 / count,
+            );
+        }
     }
     // Bit-identity spot check: the full-N streaming run with the policy
     // disabled must reproduce the one-shot engine exactly.

@@ -1,0 +1,236 @@
+//! Plan-level invariants of the unified execution core: an arbitrary chunk
+//! partition of the N-cycle budget through [`ExecPlan::advance`] is
+//! bit-identical to a single N-cycle chunk, on both platforms, including
+//! odd offsets and short final chunks; state rebinding reuses arenas
+//! without leaking bits between images; chunk schedules never change bits
+//! with the exit policy disabled.
+
+use std::sync::OnceLock;
+
+use aqfp_sc_dnn::network::{
+    build_model, ActivationStyle, ChunkSchedule, CompiledNetwork, ExecPlan, InferenceEngine,
+    LayerSpec, NetworkSpec, Platform, StreamingEngine,
+};
+use aqfp_sc_dnn::nn::{Padding, Tensor};
+use proptest::prelude::*;
+
+/// An untrained tiny network is enough for bit-exactness checks; the probe
+/// spec additionally drives Same padding, a Dense layer, and an even
+/// output fan-in (the parity-sensitive majority-chain pad).
+fn compiled_probe() -> &'static CompiledNetwork {
+    static COMPILED: OnceLock<CompiledNetwork> = OnceLock::new();
+    COMPILED.get_or_init(|| {
+        let spec = NetworkSpec {
+            name: "probe",
+            input_side: 6,
+            layers: vec![
+                LayerSpec::Conv { k: 3, out_c: 2, padding: Padding::Same },
+                LayerSpec::AvgPool { k: 2 },
+                LayerSpec::Dense { out: 5 },
+                LayerSpec::Output { classes: 3 },
+            ],
+        };
+        let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 23);
+        CompiledNetwork::from_model(&spec, &mut model, 8)
+    })
+}
+
+fn probe_image(variant: usize) -> Tensor {
+    Tensor::from_vec(
+        vec![1, 6, 6],
+        (0..36).map(|p| ((p * 5 + 2 + variant) % 9) as f32 / 9.0).collect(),
+    )
+}
+
+/// Scores after driving `plan` over `image` with the given chunk
+/// partition (whose sum must equal the plan's stream length).
+fn scores_partitioned(
+    plan: &ExecPlan<'_>,
+    image: &Tensor,
+    seed: u64,
+    partition: &[usize],
+) -> Vec<f64> {
+    let mut state = plan.new_state();
+    plan.begin(&mut state, image, seed);
+    for &chunk in partition {
+        let got = plan.advance(&mut state, chunk);
+        assert_eq!(got, chunk, "advance consumed a clamped chunk mid-run");
+    }
+    assert_eq!(state.cycles(), plan.stream_len());
+    assert_eq!(plan.advance(&mut state, 1), 0, "budget must be exhausted");
+    plan.scores(&state)
+}
+
+proptest! {
+    // Each case compiles no models (the network is shared) but simulates
+    // ~2·N cycles per platform; a moderate case count keeps the suite
+    // fast while the partition space (lengths 1..64, up to 8 chunks,
+    // odd/even N and tails) is still densely sampled.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_partition_of_n_is_bit_identical_to_one_chunk(
+        partition in prop::collection::vec(1usize..64, 1..8),
+        variant in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        // N is the partition sum, so every generated partition is exact —
+        // single-cycle chunks, odd offsets, and odd N all occur naturally.
+        let n: usize = partition.iter().sum();
+        let compiled = compiled_probe();
+        let image = probe_image(variant);
+        for platform in [Platform::Aqfp, Platform::Cmos] {
+            let plan = ExecPlan::new(compiled, n, platform);
+            let whole = scores_partitioned(&plan, &image, seed, &[n]);
+            let chunked = scores_partitioned(&plan, &image, seed, &partition);
+            prop_assert_eq!(
+                &chunked, &whole,
+                "{:?}: partition {:?} of N={} diverged", platform, &partition, n
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_advances_are_clamped_not_drifting(
+        head in 1usize..96,
+        variant in 0usize..4,
+    ) {
+        // advance() clamps to the remaining budget and no-ops at 0, so a
+        // sloppy driver cannot change bits.
+        let n = 97usize; // prime: head never divides it evenly
+        let compiled = compiled_probe();
+        let image = probe_image(variant);
+        for platform in [Platform::Aqfp, Platform::Cmos] {
+            let plan = ExecPlan::new(compiled, n, platform);
+            let whole = scores_partitioned(&plan, &image, 5, &[n]);
+            let mut state = plan.new_state();
+            plan.begin(&mut state, &image, 5);
+            prop_assert_eq!(plan.advance(&mut state, head.min(n)), head.min(n));
+            // Ask for far more than remains: must clamp exactly to the tail.
+            prop_assert_eq!(plan.advance(&mut state, n * 10), n - head.min(n));
+            prop_assert_eq!(plan.advance(&mut state, n * 10), 0);
+            prop_assert_eq!(&plan.scores(&state), &whole, "{:?}", platform);
+        }
+    }
+}
+
+#[test]
+fn rebinding_a_state_reuses_the_arena_without_leaking_bits() {
+    // One state driven image A → image B → image A again must reproduce a
+    // fresh state's results exactly — the in-place begin() reset may keep
+    // allocations but no cross-image state.
+    let compiled = compiled_probe();
+    for platform in [Platform::Aqfp, Platform::Cmos] {
+        let plan = ExecPlan::new(compiled, 193, platform);
+        let fresh: Vec<Vec<f64>> = (0..2)
+            .map(|v| {
+                let mut state = plan.new_state();
+                plan.begin(&mut state, &probe_image(v), 11 + v as u64);
+                plan.advance(&mut state, 193);
+                plan.scores(&state)
+            })
+            .collect();
+        let mut reused = plan.new_state();
+        for round in 0..2 {
+            for (v, want) in fresh.iter().enumerate() {
+                plan.begin(&mut reused, &probe_image(v), 11 + v as u64);
+                // Chunked on the reused state, one-shot on the fresh ones:
+                // partitioning must not matter either.
+                while plan.advance(&mut reused, 37) > 0 {}
+                assert_eq!(
+                    &plan.scores(&reused),
+                    want,
+                    "{platform:?} round {round} image {v}: reused state leaked bits"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn any_chunk_schedule_with_policy_disabled_matches_one_shot() {
+    let compiled = compiled_probe();
+    let image = probe_image(1);
+    let n = 193; // odd: every schedule below ends on a short, odd tail
+    for platform in [Platform::Aqfp, Platform::Cmos] {
+        let engine = InferenceEngine::new(compiled, n, platform);
+        let want = engine.scores(&image, 31);
+        for schedule in [
+            ChunkSchedule::fixed(64),
+            ChunkSchedule::fixed(1),
+            ChunkSchedule::geometric(8, 2.0, 64),
+            ChunkSchedule::geometric(1, 1.5, 1000),
+            ChunkSchedule::geometric(16, 1.0, 16), // degenerate: fixed at 16
+        ] {
+            let outcome = StreamingEngine::new(&engine, 64)
+                .with_schedule(schedule)
+                .classify(&image, 31);
+            assert_eq!(
+                outcome.scores, want,
+                "{platform:?} {schedule:?}: schedule changed bits"
+            );
+            assert_eq!(outcome.cycles, n);
+            assert!(!outcome.early_exit);
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "not bound to this plan")]
+fn advancing_a_state_bound_to_a_different_plan_panics() {
+    // Same network, same depth — only the stream length differs. The
+    // fingerprint check must refuse rather than silently mix cursors from
+    // one plan with cached streams from another.
+    let compiled = compiled_probe();
+    let plan_a = ExecPlan::new(compiled, 128, Platform::Aqfp);
+    let plan_b = ExecPlan::new(compiled, 256, Platform::Aqfp);
+    let mut state = plan_a.new_state();
+    plan_a.begin(&mut state, &probe_image(0), 1);
+    plan_b.advance(&mut state, 64);
+}
+
+#[test]
+fn cycle_savings_guards_a_zero_cycle_budget() {
+    use aqfp_sc_dnn::network::StreamingEvaluation;
+    let eval = StreamingEvaluation {
+        accuracy: 1.0,
+        avg_cycles: 0.0,
+        early_exit_fraction: 0.0,
+    };
+    // n == 0 has nothing to save; must be 0.0, not NaN/±inf.
+    assert_eq!(eval.cycle_savings(0), 0.0);
+    assert_eq!(eval.cycle_savings(128), 1.0);
+}
+
+#[test]
+fn geometric_schedule_grows_and_caps() {
+    let s = ChunkSchedule::geometric(8, 2.0, 100);
+    assert_eq!(s.len_at(0), 8);
+    assert_eq!(s.len_at(1), 16);
+    assert_eq!(s.len_at(2), 32);
+    assert_eq!(s.len_at(3), 64);
+    assert_eq!(s.len_at(4), 100); // 128 capped
+    assert_eq!(s.len_at(60), 100); // f64 overflow saturates onto the cap
+    let f = ChunkSchedule::fixed(7);
+    assert_eq!(f.len_at(0), 7);
+    assert_eq!(f.len_at(99), 7);
+}
+
+#[test]
+fn geometric_schedule_consumes_fewer_chunks_than_fixed_at_same_first_len() {
+    let compiled = compiled_probe();
+    let image = probe_image(2);
+    let engine = InferenceEngine::new(compiled, 256, Platform::Aqfp);
+    let fixed = StreamingEngine::new(&engine, 8).classify(&image, 3);
+    let geometric = StreamingEngine::new(&engine, 8)
+        .with_schedule(ChunkSchedule::geometric(8, 2.0, 128))
+        .classify(&image, 3);
+    assert_eq!(fixed.scores, geometric.scores, "schedules must not change bits");
+    assert_eq!(fixed.chunks, 32);
+    assert!(
+        geometric.chunks < fixed.chunks,
+        "geometric growth should reach N in fewer chunks ({} vs {})",
+        geometric.chunks,
+        fixed.chunks
+    );
+}
