@@ -74,6 +74,20 @@ fn bench_engine_batch_inference(c: &mut Criterion) {
             )
         })
     });
+    // Artifact decode from disk: the startup path a serving process takes
+    // instead of re-training/quantising. Compare against
+    // `engine_construction` — the decode must be a small fraction of the
+    // weight-stream generation a plan pays either way.
+    let artifact_path = std::env::temp_dir().join("aqfp_bench_engine.ascm");
+    compiled.save(&artifact_path).expect("save bench artifact");
+    group.bench_function("artifact_load", |b| {
+        b.iter(|| {
+            black_box(
+                CompiledNetwork::load(&artifact_path).expect("load bench artifact").fingerprint(),
+            )
+        })
+    });
+    std::fs::remove_file(&artifact_path).ok();
     group.finish();
 }
 

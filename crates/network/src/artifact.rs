@@ -1,0 +1,651 @@
+//! Versioned, deterministic on-disk model artifacts.
+//!
+//! The paper treats a compiled SC network as a fixed hardware artifact: the
+//! quantised comparator levels and the hardwired weight-SNG randomness *are*
+//! the chip. This module persists exactly that unit — the
+//! [`CompiledNetwork`] — so a serving process can host many models without
+//! re-quantising from floats on every start, and so two processes can agree
+//! on *which* model they are running by comparing fingerprints.
+//!
+//! # Format (version 1)
+//!
+//! All integers are little-endian. The file is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "AQFPSCM1"
+//! 8       4     format version (u32, currently 1)
+//! 12      16    model fingerprint (u128, FNV-1a-128, see below)
+//! 28      2     name length (u16)
+//! 30      n     spec name (UTF-8; advisory — not part of the fingerprint)
+//! 30+n    ..    body (fingerprinted content, layout below)
+//! ```
+//!
+//! The body is the canonical content serialization:
+//!
+//! ```text
+//! bits u32 · stream_seed u64 · input_side u64 · layer count u32 · layers
+//! Conv:    tag 0 · k u32 · in_c u32 · out_c u32 · padding u8 ·
+//!          w levels (out_c·in_c·k² × u64) · b levels (out_c × u64)
+//! AvgPool: tag 1 · k u32
+//! Dense:   tag 2 · in_f u32 · out_f u32 · w (out_f·in_f) · b (out_f)
+//! Output:  tag 3 · in_f u32 · classes u32 · w (classes·in_f) · b (classes)
+//! ```
+//!
+//! The [`ModelFingerprint`] is FNV-1a-128 over the domain string
+//! `"aqfp-sc-model-v1"` followed by the body bytes — i.e. over everything
+//! that determines the compiled bits (quantised weights/biases, topology,
+//! padding, comparator resolution `bits`, and the weight-stream seed), and
+//! nothing that doesn't (the human-readable name). Serialization is a pure
+//! function of the network, so `save → load → save` is byte-identical.
+//!
+//! # Failure modes
+//!
+//! Every malformed input is a typed [`ArtifactError`], never a panic:
+//! truncation at any offset, wrong magic, a future format version, invalid
+//! UTF-8 or layer tags, dimension/level values outside the valid range,
+//! trailing bytes, and payloads whose recomputed fingerprint does not match
+//! the stored one (bit rot that still parses).
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+use std::sync::Mutex;
+
+use aqfp_sc_nn::Padding;
+
+use crate::arch::{LayerSpec, NetworkSpec};
+use crate::compile::{CompiledLayer, CompiledNetwork};
+
+/// First 8 bytes of every artifact.
+pub const ARTIFACT_MAGIC: [u8; 8] = *b"AQFPSCM1";
+
+/// The artifact format version this build writes and the newest it reads.
+/// Policy: the version bumps on any layout change; readers reject newer
+/// versions (forward compatibility is not attempted) and keep decoding every
+/// older one.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Domain-separation prefix of the fingerprint hash.
+const FINGERPRINT_DOMAIN: &[u8] = b"aqfp-sc-model-v1";
+
+/// Content identity of a compiled network: a 128-bit FNV-1a hash over the
+/// canonical body serialization — quantised weight/bias levels, layer
+/// topology and padding, input geometry, comparator resolution, and the
+/// weight-stream seed.
+///
+/// Two networks with equal fingerprints produce byte-identical weight
+/// streams and therefore bit-identical inference; two networks differing in
+/// *any* of those inputs (notably `with_stream_seed` twins and
+/// quantisation-`bits` twins, which the pre-artifact plan guard could not
+/// tell apart) get distinct fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelFingerprint(pub u128);
+
+impl fmt::Display for ModelFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Errors of artifact encoding, decoding, and file I/O. Every failure mode
+/// of [`CompiledNetwork::load`] is one of these variants — a malformed or
+/// hostile file can never panic the loader.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// Reading or writing the underlying file failed.
+    Io(std::io::Error),
+    /// The file does not start with [`ARTIFACT_MAGIC`].
+    BadMagic {
+        /// The first bytes actually found (zero-padded when shorter).
+        found: [u8; 8],
+    },
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// The file ended before a field could be read.
+    Truncated {
+        /// Field being read when the bytes ran out.
+        context: &'static str,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes remaining in the file.
+        remaining: usize,
+    },
+    /// A field parsed but its value is invalid (bad tag, impossible
+    /// dimension, out-of-range level, trailing bytes, …).
+    Corrupt {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The payload parsed but its recomputed fingerprint differs from the
+    /// stored one: the content was altered after signing.
+    FingerprintMismatch {
+        /// Fingerprint stored in the header.
+        stored: ModelFingerprint,
+        /// Fingerprint recomputed from the decoded body.
+        computed: ModelFingerprint,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O failed: {e}"),
+            ArtifactError::BadMagic { found } => {
+                write!(f, "not a model artifact (magic {found:02x?})")
+            }
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is newer than the supported {supported}"
+            ),
+            ArtifactError::Truncated { context, needed, remaining } => write!(
+                f,
+                "artifact truncated reading {context}: needed {needed} bytes, {remaining} left"
+            ),
+            ArtifactError::Corrupt { reason } => write!(f, "artifact corrupt: {reason}"),
+            ArtifactError::FingerprintMismatch { stored, computed } => write!(
+                f,
+                "artifact fingerprint mismatch: header says {stored}, content hashes to {computed}"
+            ),
+        }
+    }
+}
+
+impl Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl CompiledNetwork {
+    /// The content fingerprint of this network (see [`ModelFingerprint`]).
+    ///
+    /// [`ExecPlan`](crate::ExecPlan) caches this at construction and stamps
+    /// it onto bound states, so a state begun under one network can never be
+    /// advanced by a seed- or quantisation-twin.
+    pub fn fingerprint(&self) -> ModelFingerprint {
+        let mut hash = Fnv128::new();
+        hash.update(FINGERPRINT_DOMAIN);
+        hash.update(&body_bytes(self));
+        ModelFingerprint(hash.finish())
+    }
+
+    /// Serializes this network to the versioned artifact byte format.
+    pub fn to_artifact_bytes(&self) -> Vec<u8> {
+        let body = body_bytes(self);
+        let mut hash = Fnv128::new();
+        hash.update(FINGERPRINT_DOMAIN);
+        hash.update(&body);
+        let name = self.spec().name.as_bytes();
+        debug_assert!(name.len() <= u16::MAX as usize, "spec names are short");
+        let mut out = Vec::with_capacity(30 + name.len() + body.len());
+        out.extend_from_slice(&ARTIFACT_MAGIC);
+        out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        out.extend_from_slice(&hash.finish().to_le_bytes());
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes an artifact produced by [`CompiledNetwork::to_artifact_bytes`].
+    pub fn from_artifact_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.take(8, "magic")?;
+        if magic != ARTIFACT_MAGIC {
+            let mut found = [0u8; 8];
+            found[..magic.len()].copy_from_slice(magic);
+            return Err(ArtifactError::BadMagic { found });
+        }
+        let version = r.u32("format version")?;
+        if version > ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: ARTIFACT_VERSION,
+            });
+        }
+        let stored = ModelFingerprint(r.u128("fingerprint")?);
+        let name_len = r.u16("name length")? as usize;
+        let name = std::str::from_utf8(r.take(name_len, "name")?)
+            .map_err(|_| corrupt("spec name is not UTF-8"))?;
+        let name = intern_name(name);
+        let body_start = r.pos;
+        let net = decode_body(&mut r, name)?;
+        if r.pos != r.buf.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the last layer",
+                r.buf.len() - r.pos
+            )));
+        }
+        let mut hash = Fnv128::new();
+        hash.update(FINGERPRINT_DOMAIN);
+        hash.update(&bytes[body_start..]);
+        let computed = ModelFingerprint(hash.finish());
+        if computed != stored {
+            return Err(ArtifactError::FingerprintMismatch { stored, computed });
+        }
+        Ok(net)
+    }
+
+    /// Saves this network as a versioned artifact at `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.to_artifact_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a network from an artifact file. The inverse of
+    /// [`CompiledNetwork::save`]: the loaded network is content-identical to
+    /// the saved one (equal [fingerprint](CompiledNetwork::fingerprint)),
+    /// so every plan built from it produces bit-identical inference.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        Self::from_artifact_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// Canonical body serialization shared by the fingerprint and the artifact
+/// writer (everything after the name field).
+fn body_bytes(net: &CompiledNetwork) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&net.bits().to_le_bytes());
+    out.extend_from_slice(&net.stream_seed().to_le_bytes());
+    out.extend_from_slice(&(net.spec().input_side as u64).to_le_bytes());
+    out.extend_from_slice(&(net.layers().len() as u32).to_le_bytes());
+    let push_levels = |out: &mut Vec<u8>, levels: &[u64]| {
+        for &l in levels {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+    };
+    for layer in net.layers() {
+        match layer {
+            CompiledLayer::Conv { k, in_c, out_c, padding, w_levels, b_levels } => {
+                out.push(0);
+                out.extend_from_slice(&(*k as u32).to_le_bytes());
+                out.extend_from_slice(&(*in_c as u32).to_le_bytes());
+                out.extend_from_slice(&(*out_c as u32).to_le_bytes());
+                out.push(match padding {
+                    Padding::Valid => 0,
+                    Padding::Same => 1,
+                });
+                push_levels(&mut out, w_levels);
+                push_levels(&mut out, b_levels);
+            }
+            CompiledLayer::Pool { k } => {
+                out.push(1);
+                out.extend_from_slice(&(*k as u32).to_le_bytes());
+            }
+            CompiledLayer::Dense { in_f, out_f, w_levels, b_levels } => {
+                out.push(2);
+                out.extend_from_slice(&(*in_f as u32).to_le_bytes());
+                out.extend_from_slice(&(*out_f as u32).to_le_bytes());
+                push_levels(&mut out, w_levels);
+                push_levels(&mut out, b_levels);
+            }
+            CompiledLayer::Output { in_f, classes, w_levels, b_levels } => {
+                out.push(3);
+                out.extend_from_slice(&(*in_f as u32).to_le_bytes());
+                out.extend_from_slice(&(*classes as u32).to_le_bytes());
+                push_levels(&mut out, w_levels);
+                push_levels(&mut out, b_levels);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes the body into a network, validating every dimension against the
+/// incrementally tracked feature-map shape and every level against the
+/// comparator grid.
+fn decode_body(r: &mut Reader<'_>, name: &'static str) -> Result<CompiledNetwork, ArtifactError> {
+    let bits = r.u32("bits")?;
+    if bits == 0 || bits > 63 {
+        return Err(corrupt(format!("comparator resolution {bits} bits outside 1..=63")));
+    }
+    let stream_seed = r.u64("stream seed")?;
+    let input_side = r.u64("input side")? as usize;
+    if input_side == 0 || input_side > 1 << 14 {
+        return Err(corrupt(format!("input side {input_side} outside 1..=16384")));
+    }
+    let layer_count = r.u32("layer count")? as usize;
+    if layer_count == 0 || layer_count > 1 << 10 {
+        return Err(corrupt(format!("layer count {layer_count} outside 1..=1024")));
+    }
+    let max_level = 1u64 << bits;
+    let mut layers = Vec::with_capacity(layer_count);
+    let mut spec_layers = Vec::with_capacity(layer_count);
+    // Feature-map shape after the layers decoded so far.
+    let (mut c, mut h, mut w_dim) = (1usize, input_side, input_side);
+    let dim = |v: u32, what: &str| -> Result<usize, ArtifactError> {
+        if v == 0 || v > 1 << 14 {
+            Err(corrupt(format!("{what} {v} outside 1..=16384")))
+        } else {
+            Ok(v as usize)
+        }
+    };
+    for li in 0..layer_count {
+        let tag = r.u8("layer tag")?;
+        match tag {
+            0 => {
+                let k = dim(r.u32("conv kernel")?, "conv kernel")?;
+                let in_c = dim(r.u32("conv in_c")?, "conv in_c")?;
+                let out_c = dim(r.u32("conv out_c")?, "conv out_c")?;
+                let padding = match r.u8("conv padding")? {
+                    0 => Padding::Valid,
+                    1 => Padding::Same,
+                    p => return Err(corrupt(format!("unknown padding tag {p}"))),
+                };
+                if in_c != c {
+                    return Err(corrupt(format!(
+                        "layer {li}: conv in_c {in_c} does not match the {c}-channel input"
+                    )));
+                }
+                if padding == Padding::Valid && (k > h || k > w_dim) {
+                    return Err(corrupt(format!(
+                        "layer {li}: {k}x{k} valid conv does not fit a {h}x{w_dim} input"
+                    )));
+                }
+                let wn = out_c
+                    .checked_mul(in_c)
+                    .and_then(|n| n.checked_mul(k * k))
+                    .ok_or_else(|| corrupt("conv weight count overflows"))?;
+                let w_levels = r.levels(wn, max_level, "conv weights")?;
+                let b_levels = r.levels(out_c, max_level, "conv biases")?;
+                layers.push(CompiledLayer::Conv { k, in_c, out_c, padding, w_levels, b_levels });
+                spec_layers.push(LayerSpec::Conv { k, out_c, padding });
+                (c, h, w_dim) = match padding {
+                    Padding::Valid => (out_c, h - k + 1, w_dim - k + 1),
+                    Padding::Same => (out_c, h, w_dim),
+                };
+            }
+            1 => {
+                let k = dim(r.u32("pool window")?, "pool window")?;
+                if k > h || k > w_dim {
+                    return Err(corrupt(format!(
+                        "layer {li}: {k}x{k} pooling does not fit a {h}x{w_dim} input"
+                    )));
+                }
+                layers.push(CompiledLayer::Pool { k });
+                spec_layers.push(LayerSpec::AvgPool { k });
+                (h, w_dim) = (h / k, w_dim / k);
+            }
+            2 | 3 => {
+                let in_f = dim(r.u32("fan-in")?, "fan-in")?;
+                let out = dim(r.u32("fan-out")?, "fan-out")?;
+                let want = c * h * w_dim;
+                if in_f != want {
+                    return Err(corrupt(format!(
+                        "layer {li}: fan-in {in_f} does not match the {want} input features"
+                    )));
+                }
+                let wn = out
+                    .checked_mul(in_f)
+                    .ok_or_else(|| corrupt("dense weight count overflows"))?;
+                let w_levels = r.levels(wn, max_level, "dense weights")?;
+                let b_levels = r.levels(out, max_level, "dense biases")?;
+                if tag == 2 {
+                    layers.push(CompiledLayer::Dense { in_f, out_f: out, w_levels, b_levels });
+                    spec_layers.push(LayerSpec::Dense { out });
+                } else {
+                    layers.push(CompiledLayer::Output { in_f, classes: out, w_levels, b_levels });
+                    spec_layers.push(LayerSpec::Output { classes: out });
+                }
+                (c, h, w_dim) = (out, 1, 1);
+            }
+            t => return Err(corrupt(format!("unknown layer tag {t}"))),
+        }
+    }
+    let spec = NetworkSpec { name, input_side, layers: spec_layers };
+    Ok(CompiledNetwork::from_parts(spec, layers, bits, stream_seed))
+}
+
+fn corrupt(reason: impl Into<String>) -> ArtifactError {
+    ArtifactError::Corrupt { reason: reason.into() }
+}
+
+/// Returns a `'static` copy of a loaded spec name ([`NetworkSpec::name`] is
+/// a static string). Known names alias the existing literals; novel names
+/// are interned once in a process-wide table, so repeated loads of the same
+/// model never grow memory.
+fn intern_name(name: &str) -> &'static str {
+    for known in ["SNN", "DNN", "tiny", "artifact"] {
+        if known == name {
+            return known;
+        }
+    }
+    static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut table = INTERNED.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&existing) = table.iter().find(|&&n| n == name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
+/// Bounds-checked little-endian reader over the artifact bytes. Every read
+/// past the end is a typed [`ArtifactError::Truncated`].
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], ArtifactError> {
+        let remaining = self.buf.len() - self.pos;
+        if n > remaining {
+            return Err(ArtifactError::Truncated { context, needed: n, remaining });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, ArtifactError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, ArtifactError> {
+        Ok(u16::from_le_bytes(self.take(2, context)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4, context)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8, context)?.try_into().expect("len 8")))
+    }
+
+    fn u128(&mut self, context: &'static str) -> Result<u128, ArtifactError> {
+        Ok(u128::from_le_bytes(self.take(16, context)?.try_into().expect("len 16")))
+    }
+
+    /// Reads `count` comparator levels, each validated against the
+    /// `bits`-bit grid. The byte length is checked before any allocation,
+    /// so a garbage count cannot trigger a huge reservation.
+    fn levels(
+        &mut self,
+        count: usize,
+        max_level: u64,
+        context: &'static str,
+    ) -> Result<Vec<u64>, ArtifactError> {
+        let bytes = self.take(
+            count.checked_mul(8).ok_or_else(|| corrupt("level count overflows"))?,
+            context,
+        )?;
+        let mut out = Vec::with_capacity(count);
+        for chunk in bytes.chunks_exact(8) {
+            let level = u64::from_le_bytes(chunk.try_into().expect("len 8"));
+            if level > max_level {
+                return Err(corrupt(format!(
+                    "{context}: level {level} above the {max_level} comparator ceiling"
+                )));
+            }
+            out.push(level);
+        }
+        Ok(out)
+    }
+}
+
+/// 128-bit FNV-1a (public-domain constants): deterministic, dependency-free,
+/// and plenty for content addressing — the guard is against accidental
+/// mix-ups and bit rot, not adversaries.
+struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    fn new() -> Self {
+        Fnv128 { state: Self::OFFSET }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{build_model, ActivationStyle};
+
+    fn tiny_net(seed: u64) -> CompiledNetwork {
+        let spec = NetworkSpec::tiny(8);
+        let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 3);
+        CompiledNetwork::from_model(&spec, &mut model, 8).with_stream_seed(seed)
+    }
+
+    #[test]
+    fn round_trip_preserves_content_and_bytes() {
+        let net = tiny_net(77);
+        let bytes = net.to_artifact_bytes();
+        let loaded = CompiledNetwork::from_artifact_bytes(&bytes).expect("valid artifact");
+        assert_eq!(loaded.fingerprint(), net.fingerprint());
+        assert_eq!(loaded.bits(), net.bits());
+        assert_eq!(loaded.stream_seed(), net.stream_seed());
+        assert_eq!(loaded.spec(), net.spec());
+        // Deterministic: re-encoding the decoded network is byte-identical.
+        assert_eq!(loaded.to_artifact_bytes(), bytes);
+    }
+
+    #[test]
+    fn fingerprint_separates_seed_and_bits_twins() {
+        let spec = NetworkSpec::tiny(8);
+        let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 3);
+        let base = CompiledNetwork::from_model(&spec, &mut model, 8);
+        let seed_twin = base.clone().with_stream_seed(base.stream_seed() ^ 1);
+        let mut model2 = build_model(&spec, ActivationStyle::AqfpFeature, 3);
+        let bits_twin = CompiledNetwork::from_model(&spec, &mut model2, 7);
+        assert_ne!(base.fingerprint(), seed_twin.fingerprint());
+        assert_ne!(base.fingerprint(), bits_twin.fingerprint());
+        // Identity, not instance: a clone keeps the fingerprint.
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_a_typed_error() {
+        let bytes = tiny_net(1).to_artifact_bytes();
+        // Probe every prefix on a coarse grid plus the exact field edges.
+        let mut cuts: Vec<usize> = (0..bytes.len()).step_by(7).collect();
+        cuts.extend([0, 7, 8, 11, 12, 27, 28, 29, 30, bytes.len() - 1]);
+        for cut in cuts {
+            let err = CompiledNetwork::from_artifact_bytes(&bytes[..cut])
+                .expect_err("truncated artifact must not decode");
+            assert!(
+                matches!(
+                    err,
+                    ArtifactError::Truncated { .. } | ArtifactError::BadMagic { .. }
+                ),
+                "cut at {cut}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_classes_map_to_their_variants() {
+        let net = tiny_net(2);
+        let good = net.to_artifact_bytes();
+
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(
+            CompiledNetwork::from_artifact_bytes(&wrong_magic),
+            Err(ArtifactError::BadMagic { .. })
+        ));
+
+        let mut future = good.clone();
+        future[8..12].copy_from_slice(&(ARTIFACT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            CompiledNetwork::from_artifact_bytes(&future),
+            Err(ArtifactError::UnsupportedVersion { found, supported })
+                if found == ARTIFACT_VERSION + 1 && supported == ARTIFACT_VERSION
+        ));
+
+        // Rewrite one level to a different in-range value: the payload
+        // still parses, so only the fingerprint catches the alteration.
+        let mut flipped = good.clone();
+        let last_level = good.len() - 8; // final 8-byte level word (LE)
+        let new_level: u64 = if good[last_level..] == [0; 8] { 1 } else { 0 };
+        flipped[last_level..].copy_from_slice(&new_level.to_le_bytes());
+        assert!(matches!(
+            CompiledNetwork::from_artifact_bytes(&flipped),
+            Err(ArtifactError::FingerprintMismatch { .. })
+        ));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            CompiledNetwork::from_artifact_bytes(&trailing),
+            Err(ArtifactError::Corrupt { .. })
+        ));
+
+        assert!(matches!(
+            CompiledNetwork::from_artifact_bytes(&[]),
+            Err(ArtifactError::Truncated { .. })
+        ));
+
+        let garbage: Vec<u8> = (0..256u32).map(|i| (i * 89 + 7) as u8).collect();
+        assert!(CompiledNetwork::from_artifact_bytes(&garbage).is_err());
+    }
+
+    #[test]
+    fn load_on_a_missing_file_is_an_io_error() {
+        let err = CompiledNetwork::load("/nonexistent/dir/model.ascm")
+            .expect_err("missing file must not load");
+        assert!(matches!(err, ArtifactError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn interned_names_round_trip() {
+        // A known name aliases the literal; an unknown one is interned once.
+        assert_eq!(intern_name("tiny"), "tiny");
+        let a = intern_name("custom-model-x");
+        let b = intern_name("custom-model-x");
+        assert!(std::ptr::eq(a, b), "repeated loads must reuse the interned name");
+    }
+}

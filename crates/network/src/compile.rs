@@ -138,6 +138,17 @@ impl CompiledNetwork {
         CompiledNetwork { spec: spec.clone(), layers, bits, stream_seed: DEFAULT_STREAM_SEED }
     }
 
+    /// Reassembles a network from decoded artifact parts (the loader has
+    /// already validated shape consistency and level ranges).
+    pub(crate) fn from_parts(
+        spec: NetworkSpec,
+        layers: Vec<CompiledLayer>,
+        bits: u32,
+        stream_seed: u64,
+    ) -> Self {
+        CompiledNetwork { spec, layers, bits, stream_seed }
+    }
+
     /// The network spec this was compiled from.
     pub fn spec(&self) -> &NetworkSpec {
         &self.spec

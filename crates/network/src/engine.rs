@@ -7,6 +7,8 @@
 //! list across `threads` workers, with per-image seeds derived via
 //! [`InferenceEngine::image_seed`] so results never depend on scheduling.
 
+use std::sync::Arc;
+
 use aqfp_sc_nn::Tensor;
 
 use crate::compile::CompiledNetwork;
@@ -42,20 +44,29 @@ use crate::plan::{argmax, derive, ExecPlan, Platform, TAG_IMAGE};
 /// let serial = compiled.classify_aqfp(&images[0], 128, InferenceEngine::image_seed(42, 0));
 /// assert_eq!(classes[0], serial);
 /// ```
-pub struct InferenceEngine<'a> {
-    plan: ExecPlan<'a>,
+pub struct InferenceEngine {
+    plan: Arc<ExecPlan>,
     threads: usize,
 }
 
-impl<'a> InferenceEngine<'a> {
+impl InferenceEngine {
     /// Builds an engine for `net` at stream length `stream_len` on
     /// `platform`, generating and caching every weight/bias stream.
     ///
     /// The worker count defaults to [`std::thread::available_parallelism`]
     /// (see [`InferenceEngine::with_threads`]).
-    pub fn new(net: &'a CompiledNetwork, stream_len: usize, platform: Platform) -> Self {
+    pub fn new(net: &CompiledNetwork, stream_len: usize, platform: Platform) -> Self {
+        Self::from_plan(Arc::new(ExecPlan::new(net, stream_len, platform)))
+    }
+
+    /// Wraps an already-built plan — e.g. one fetched from a
+    /// [`ModelRegistry`](crate::ModelRegistry) — paying no weight-stream
+    /// generation. The engine holds the plan alive; a registry hot-swap
+    /// replaces the registry's handle without disturbing engines built
+    /// from the previous one.
+    pub fn from_plan(plan: Arc<ExecPlan>) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        InferenceEngine { plan: ExecPlan::new(net, stream_len, platform), threads }
+        InferenceEngine { plan, threads }
     }
 
     /// Overrides the worker-pool size used by the batch APIs (clamped to at
@@ -66,8 +77,14 @@ impl<'a> InferenceEngine<'a> {
     }
 
     /// The execution plan this engine drives (shared, immutable).
-    pub fn plan(&self) -> &ExecPlan<'a> {
+    pub fn plan(&self) -> &ExecPlan {
         &self.plan
+    }
+
+    /// Shared handle to the plan (e.g. to register it or to build a
+    /// second engine over the same cached streams).
+    pub fn shared_plan(&self) -> Arc<ExecPlan> {
+        Arc::clone(&self.plan)
     }
 
     /// The platform this engine simulates.

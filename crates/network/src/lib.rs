@@ -31,6 +31,11 @@
 //!    consumes only as many cycles as its decision needs.
 //! 6. [`network_cost`] aggregates per-block hardware costs into the
 //!    energy/throughput columns of Table 9.
+//! 7. A compiled model persists as a versioned, deterministic artifact
+//!    ([`CompiledNetwork::save`] / [`CompiledNetwork::load`]) whose
+//!    content [`fingerprint`](CompiledNetwork::fingerprint) makes
+//!    load→plan bit-identical to in-process compilation, and a
+//!    [`ModelRegistry`] serves many named plans with atomic hot-swap.
 //!
 //! [`classify_cmos`]: CompiledNetwork::classify_cmos
 //!
@@ -53,19 +58,23 @@
 #![warn(missing_docs)]
 
 mod arch;
+mod artifact;
 mod compile;
 mod cost;
 mod engine;
 mod eval;
 mod plan;
+mod registry;
 mod streaming;
 
 pub use arch::{build_model, response_table, ActivationStyle, LayerSpec, NetworkSpec};
+pub use artifact::{ArtifactError, ModelFingerprint, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use compile::{CompiledLayer, CompiledNetwork};
 pub use cost::{network_cost, NetworkCost, PlatformCost};
 pub use engine::InferenceEngine;
 pub use eval::{run_table9, Table9Config, Table9Row};
-pub use plan::{ExecPlan, ExecState, Platform};
+pub use plan::{ExecPlan, ExecState, PlanFingerprint, Platform};
+pub use registry::ModelRegistry;
 pub use streaming::{
     ChunkSchedule, ExitPolicy, StreamingEngine, StreamingEvaluation, StreamingOutcome,
 };

@@ -52,6 +52,8 @@
 //! slice that starts with 0. Restarting the pattern per chunk would drift
 //! every odd-offset count by one.
 
+use std::sync::Arc;
+
 use aqfp_sc_bitstream::{
     mux_add, Bipolar, BitStream, BitsAsWords, ColumnCounter, SplitMix64, Sng, ThermalRng,
 };
@@ -61,6 +63,7 @@ use aqfp_sc_nn::{Padding, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::artifact::ModelFingerprint;
 use crate::compile::{CompiledLayer, CompiledNetwork};
 
 /// Which hardware executes the stochastic pipeline.
@@ -142,20 +145,34 @@ pub(crate) enum CachedLayer {
 /// assert_eq!(state.cycles(), 128);
 /// assert_eq!(plan.scores(&state).len(), 10);
 /// ```
-pub struct ExecPlan<'n> {
-    net: &'n CompiledNetwork,
+pub struct ExecPlan {
+    net: Arc<CompiledNetwork>,
     platform: Platform,
     stream_len: usize,
+    /// Content fingerprint of `net`, computed once at construction (the
+    /// bind-guard compares it on every `advance`).
+    model_fp: ModelFingerprint,
     pub(crate) layers: Vec<CachedLayer>,
     pub(crate) shapes: Vec<(usize, usize, usize)>,
     neutral: BitStream,
     cached_streams: usize,
 }
 
-impl<'n> ExecPlan<'n> {
+impl ExecPlan {
     /// Builds a plan for `net` at stream length `stream_len` on `platform`,
-    /// generating and caching every weight/bias stream.
-    pub fn new(net: &'n CompiledNetwork, stream_len: usize, platform: Platform) -> Self {
+    /// generating and caching every weight/bias stream. The network is
+    /// cloned into shared ownership — see [`ExecPlan::from_arc`] to reuse
+    /// an existing [`Arc`] (e.g. one model compiled once and planned on
+    /// both platforms).
+    pub fn new(net: &CompiledNetwork, stream_len: usize, platform: Platform) -> Self {
+        Self::from_arc(Arc::new(net.clone()), stream_len, platform)
+    }
+
+    /// Builds a plan over a shared network without cloning it. Plans own
+    /// their network, carry no borrows, and are `Send + Sync`, so a
+    /// [`ModelRegistry`](crate::ModelRegistry) can hand out
+    /// `Arc<ExecPlan>` handles and hot-swap models under live traffic.
+    pub fn from_arc(net: Arc<CompiledNetwork>, stream_len: usize, platform: Platform) -> Self {
         let bits = net.bits();
         let seed = net.stream_seed();
         let mut layers = Vec::with_capacity(net.layers().len());
@@ -247,19 +264,26 @@ impl<'n> ExecPlan<'n> {
             }
         }
         ExecPlan {
-            net,
             platform,
             stream_len,
+            model_fp: net.fingerprint(),
             layers,
             shapes: net.spec().shapes(),
             neutral: BitStream::alternating(stream_len),
             cached_streams,
+            net,
         }
     }
 
     /// The compiled network this plan executes.
-    pub fn network(&self) -> &'n CompiledNetwork {
-        self.net
+    pub fn network(&self) -> &CompiledNetwork {
+        &self.net
+    }
+
+    /// Shared handle to the compiled network (e.g. to build a second plan
+    /// — another platform or stream length — without cloning the weights).
+    pub fn network_arc(&self) -> Arc<CompiledNetwork> {
+        Arc::clone(&self.net)
     }
 
     /// The platform this plan simulates.
@@ -289,15 +313,16 @@ impl<'n> ExecPlan<'n> {
     /// The identity `begin` stamps onto a state and `advance` checks, so a
     /// state bound through one plan cannot be silently driven by a
     /// different one (wrong weights/shapes would corrupt bits, or panic
-    /// deep inside stream indexing).
-    fn fingerprint(&self) -> PlanFingerprint {
-        let side = self.net.spec().input_side;
+    /// deep inside stream indexing). Built on the network's content
+    /// [fingerprint](CompiledNetwork::fingerprint), it also refuses
+    /// seed-twins (`with_stream_seed`) and quantisation-twins (`bits`),
+    /// whose cached streams differ bit for bit while every structural
+    /// count matches.
+    pub fn fingerprint(&self) -> PlanFingerprint {
         PlanFingerprint {
             platform: self.platform,
             stream_len: self.stream_len,
-            layer_count: self.layers.len(),
-            cached_streams: self.cached_streams,
-            pixel_count: side * side,
+            model: self.model_fp,
         }
     }
 
@@ -401,8 +426,9 @@ impl<'n> ExecPlan<'n> {
     /// # Panics
     ///
     /// Panics when `state` was never bound via [`ExecPlan::begin`], or was
-    /// bound through a plan with a different platform, stream length,
-    /// layer count, cached-stream count, or input size.
+    /// bound through a plan with a different [`PlanFingerprint`] —
+    /// another platform, stream length, or network content (including
+    /// weight-stream-seed and quantisation twins).
     pub fn advance(&self, state: &mut ExecState, max_cycles: usize) -> usize {
         assert_eq!(
             state.bound,
@@ -699,17 +725,25 @@ impl ExecState {
     }
 }
 
-/// Cheap structural identity of a plan, stamped onto bound states. Two
-/// plans agreeing on every field are interchangeable for `advance` in
-/// practice: the cached-stream count ties it to the weight tensor sizes
-/// and the pixel count to the input side.
+/// Identity of a plan, stamped onto bound states by [`ExecPlan::begin`]
+/// and checked by every [`ExecPlan::advance`]. Two plans agreeing on every
+/// field are interchangeable for `advance`: the
+/// [`ModelFingerprint`] covers the quantised weights/biases, topology,
+/// comparator `bits`, and the weight-stream seed, so plans built from the
+/// same content cache byte-identical streams.
+///
+/// (An earlier version compared only structural counts — layer count,
+/// cached-stream count, pixel count — which let a state bound to one plan
+/// be advanced by a `with_stream_seed` or `bits` twin, silently mixing
+/// cursors with foreign weight streams.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PlanFingerprint {
-    platform: Platform,
-    stream_len: usize,
-    layer_count: usize,
-    cached_streams: usize,
-    pixel_count: usize,
+pub struct PlanFingerprint {
+    /// Platform the plan simulates.
+    pub platform: Platform,
+    /// Stochastic stream length N in cycles.
+    pub stream_len: usize,
+    /// Content fingerprint of the compiled network.
+    pub model: ModelFingerprint,
 }
 
 /// Output spatial dims of a convolution layer.

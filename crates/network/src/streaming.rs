@@ -192,8 +192,8 @@ impl StreamingEvaluation {
 /// let full = StreamingEngine::new(&engine, 64).classify(&Tensor::zeros(vec![1, 8, 8]), 42);
 /// assert_eq!(full.scores, engine.scores(&Tensor::zeros(vec![1, 8, 8]), 42));
 /// ```
-pub struct StreamingEngine<'e, 'n> {
-    engine: &'e InferenceEngine<'n>,
+pub struct StreamingEngine<'e> {
+    engine: &'e InferenceEngine,
     schedule: ChunkSchedule,
     policy: ExitPolicy,
     min_cycles: usize,
@@ -203,7 +203,7 @@ pub struct StreamingEngine<'e, 'n> {
     cmos_sigma_factor: f64,
 }
 
-impl<'e, 'n> StreamingEngine<'e, 'n> {
+impl<'e> StreamingEngine<'e> {
     /// Wraps `engine` for chunked evaluation with fixed chunks of
     /// `chunk_len` cycles and the exit policy disabled (full-N,
     /// bit-identical runs).
@@ -211,7 +211,7 @@ impl<'e, 'n> StreamingEngine<'e, 'n> {
     /// # Panics
     ///
     /// Panics when `chunk_len` is 0.
-    pub fn new(engine: &'e InferenceEngine<'n>, chunk_len: usize) -> Self {
+    pub fn new(engine: &'e InferenceEngine, chunk_len: usize) -> Self {
         // Output-layer fan-in drives the CMOS margin variance bound.
         let rows = engine.plan().output_fan_in().unwrap_or(2);
         let cmos_sigma_factor = (rows as f64 / 2.0).sqrt();
@@ -263,7 +263,7 @@ impl<'e, 'n> StreamingEngine<'e, 'n> {
     }
 
     /// The wrapped engine.
-    pub fn engine(&self) -> &InferenceEngine<'n> {
+    pub fn engine(&self) -> &InferenceEngine {
         self.engine
     }
 

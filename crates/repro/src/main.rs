@@ -4,8 +4,11 @@
 //! repro <experiment> [--quick|--full]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
-//!              table9 fig7b fig11 fig13 ablation streaming all
+//!              table9 fig7b fig11 fig13 ablation streaming artifact all
 //! ```
+//!
+//! `repro artifact` additionally accepts `--save PATH` / `--verify PATH`
+//! for the cross-process model-artifact round trip (see `tables::artifact`).
 //!
 //! Every experiment prints the paper's reported values next to the
 //! measured ones; `EXPERIMENTS.md` records a full run.
@@ -39,6 +42,7 @@ fn main() {
         "fig13" => tables::fig13(mode),
         "ablation" => tables::ablation(mode),
         "streaming" => tables::streaming(mode),
+        "artifact" => tables::artifact(mode, &args),
         "all" => {
             tables::table1(mode);
             tables::table2(mode);
@@ -53,11 +57,12 @@ fn main() {
             tables::fig13(mode);
             tables::ablation(mode);
             tables::streaming(mode);
+            tables::artifact(mode, &args);
             tables::table9(mode);
         }
         _ => {
             eprintln!(
-                "usage: repro <table1..table9|fig7b|fig11|fig13|ablation|streaming|all> [--quick|--full]"
+                "usage: repro <table1..table9|fig7b|fig11|fig13|ablation|streaming|artifact|all> [--quick|--full]\n       repro artifact [--save PATH|--verify PATH]"
             );
             std::process::exit(2);
         }

@@ -10,7 +10,8 @@ use aqfp_sc_core::baseline;
 use aqfp_sc_core::{MajorityChain, SngBlock};
 use aqfp_sc_network::{
     build_model, network_cost, run_table9, ActivationStyle, ChunkSchedule, CompiledNetwork,
-    ExitPolicy, InferenceEngine, NetworkSpec, Platform, StreamingEngine, Table9Config,
+    ExecPlan, ExitPolicy, InferenceEngine, ModelRegistry, NetworkSpec, Platform, StreamingEngine,
+    Table9Config, ARTIFACT_VERSION,
 };
 use aqfp_sc_nn::Tensor;
 use aqfp_sc_sorting::{Direction, SortingNetwork};
@@ -388,6 +389,191 @@ pub fn streaming(mode: Mode) {
         "streaming at full N must be bit-identical to the one-shot engine"
     );
     println!("(verified: full-N streaming with exit disabled is bit-identical to one-shot)");
+}
+
+/// The value following `flag` (e.g. `--save PATH`), if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// The deterministic demo model of the artifact segment: the same spec,
+/// init seed, quantisation width, and stream seed reproduce the identical
+/// [`CompiledNetwork`] — and therefore the identical content fingerprint —
+/// in any invocation of this binary. That is what lets `--verify` check a
+/// file written by a *different process* against an in-process rebuild.
+fn artifact_network(bits: u32) -> CompiledNetwork {
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 5);
+    CompiledNetwork::from_model(&spec, &mut model, bits).with_stream_seed(SEED)
+}
+
+fn artifact_image(variant: usize) -> Tensor {
+    Tensor::from_vec(
+        vec![1, 8, 8],
+        (0..64).map(|p| ((p * (variant + 3)) % 11) as f32 / 11.0).collect(),
+    )
+}
+
+/// Best-of-`reps` wall time of `f` — robust against scheduler noise on
+/// small machines, unlike a mean.
+fn best_of(reps: usize, mut f: impl FnMut()) -> std::time::Duration {
+    (0..reps.max(1))
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("at least one rep")
+}
+
+/// Model artifacts: versioned on-disk round trip, content fingerprints,
+/// and the multi-model registry.
+///
+/// `--save PATH` writes the deterministic demo model and exits;
+/// `--verify PATH` loads a previously saved artifact, rebuilds the same
+/// model in-process, and asserts fingerprint equality, bit-identical
+/// classification on both platforms, and that loading beats plan
+/// construction by ≥5× — the cross-process half of the round-trip CI check.
+pub fn artifact(mode: Mode, args: &[String]) {
+    if let Some(path) = flag_value(args, "--save") {
+        let net = artifact_network(8);
+        if let Err(e) = net.save(path) {
+            eprintln!("save failed: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "saved {path}: format v{ARTIFACT_VERSION}, {} bytes, fingerprint {}",
+            net.to_artifact_bytes().len(),
+            net.fingerprint()
+        );
+        return;
+    }
+    if let Some(path) = flag_value(args, "--verify") {
+        verify_artifact(mode, path);
+        return;
+    }
+
+    header("Model artifacts: versioned round trip, fingerprints, registry hot-swap");
+    let net = artifact_network(8);
+    let bytes = net.to_artifact_bytes();
+    let loaded = CompiledNetwork::from_artifact_bytes(&bytes).expect("fresh bytes decode");
+    assert_eq!(loaded.to_artifact_bytes(), bytes, "encode∘decode must be byte-identical");
+    println!(
+        "format v{ARTIFACT_VERSION}: {} bytes, fingerprint {}",
+        bytes.len(),
+        net.fingerprint()
+    );
+    println!("(encode -> decode -> encode verified byte-identical)");
+
+    // The identity hole the content fingerprint closes: twins that agree on
+    // every structural count but cache different weight streams.
+    let seed_twin = net.clone().with_stream_seed(SEED ^ 0xDEAD);
+    let bits_twin = artifact_network(7);
+    println!("stream-seed twin:   {}", seed_twin.fingerprint());
+    println!("7-bit quantisation: {}", bits_twin.fingerprint());
+    assert_ne!(net.fingerprint(), seed_twin.fingerprint());
+    assert_ne!(net.fingerprint(), bits_twin.fingerprint());
+
+    // Bit-identity of the loaded model across both platforms.
+    let n = 512;
+    let images: Vec<Tensor> = (0..trials(mode, 4)).map(artifact_image).collect();
+    for platform in [Platform::Aqfp, Platform::Cmos] {
+        let want = InferenceEngine::new(&net, n, platform).scores_batch(&images, SEED);
+        let got = InferenceEngine::new(&loaded, n, platform).scores_batch(&images, SEED);
+        assert_eq!(got, want, "{platform:?}: loaded artifact diverged");
+    }
+    println!("loaded model classifies bit-identically on Aqfp and Cmos (N={n})");
+
+    // Registry: load from disk, serve engines, hot-swap under a live handle.
+    let dir = std::env::temp_dir().join("aqfp_repro_artifact");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tiny.ascm");
+    net.save(&path).expect("save");
+    let registry = ModelRegistry::new();
+    registry.load("tiny", &path, n, Platform::Aqfp).expect("registry load");
+    let engine_v1 = registry.engine("tiny").expect("registered");
+    let image = artifact_image(0);
+    println!(
+        "registry[\"tiny\"] -> class {} (model {})",
+        engine_v1.classify(&image, SEED),
+        registry.fingerprint("tiny").expect("registered").model
+    );
+    registry.install("tiny", &seed_twin, n, Platform::Aqfp);
+    println!(
+        "hot-swapped to seed twin -> class {} (model {}); pre-swap engine still serves class {}",
+        registry.engine("tiny").expect("registered").classify(&image, SEED),
+        registry.fingerprint("tiny").expect("registered").model,
+        engine_v1.classify(&image, SEED),
+    );
+
+    // Why artifacts: loading skips training and quantisation entirely, and
+    // decode is cheap next to the weight-stream generation a plan pays.
+    let reps = trials(mode, 10);
+    let load = best_of(reps, || {
+        std::hint::black_box(CompiledNetwork::load(&path).expect("load"));
+    });
+    let construct = best_of(reps, || {
+        std::hint::black_box(ExecPlan::new(&net, n, Platform::Aqfp));
+    });
+    println!(
+        "artifact load {:.3} ms vs plan construction {:.3} ms ({:.0}x)",
+        load.as_secs_f64() * 1e3,
+        construct.as_secs_f64() * 1e3,
+        construct.as_secs_f64() / load.as_secs_f64().max(1e-12),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `--verify` arm of [`artifact`]: every check is an assert, so a CI
+/// step fails loudly on any divergence.
+fn verify_artifact(mode: Mode, path: &str) {
+    header("Artifact verification: cross-process load vs in-process compilation");
+    let loaded = match CompiledNetwork::load(path) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("load failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let net = artifact_network(8);
+    assert_eq!(
+        loaded.fingerprint(),
+        net.fingerprint(),
+        "artifact was not produced by this binary's deterministic demo model"
+    );
+    println!("fingerprint {} matches the in-process rebuild", net.fingerprint());
+
+    let n = 512;
+    let images: Vec<Tensor> = (0..trials(mode, 8)).map(artifact_image).collect();
+    for platform in [Platform::Aqfp, Platform::Cmos] {
+        let want = InferenceEngine::new(&net, n, platform).scores_batch(&images, SEED);
+        let got = InferenceEngine::new(&loaded, n, platform).scores_batch(&images, SEED);
+        assert_eq!(got, want, "{platform:?}: loaded artifact diverged from in-process model");
+        println!("{platform:?}: {} images bit-identical at N={n}", images.len());
+    }
+
+    let reps = trials(mode, 10);
+    let load = best_of(reps, || {
+        std::hint::black_box(CompiledNetwork::load(path).expect("load"));
+    });
+    let construct = best_of(reps, || {
+        std::hint::black_box(ExecPlan::new(&net, n, Platform::Aqfp));
+    });
+    let ratio = construct.as_secs_f64() / load.as_secs_f64().max(1e-12);
+    println!(
+        "artifact_load {:.3} ms vs engine_construction {:.3} ms -> {ratio:.0}x",
+        load.as_secs_f64() * 1e3,
+        construct.as_secs_f64() * 1e3,
+    );
+    assert!(
+        ratio >= 5.0,
+        "artifact load must beat plan construction by >=5x, got {ratio:.1}x"
+    );
+    println!("[ok] load is {ratio:.0}x faster than plan construction (>=5x required)");
 }
 
 /// Fig. 7b: output distribution of the 1-bit true RNG.

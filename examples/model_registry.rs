@@ -1,0 +1,76 @@
+//! Model artifacts and the multi-model registry: save a compiled network
+//! to the versioned on-disk format, load it back bit-identically, serve
+//! several models from one registry, and hot-swap one under live traffic.
+//!
+//! ```sh
+//! cargo run --release --example model_registry
+//! ```
+
+use aqfp_sc_dnn::network::{
+    build_model, ActivationStyle, CompiledNetwork, ModelRegistry, NetworkSpec, Platform,
+};
+use aqfp_sc_dnn::nn::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 512;
+    let image = Tensor::from_vec(
+        vec![1, 8, 8],
+        (0..64).map(|p| ((p * 3 + 1) % 11) as f32 / 11.0).collect(),
+    );
+
+    // Compile two models once: the same architecture quantised at two
+    // comparator widths. Their content fingerprints differ even though
+    // every structural count (layers, streams, pixels) agrees.
+    let spec = NetworkSpec::tiny(8);
+    println!("== compile and fingerprint ==");
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 7);
+    let eight_bit = CompiledNetwork::from_model(&spec, &mut model, 8);
+    let seven_bit = CompiledNetwork::from_model(&spec, &mut model, 7);
+    println!("  8-bit model: {}", eight_bit.fingerprint());
+    println!("  7-bit model: {}", seven_bit.fingerprint());
+
+    // Save the 8-bit model; the artifact is deterministic, versioned, and
+    // carries the fingerprint so a corrupted file is a typed error.
+    let dir = std::env::temp_dir().join("aqfp_model_registry_example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("tiny-8bit.ascm");
+    eight_bit.save(&path)?;
+    println!("\n== save / load round trip ==");
+    println!("  wrote {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+    let loaded = CompiledNetwork::load(&path)?;
+    assert_eq!(loaded.fingerprint(), eight_bit.fingerprint());
+    println!("  loaded fingerprint matches: {}", loaded.fingerprint());
+
+    // One registry, many named models. `load` goes straight from disk to a
+    // ready plan; `install` registers an in-memory compilation.
+    println!("\n== registry ==");
+    let registry = ModelRegistry::new();
+    registry.load("digits", &path, n, Platform::Aqfp)?;
+    registry.install("digits-7bit", &seven_bit, n, Platform::Aqfp);
+    registry.install("digits-cmos", &eight_bit, n, Platform::Cmos);
+    for name in registry.names() {
+        let fp = registry.fingerprint(&name).expect("registered");
+        println!("  {name:12} {:?} N={} model {}", fp.platform, fp.stream_len, fp.model);
+    }
+    let engine = registry.engine("digits").expect("registered");
+    println!("  digits classifies the demo image as {}", engine.classify(&image, 42));
+
+    // Hot-swap "digits" while the engine above stays alive: the registry
+    // entry changes atomically, the old plan lives on under its own Arc.
+    println!("\n== hot-swap under live traffic ==");
+    let retrained = eight_bit.clone().with_stream_seed(0xA11CE);
+    let replaced = registry.install("digits", &retrained, n, Platform::Aqfp);
+    assert!(replaced.is_some());
+    println!(
+        "  swapped digits to {} — old engine still answers {}",
+        registry.fingerprint("digits").expect("registered").model,
+        engine.classify(&image, 42),
+    );
+    println!(
+        "  new lookups answer {}",
+        registry.engine("digits").expect("registered").classify(&image, 42)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,184 @@
+//! Artifact-level invariants: a model saved to the versioned on-disk
+//! format and loaded back is *content-identical* — every plan built from
+//! the loaded network classifies bit-identically to the in-process
+//! compilation path on both platforms, for arbitrary small specs, seeds,
+//! and quantisation widths. Corrupt inputs are typed errors (see the unit
+//! suite in `crates/network/src/artifact.rs`); this file covers the
+//! end-to-end pipeline and the registry's hot-swap semantics.
+
+use aqfp_sc_dnn::network::{
+    build_model, ActivationStyle, CompiledNetwork, ExecPlan, InferenceEngine, LayerSpec,
+    ModelRegistry, NetworkSpec, Platform, StreamingEngine,
+};
+use aqfp_sc_dnn::nn::{Padding, Tensor};
+use proptest::prelude::*;
+
+/// A small random spec: optional Same/Valid conv, optional pooling,
+/// optional dense, always an output layer — every layer kind and padding
+/// mode the format encodes occurs across the case space.
+fn random_spec(
+    side: usize,
+    out_c: usize,
+    same_pad: bool,
+    with_pool: bool,
+    with_dense: bool,
+    classes: usize,
+) -> NetworkSpec {
+    let mut layers = vec![LayerSpec::Conv {
+        k: 3,
+        out_c,
+        padding: if same_pad { Padding::Same } else { Padding::Valid },
+    }];
+    if with_pool {
+        layers.push(LayerSpec::AvgPool { k: 2 });
+    }
+    if with_dense {
+        layers.push(LayerSpec::Dense { out: 4 });
+    }
+    layers.push(LayerSpec::Output { classes });
+    NetworkSpec { name: "artifact", input_side: side, layers }
+}
+
+fn image_for(side: usize, variant: u64) -> Tensor {
+    Tensor::from_vec(
+        vec![1, side, side],
+        (0..side * side)
+            .map(|p| ((p as u64 * 7 + 3 + variant) % 11) as f32 / 11.0)
+            .collect(),
+    )
+}
+
+proptest! {
+    // Each case builds one model and four plans (2 platforms × saved and
+    // loaded network) at short N; the spec space covers every layer tag,
+    // both paddings, two quantisation widths, and random stream seeds.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn save_load_classify_is_bit_identical_to_in_process_compilation(
+        side in 5usize..8,
+        out_c in 1usize..3,
+        same_pad in any::<bool>(),
+        with_pool in any::<bool>(),
+        with_dense in any::<bool>(),
+        classes in 2usize..5,
+        bits in 6u32..9,
+        stream_seed in any::<u64>(),
+        image_seed in 0u64..1000,
+        n in 32usize..80,
+    ) {
+        let spec = random_spec(side, out_c, same_pad, with_pool, with_dense, classes);
+        let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 11);
+        let net = CompiledNetwork::from_model(&spec, &mut model, bits)
+            .with_stream_seed(stream_seed);
+
+        let bytes = net.to_artifact_bytes();
+        let loaded = CompiledNetwork::from_artifact_bytes(&bytes)
+            .expect("round trip of a freshly saved artifact");
+        prop_assert_eq!(loaded.fingerprint(), net.fingerprint());
+        // Deterministic format: encode(decode(bytes)) is byte-identical.
+        prop_assert_eq!(loaded.to_artifact_bytes(), bytes);
+
+        let image = image_for(side, image_seed);
+        for platform in [Platform::Aqfp, Platform::Cmos] {
+            let in_process = ExecPlan::new(&net, n, platform);
+            let from_disk = ExecPlan::new(&loaded, n, platform);
+            prop_assert_eq!(in_process.fingerprint(), from_disk.fingerprint());
+            let mut state = in_process.new_state();
+            let want = in_process.run_one_shot(&mut state, &image, image_seed);
+            let mut state = from_disk.new_state();
+            let got = from_disk.run_one_shot(&mut state, &image, image_seed);
+            prop_assert_eq!(
+                &got, &want,
+                "{:?}: loaded artifact diverged from in-process compilation", platform
+            );
+            // Content identity is interchangeable: a state begun under the
+            // in-process plan may be advanced by the loaded twin.
+            let mut crossed = in_process.new_state();
+            in_process.begin(&mut crossed, &image, image_seed);
+            while from_disk.advance(&mut crossed, 13) > 0 {}
+            prop_assert_eq!(&from_disk.scores(&crossed), &want);
+        }
+    }
+}
+
+#[test]
+fn loaded_artifact_drives_every_front_end_bit_identically() {
+    // One deterministic model through the whole stack: serial, batched,
+    // and streaming front-ends over a loaded artifact must reproduce the
+    // in-process network exactly.
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 5);
+    let net = CompiledNetwork::from_model(&spec, &mut model, 8).with_stream_seed(0xFEED);
+    let dir = std::env::temp_dir().join("aqfp_artifact_front_ends.ascm");
+    net.save(&dir).expect("save");
+    let loaded = CompiledNetwork::load(&dir).expect("load");
+    std::fs::remove_file(&dir).ok();
+
+    let images: Vec<Tensor> = (0..4).map(|v| image_for(8, v)).collect();
+    let n = 160;
+    for platform in [Platform::Aqfp, Platform::Cmos] {
+        let engine = InferenceEngine::new(&net, n, platform);
+        let engine_loaded = InferenceEngine::new(&loaded, n, platform);
+        assert_eq!(
+            engine.scores_batch(&images, 42),
+            engine_loaded.scores_batch(&images, 42),
+            "{platform:?}: batched front-end diverged"
+        );
+        let streamed = StreamingEngine::new(&engine_loaded, 48).classify(&images[0], 9);
+        let mut state = engine.plan().new_state();
+        let want = engine.plan().run_one_shot(&mut state, &images[0], 9);
+        assert_eq!(streamed.scores, want, "{platform:?}: streaming front-end diverged");
+    }
+}
+
+#[test]
+fn registry_serves_loaded_models_and_hot_swaps_atomically() {
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 5);
+    let net = CompiledNetwork::from_model(&spec, &mut model, 8);
+    let twin = net.clone().with_stream_seed(0xBEEF);
+    let dir = std::env::temp_dir().join("aqfp_artifact_registry");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    net.save(dir.join("v1.ascm")).expect("save v1");
+    twin.save(dir.join("v2.ascm")).expect("save v2");
+
+    let registry = ModelRegistry::new();
+    let n = 96;
+    registry.load("digits", dir.join("v1.ascm"), n, Platform::Aqfp).expect("load v1");
+    let image = image_for(8, 1);
+    let engine_v1 = registry.engine("digits").expect("registered");
+    let want_v1 = InferenceEngine::new(&net, n, Platform::Aqfp).scores(&image, 7);
+    assert_eq!(engine_v1.scores(&image, 7), want_v1);
+
+    // Hot-swap to v2 while the v1 engine stays alive.
+    registry.load("digits", dir.join("v2.ascm"), n, Platform::Aqfp).expect("load v2");
+    let engine_v2 = registry.engine("digits").expect("registered");
+    let want_v2 = InferenceEngine::new(&twin, n, Platform::Aqfp).scores(&image, 7);
+    assert_eq!(engine_v2.scores(&image, 7), want_v2);
+    assert_ne!(
+        engine_v2.plan().fingerprint(),
+        engine_v1.plan().fingerprint(),
+        "seed twins must not share a fingerprint"
+    );
+    // The pre-swap engine still serves the old model, bit for bit.
+    assert_eq!(engine_v1.scores(&image, 7), want_v1);
+
+    // A state bound through the old plan refuses the new one.
+    let mut state = engine_v1.plan().new_state();
+    engine_v1.plan().begin(&mut state, &image, 7);
+    let v2_plan = registry.get("digits").expect("registered");
+    let crossed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        v2_plan.advance(&mut state, 8);
+    }));
+    assert!(crossed.is_err(), "cross-binding seed twins must be refused");
+
+    // Loading garbage neither panics nor clobbers the registered model.
+    std::fs::write(dir.join("junk.ascm"), b"not an artifact").expect("write junk");
+    assert!(registry.load("digits", dir.join("junk.ascm"), n, Platform::Aqfp).is_err());
+    assert_eq!(
+        registry.fingerprint("digits").expect("still registered").model,
+        twin.fingerprint()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -45,7 +45,7 @@ fn probe_image(variant: usize) -> Tensor {
 /// Scores after driving `plan` over `image` with the given chunk
 /// partition (whose sum must equal the plan's stream length).
 fn scores_partitioned(
-    plan: &ExecPlan<'_>,
+    plan: &ExecPlan,
     image: &Tensor,
     seed: u64,
     partition: &[usize],
@@ -184,6 +184,51 @@ fn advancing_a_state_bound_to_a_different_plan_panics() {
     let compiled = compiled_probe();
     let plan_a = ExecPlan::new(compiled, 128, Platform::Aqfp);
     let plan_b = ExecPlan::new(compiled, 256, Platform::Aqfp);
+    let mut state = plan_a.new_state();
+    plan_a.begin(&mut state, &probe_image(0), 1);
+    plan_b.advance(&mut state, 64);
+}
+
+#[test]
+#[should_panic(expected = "not bound to this plan")]
+fn advancing_a_state_bound_to_a_stream_seed_twin_panics() {
+    // Regression: two plans compiled from the same spec that differ ONLY
+    // in `with_stream_seed` cache bit-different weight streams, yet agree
+    // on every structural count (platform, stream length, layer count,
+    // cached streams, pixels). The old structural PlanFingerprint called
+    // them identical, so a bound state could silently be advanced by the
+    // twin — mixing its cursors with foreign weights. The content
+    // fingerprint must refuse.
+    let compiled = compiled_probe();
+    let twin = compiled.clone().with_stream_seed(compiled.stream_seed() ^ 0xDEAD);
+    let plan_a = ExecPlan::new(compiled, 128, Platform::Aqfp);
+    let plan_b = ExecPlan::new(&twin, 128, Platform::Aqfp);
+    let mut state = plan_a.new_state();
+    plan_a.begin(&mut state, &probe_image(0), 1);
+    plan_b.advance(&mut state, 64);
+}
+
+#[test]
+#[should_panic(expected = "not bound to this plan")]
+fn advancing_a_state_bound_to_a_quantisation_twin_panics() {
+    // Same spec and model, different comparator resolution: the 7-bit
+    // twin's levels (and thus streams) differ while every structural
+    // count still matches. Must refuse for the same reason as above.
+    let spec = NetworkSpec {
+        name: "probe",
+        input_side: 6,
+        layers: vec![
+            LayerSpec::Conv { k: 3, out_c: 2, padding: Padding::Same },
+            LayerSpec::AvgPool { k: 2 },
+            LayerSpec::Dense { out: 5 },
+            LayerSpec::Output { classes: 3 },
+        ],
+    };
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 23);
+    let eight = CompiledNetwork::from_model(&spec, &mut model, 8);
+    let seven = CompiledNetwork::from_model(&spec, &mut model, 7);
+    let plan_a = ExecPlan::new(&eight, 128, Platform::Aqfp);
+    let plan_b = ExecPlan::new(&seven, 128, Platform::Aqfp);
     let mut state = plan_a.new_state();
     plan_a.begin(&mut state, &probe_image(0), 1);
     plan_b.advance(&mut state, 64);
