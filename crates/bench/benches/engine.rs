@@ -34,7 +34,8 @@ fn bench_engine_batch_inference(c: &mut Criterion) {
     let spec = NetworkSpec::tiny(8);
     let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 21);
     let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
-    for batch in [1usize, 8, 32] {
+    // 64 crosses the lane threshold: one full batch-transposed group.
+    for batch in [1usize, 8, 32, 64] {
         let imgs = images(batch);
         // The pre-refactor shape: one full weight-stream generation per
         // image (what a classify_aqfp loop costs).

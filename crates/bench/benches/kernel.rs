@@ -1,0 +1,127 @@
+//! `kernel_column_counts`: one neuron-column workload (9 XNOR taps + a
+//! bias row over N = 512 cycles, 64 independent images) through the three
+//! column-counting paths of the execution plan:
+//!
+//! - `scalar` — the pre-kernel per-bit column walk (`BitStream::get` per
+//!   row per cycle);
+//! - `word_parallel` — the fused XNOR + carry-save word kernel
+//!   (`column_counts_into`);
+//! - `batch_transposed` — the lane kernel: the same cycle of all 64 images
+//!   packed into one word (`lane_column_planes`), including the lane
+//!   pack/transpose/extract overhead the plan pays per layer.
+//!
+//! All three produce identical counts for the same total work (64 columns
+//! × 10 rows × 512 cycles). `BENCH_JSON=BENCH_kernel.json cargo bench
+//! --bench kernel` refreshes the committed baseline.
+
+use aqfp_sc_bitstream::{
+    column_counts_into, extract_plane_counts, lane_column_planes, pack_lanes_into, transpose64,
+    BitStream, KernelRow, LaneRow, SplitMix64, MAX_PLANES,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const LEN: usize = 512;
+const TAPS: usize = 9;
+const IMAGES: usize = 64;
+
+fn stream(rng: &mut SplitMix64) -> BitStream {
+    BitStream::from_bits((0..LEN).map(|_| rng.next_u64() >> 63 == 1))
+}
+
+fn bench_kernel_column_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_column_counts");
+    group.sample_size(10);
+    let mut rng = SplitMix64::new(0x15CA_2019);
+    // One weight row + bias shared by all images (weights are
+    // image-independent in the plan); per-image activation taps.
+    let weights: Vec<BitStream> = (0..TAPS).map(|_| stream(&mut rng)).collect();
+    let bias = stream(&mut rng);
+    let acts: Vec<Vec<BitStream>> =
+        (0..IMAGES).map(|_| (0..TAPS).map(|_| stream(&mut rng)).collect()).collect();
+
+    group.bench_function("scalar", |b| {
+        let mut counts = vec![0u32; LEN];
+        b.iter(|| {
+            let mut sum = 0u64;
+            for taps in &acts {
+                for (t, slot) in counts.iter_mut().enumerate() {
+                    let mut col = u32::from(bias.get(t).unwrap());
+                    for (x, w) in taps.iter().zip(&weights) {
+                        col += u32::from(x.get(t) == w.get(t));
+                    }
+                    *slot = col;
+                }
+                sum += u64::from(counts[LEN - 1]);
+            }
+            black_box(sum)
+        })
+    });
+
+    group.bench_function("word_parallel", |b| {
+        let mut counts = Vec::new();
+        b.iter(|| {
+            let mut sum = 0u64;
+            for taps in &acts {
+                let mut rows: Vec<KernelRow<'_>> = taps
+                    .iter()
+                    .zip(&weights)
+                    .map(|(x, w)| KernelRow::Xnor(x.words(), w.words()))
+                    .collect();
+                rows.push(KernelRow::Plain(bias.words()));
+                column_counts_into(&rows, LEN, &mut counts);
+                sum += u64::from(counts[LEN - 1]);
+            }
+            black_box(sum)
+        })
+    });
+
+    group.bench_function("batch_transposed", |b| {
+        let mut lanes: Vec<Vec<u64>> = vec![Vec::new(); TAPS];
+        let mut planes: Vec<Vec<u64>> = Vec::new();
+        let mut counts = vec![0u32; LEN];
+        b.iter(|| {
+            // Pack the same tap of every image into lane words, count all
+            // 64 columns at once, then unpack per-image counts — the full
+            // round trip the plan's batch path pays.
+            for (tap, lane) in lanes.iter_mut().enumerate() {
+                pack_lanes_into(acts.iter().map(|taps| &taps[tap]), LEN, lane);
+            }
+            let mut rows: Vec<LaneRow<'_>> = lanes
+                .iter()
+                .zip(&weights)
+                .map(|(lane, w)| LaneRow::Xnor(lane, w.words()))
+                .collect();
+            rows.push(LaneRow::Broadcast(bias.words()));
+            let used = lane_column_planes(&rows, LEN, &mut planes);
+            // Cycle-major planes → lane-major 64-cycle blocks, then per
+            // image per block.
+            let mut planes_t: Vec<Vec<u64>> = vec![vec![0u64; LEN]; used];
+            for (src, dst) in planes.iter().zip(planes_t.iter_mut()) {
+                for (bi, block) in dst.chunks_mut(64).enumerate() {
+                    let mut mat = [0u64; 64];
+                    mat.copy_from_slice(&src[bi * 64..(bi + 1) * 64]);
+                    transpose64(&mut mat);
+                    block.copy_from_slice(&mat);
+                }
+            }
+            let mut sum = 0u64;
+            let mut pw = [0u64; MAX_PLANES];
+            for g in 0..IMAGES {
+                for (t0, chunk) in (0..LEN).step_by(64).zip(counts.chunks_mut(64)) {
+                    for (p, plane) in planes_t.iter().enumerate() {
+                        pw[p] = plane[t0 + g];
+                    }
+                    extract_plane_counts(&pw[..used], 64, chunk);
+                }
+                sum += u64::from(counts[LEN - 1]);
+            }
+            black_box(sum)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_column_counts);
+criterion_main!(benches);

@@ -114,7 +114,9 @@ impl ColumnCounter {
     /// # Panics
     ///
     /// Panics when either slice's length differs from the counter's word
-    /// count.
+    /// count. Like [`ColumnCounter::add_all`], both operands are validated
+    /// up front, before any bit plane is touched, so a failed call never
+    /// leaves the counter half-updated.
     pub fn add_xnor_words(&mut self, x: &[u64], w: &[u64]) {
         assert_eq!(x.len(), self.words, "word count mismatch");
         assert_eq!(w.len(), self.words, "word count mismatch");
@@ -165,21 +167,26 @@ impl ColumnCounter {
 
     /// Writes all per-cycle counts into `out`, reusing its allocation
     /// (the inference hot path calls this once per neuron).
+    ///
+    /// Counts are extracted 64 cycles at a time with branchless 8×8
+    /// bit-matrix transposes ([`crate::extract_plane_counts`]) rather than a
+    /// per-set-bit scatter loop.
     pub fn counts_into(&self, out: &mut Vec<u32>) {
         out.clear();
         out.resize(self.len, 0);
-        for (k, plane) in self.planes.iter().enumerate() {
-            for (w, &pw) in plane.iter().enumerate() {
-                let mut bits = pw;
-                while bits != 0 {
-                    let b = bits.trailing_zeros() as usize;
-                    let cycle = w * WORD_BITS + b;
-                    if cycle < self.len {
-                        out[cycle] |= 1 << k;
-                    }
-                    bits &= bits - 1;
-                }
+        assert!(self.planes.len() <= 32, "count planes exceed u32 range");
+        let mut pw = [0u64; 32];
+        for w in 0..self.words {
+            let cyc0 = w * WORD_BITS;
+            let valid = (self.len - cyc0).min(WORD_BITS);
+            for (k, plane) in self.planes.iter().enumerate() {
+                pw[k] = plane[w];
             }
+            crate::kernel::extract_plane_counts(
+                &pw[..self.planes.len()],
+                valid,
+                &mut out[cyc0..cyc0 + valid],
+            );
         }
     }
 
@@ -350,6 +357,28 @@ mod tests {
         let mut reference = ColumnCounter::new(130);
         reference.add(&x.xnor(&w).unwrap()).unwrap();
         assert_eq!(fused.counts(), reference.counts());
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn add_xnor_words_rejects_short_operand_before_mutation() {
+        let mut cc = ColumnCounter::new(130);
+        let x = BitStream::ones(130);
+        let w = BitStream::ones(64);
+        cc.add_xnor_words(x.words(), w.words());
+    }
+
+    #[test]
+    fn add_xnor_words_failed_call_leaves_counter_untouched() {
+        let mut cc = ColumnCounter::new(130);
+        let x = BitStream::ones(130);
+        let w = BitStream::ones(64);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cc.add_xnor_words(x.words(), w.words());
+        }));
+        assert!(result.is_err());
+        assert_eq!(cc.streams_added(), 0);
+        assert!(cc.counts().iter().all(|&c| c == 0));
     }
 
     #[test]

@@ -1,0 +1,594 @@
+//! Word-parallel column-count kernels.
+//!
+//! Stochastic-computing layers consume *column counts*: for cycle `c`, the
+//! number of input rows whose bit `c` is set. The scalar path builds these by
+//! walking one bit at a time; the kernels here instead sweep whole 64-bit
+//! words in cache-sized blocks, accumulating counts in a carry-save form
+//! (one bit-plane per binary digit of the count) and converting to per-cycle
+//! `u32` values with branchless 8x8 bit-matrix transposes.
+//!
+//! Two layouts are supported:
+//!
+//! * **Word-parallel** ([`column_counts_into`]): rows are ordinary
+//!   [`BitStream`] word slices for a single image. Each 64-bit word holds 64
+//!   consecutive cycles of one row.
+//! * **Batch-transposed** ([`lane_column_planes`] and friends): each 64-bit
+//!   word holds the *same* cycle of up to 64 images ("lanes"). Weight
+//!   streams are image-independent, so one sweep of the weight words serves
+//!   the entire batch; [`pack_lanes_into`] / [`unpack_lanes_into`] convert
+//!   between the layouts with 64x64 bit-matrix transposes.
+//!
+//! All kernels are bit-identical to the scalar per-bit path; the proptest
+//! suites in `tests/` and `crates/network` pin this on both platforms.
+
+use crate::stream::BitStream;
+use crate::WORD_BITS;
+
+/// Words per cache-sized kernel block (8 words = 512 cycles = one 4 KiB
+/// carry-save working set at 16 planes, comfortably inside L1).
+pub const BLOCK_WORDS: usize = 8;
+
+/// Maximum number of carry-save bit planes the fixed-array kernels keep.
+/// 16 planes count up to 65535 rows per column.
+pub const MAX_PLANES: usize = 16;
+
+/// Maximum rows a fixed-plane kernel accepts (`2^MAX_PLANES - 1`).
+pub const MAX_KERNEL_ROWS: usize = (1 << MAX_PLANES) - 1;
+
+/// One input row for the word-parallel kernel (single-image layout).
+#[derive(Clone, Copy)]
+pub enum KernelRow<'a> {
+    /// XNOR of two streams: `!(a ^ b)` per word (tail bits are handled by
+    /// the caller-provided length).
+    Xnor(&'a [u64], &'a [u64]),
+    /// A plain stream contributing its own bits.
+    Plain(&'a [u64]),
+}
+
+impl KernelRow<'_> {
+    #[inline]
+    fn word(&self, w: usize) -> u64 {
+        match self {
+            KernelRow::Xnor(a, b) => !(a[w] ^ b[w]),
+            KernelRow::Plain(a) => a[w],
+        }
+    }
+
+    fn check(&self, need: usize) {
+        match self {
+            KernelRow::Xnor(a, b) => {
+                assert_eq!(a.len(), b.len(), "kernel row: XNOR word count mismatch");
+                assert!(a.len() >= need, "kernel row: too few words for length");
+            }
+            KernelRow::Plain(a) => {
+                assert!(a.len() >= need, "kernel row: too few words for length");
+            }
+        }
+    }
+}
+
+/// Number of `u64` words needed to hold `len` bits.
+#[inline]
+fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+/// Transpose a u64 viewed as an 8x8 bit matrix in LSB-first order:
+/// bit `(r, c)` (row-major, byte `r`, bit `c` of that byte) moves to
+/// `(c, r)`. Three delta swaps (Hacker's Delight flip about the
+/// anti-diagonal, adapted to LSB-first byte order).
+#[inline]
+pub fn transpose8(mut x: u64) -> u64 {
+    let t = 0x0f0f_0f0f_0000_0000u64 & (x ^ (x << 28));
+    x ^= t ^ (t >> 28);
+    let t = 0x3333_0000_3333_0000u64 & (x ^ (x << 14));
+    x ^= t ^ (t >> 14);
+    let t = 0x5500_5500_5500_5500u64 & (x ^ (x << 7));
+    x ^= t ^ (t >> 7);
+    x
+}
+
+/// In-place transpose of a 64x64 bit matrix stored as 64 u64 rows,
+/// LSB-first (bit `c` of `a[r]` is element `(r, c)`).
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Convert carry-save bit planes for up to 64 columns into per-column
+/// counts. `planes[p]` holds bit `p` of every column's count (LSB-first:
+/// bit `c` of `planes[p]` belongs to column `c`). Only the first `valid`
+/// columns of `out` are written. Supports up to 32 planes (`u32` counts).
+pub fn extract_plane_counts(planes: &[u64], valid: usize, out: &mut [u32]) {
+    assert!(planes.len() <= 32, "extract_plane_counts: too many planes");
+    assert!(valid <= 64 && out.len() >= valid);
+    out[..valid].fill(0);
+    // Process planes in groups of 8: gather one byte column per plane into
+    // a u64, transpose it, and each output byte is then 8 planes' worth of
+    // one column's count bits.
+    for (gi, group) in planes.chunks(8).enumerate() {
+        let shift_out = 8 * gi;
+        let mut sh = 0usize;
+        while sh < valid {
+            let mut y = 0u64;
+            for (k, p) in group.iter().enumerate() {
+                y |= ((p >> sh) & 0xFF) << (8 * k);
+            }
+            y = transpose8(y);
+            let n = (valid - sh).min(8);
+            for b in 0..n {
+                out[sh + b] |= (((y >> (8 * b)) & 0xFF) as u32) << shift_out;
+            }
+            sh += 8;
+        }
+    }
+}
+
+/// Fused XNOR + popcount over `len` bits: `popcount(!(x ^ w))` with the
+/// bits beyond `len` in the last word masked off.
+pub fn xnor_popcount(x: &[u64], w: &[u64], len: usize) -> u32 {
+    let nw = words_for(len);
+    assert!(x.len() >= nw && w.len() >= nw, "xnor_popcount: too few words");
+    let mut total = 0u32;
+    for i in 0..nw {
+        let mut v = !(x[i] ^ w[i]);
+        if i == nw - 1 && !len.is_multiple_of(WORD_BITS) {
+            v &= (1u64 << (len % WORD_BITS)) - 1;
+        }
+        total += v.count_ones();
+    }
+    total
+}
+
+/// Word-parallel column counting: for each cycle `c < len`, count how many
+/// rows have bit `c` set, writing the counts into `counts` (resized to
+/// `len`). Bit-identical to summing `BitStream::get` per row per cycle.
+///
+/// Panics if any row is shorter than `len` bits, if an XNOR row's operands
+/// disagree in word count, or if there are more than [`MAX_KERNEL_ROWS`]
+/// rows.
+pub fn column_counts_into(rows: &[KernelRow<'_>], len: usize, counts: &mut Vec<u32>) {
+    assert!(rows.len() <= MAX_KERNEL_ROWS, "column_counts_into: too many rows");
+    let nw = words_for(len);
+    for r in rows {
+        r.check(nw);
+    }
+    counts.clear();
+    counts.resize(len, 0);
+    if len == 0 || rows.is_empty() {
+        return;
+    }
+    let mut w0 = 0usize;
+    while w0 < nw {
+        let bw = (nw - w0).min(BLOCK_WORDS);
+        let mut planes = [[0u64; BLOCK_WORDS]; MAX_PLANES];
+        let mut used = 0usize;
+        for row in rows {
+            #[allow(clippy::needless_range_loop)] // t indexes every plane's block
+            for t in 0..bw {
+                let mut carry = row.word(w0 + t);
+                let mut p = 0usize;
+                while carry != 0 {
+                    let s = planes[p][t];
+                    planes[p][t] = s ^ carry;
+                    carry &= s;
+                    p += 1;
+                }
+                if p > used {
+                    used = p;
+                }
+            }
+        }
+        // Extract this block's counts word by word.
+        let mut pw = [0u64; MAX_PLANES];
+        #[allow(clippy::needless_range_loop)] // t indexes every plane's block
+        for t in 0..bw {
+            let cyc0 = (w0 + t) * WORD_BITS;
+            let valid = (len - cyc0).min(WORD_BITS);
+            for p in 0..used {
+                pw[p] = planes[p][t];
+            }
+            extract_plane_counts(&pw[..used], valid, &mut counts[cyc0..cyc0 + valid]);
+        }
+        w0 += bw;
+    }
+}
+
+/// One input row for the batch-transposed (lane) kernel. Lane words hold
+/// the same cycle of up to 64 images; weight streams are per-cycle scalars
+/// broadcast across lanes.
+#[derive(Clone, Copy)]
+pub enum LaneRow<'a> {
+    /// Lane-packed activations XNORed with a scalar weight stream: for
+    /// cycle `t`, the lane word is `lanes[t] ^ (wbit - 1)` (XNOR with a
+    /// broadcast bit: weight bit 1 keeps the lanes, 0 inverts them).
+    Xnor(&'a [u64], &'a [u64]),
+    /// Lane-packed bits contributing themselves.
+    Lanes(&'a [u64]),
+    /// A scalar stream broadcast to every lane (e.g. a bias stream).
+    Broadcast(&'a [u64]),
+    /// XNOR of two scalar streams broadcast to every lane (e.g. a padding
+    /// neutral stream times a weight stream).
+    BroadcastXnor(&'a [u64], &'a [u64]),
+}
+
+#[inline]
+fn scalar_bit(words: &[u64], t: usize) -> u64 {
+    (words[t / WORD_BITS] >> (t % WORD_BITS)) & 1
+}
+
+impl LaneRow<'_> {
+    /// The lane word for cycle `t`.
+    #[inline]
+    fn word(&self, t: usize) -> u64 {
+        match self {
+            LaneRow::Xnor(lanes, w) => lanes[t] ^ scalar_bit(w, t).wrapping_sub(1),
+            LaneRow::Lanes(lanes) => lanes[t],
+            LaneRow::Broadcast(s) => 0u64.wrapping_sub(scalar_bit(s, t)),
+            LaneRow::BroadcastXnor(a, b) => {
+                // XNOR of two scalar bits, broadcast: all-ones iff equal.
+                0u64.wrapping_sub(1 ^ (scalar_bit(a, t) ^ scalar_bit(b, t)))
+            }
+        }
+    }
+
+    fn check(&self, clen: usize) {
+        let scalar_need = words_for(clen);
+        match self {
+            LaneRow::Xnor(lanes, w) => {
+                assert!(lanes.len() >= clen, "lane row: too few lane words");
+                assert!(w.len() >= scalar_need, "lane row: too few scalar words");
+            }
+            LaneRow::Lanes(lanes) => {
+                assert!(lanes.len() >= clen, "lane row: too few lane words");
+            }
+            LaneRow::Broadcast(s) => {
+                assert!(s.len() >= scalar_need, "lane row: too few scalar words");
+            }
+            LaneRow::BroadcastXnor(a, b) => {
+                assert!(
+                    a.len() >= scalar_need && b.len() >= scalar_need,
+                    "lane row: too few scalar words"
+                );
+            }
+        }
+    }
+}
+
+/// Batch-transposed column counting. For each of `clen` cycles, accumulate
+/// per-lane counts across `rows` in carry-save form: after the call,
+/// `planes[p][t]` holds bit `p` of each lane's count for cycle `t`
+/// (LSB-first lane order). Returns the number of planes used.
+///
+/// `planes` is grown/reused like a scratch arena; its contents on entry are
+/// ignored.
+pub fn lane_column_planes(rows: &[LaneRow<'_>], clen: usize, planes: &mut Vec<Vec<u64>>) -> usize {
+    assert!(rows.len() <= MAX_KERNEL_ROWS, "lane_column_planes: too many rows");
+    for r in rows {
+        r.check(clen);
+    }
+    let max_planes = usize::BITS as usize - rows.len().leading_zeros() as usize;
+    if planes.len() < max_planes {
+        planes.resize_with(max_planes, Vec::new);
+    }
+    for p in planes.iter_mut().take(max_planes) {
+        p.clear();
+        p.resize(clen, 0);
+    }
+    let mut used = 0usize;
+    let mut t0 = 0usize;
+    while t0 < clen {
+        let bw = (clen - t0).min(BLOCK_WORDS);
+        for row in rows {
+            #[allow(clippy::needless_range_loop)] // t indexes every plane
+            for t in t0..t0 + bw {
+                let mut carry = row.word(t);
+                let mut p = 0usize;
+                while carry != 0 {
+                    let s = planes[p][t];
+                    planes[p][t] = s ^ carry;
+                    carry &= s;
+                    p += 1;
+                }
+                if p > used {
+                    used = p;
+                }
+            }
+        }
+        t0 += bw;
+    }
+    used
+}
+
+/// Per-lane popcount accumulator for lane-packed streams: counts, for each
+/// of the 64 lanes, how many cycles had that lane's bit set. Carry-save
+/// over up to [`MAX_KERNEL_ROWS`] added words.
+pub struct LanePopcount {
+    planes: [u64; MAX_PLANES],
+    added: usize,
+}
+
+impl Default for LanePopcount {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LanePopcount {
+    /// A fresh accumulator with all lane totals at zero.
+    pub fn new() -> Self {
+        Self { planes: [0; MAX_PLANES], added: 0 }
+    }
+
+    /// Add one lane word (one cycle across 64 lanes).
+    #[inline]
+    pub fn add(&mut self, mut carry: u64) {
+        assert!(self.added < MAX_KERNEL_ROWS, "LanePopcount: too many words");
+        self.added += 1;
+        let mut p = 0usize;
+        while carry != 0 {
+            let s = self.planes[p];
+            self.planes[p] = s ^ carry;
+            carry &= s;
+            p += 1;
+        }
+    }
+
+    /// Total count for `lane` (0..64).
+    pub fn total(&self, lane: usize) -> u32 {
+        assert!(lane < WORD_BITS);
+        let mut t = 0u32;
+        for (p, plane) in self.planes.iter().enumerate() {
+            t += (((plane >> lane) & 1) as u32) << p;
+        }
+        t
+    }
+}
+
+/// Pack up to 64 equal-length bit streams into lane layout: `out[t]` holds
+/// bit `t` of every member stream, member `g` in bit `g` (LSB-first). `out`
+/// is resized to `len` words.
+pub fn pack_lanes_into<'a, I>(members: I, len: usize, out: &mut Vec<u64>)
+where
+    I: IntoIterator<Item = &'a BitStream>,
+{
+    let members: Vec<&BitStream> = members.into_iter().collect();
+    assert!(!members.is_empty() && members.len() <= WORD_BITS, "pack_lanes_into: need 1..=64 streams");
+    for m in &members {
+        assert_eq!(m.len(), len, "pack_lanes_into: length mismatch");
+    }
+    out.clear();
+    out.resize(len, 0);
+    if len == 0 {
+        return;
+    }
+    let nw = words_for(len);
+    let mut mat = [0u64; 64];
+    for w in 0..nw {
+        mat.fill(0);
+        for (g, m) in members.iter().enumerate() {
+            mat[g] = m.words()[w];
+        }
+        transpose64(&mut mat);
+        let cyc0 = w * WORD_BITS;
+        let valid = (len - cyc0).min(WORD_BITS);
+        out[cyc0..cyc0 + valid].copy_from_slice(&mat[..valid]);
+    }
+}
+
+/// Unpack lane layout back into per-image [`BitStream`]s: stream `g`
+/// receives bit `g` of every lane word. Each stream in `outs` is
+/// overwritten with a `len`-bit stream.
+pub fn unpack_lanes_into(lanes: &[u64], len: usize, outs: &mut [BitStream]) {
+    assert!(!outs.is_empty() && outs.len() <= WORD_BITS, "unpack_lanes_into: need 1..=64 streams");
+    assert!(lanes.len() >= len, "unpack_lanes_into: too few lane words");
+    let nw = words_for(len);
+    let mut mats: Vec<[u64; 64]> = vec![[0u64; 64]; nw];
+    for (w, mat) in mats.iter_mut().enumerate() {
+        let cyc0 = w * WORD_BITS;
+        let valid = (len - cyc0).min(WORD_BITS);
+        mat[..valid].copy_from_slice(&lanes[cyc0..cyc0 + valid]);
+        transpose64(mat);
+    }
+    for (g, out) in outs.iter_mut().enumerate() {
+        out.fill_words_with(len, |w, _| mats[w][g]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn rand_stream(seed: u64, len: usize) -> BitStream {
+        let mut rng = SplitMix64::new(seed);
+        BitStream::from_fn(len, |_| rng.next_u64() & 1 == 1)
+    }
+
+    fn naive_counts(rows: &[KernelRow<'_>], len: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; len];
+        for (c, cnt) in counts.iter_mut().enumerate() {
+            for r in rows {
+                let bit = (r.word(c / 64) >> (c % 64)) & 1;
+                *cnt += bit as u32;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn transpose8_matches_naive() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..50 {
+            let x = rng.next_u64();
+            let y = transpose8(x);
+            for r in 0..8 {
+                for c in 0..8 {
+                    let orig = (x >> (8 * r + c)) & 1;
+                    let t = (y >> (8 * c + r)) & 1;
+                    assert_eq!(orig, t, "bit ({r},{c}) of {x:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose64_matches_naive() {
+        let mut rng = SplitMix64::new(7);
+        let mut a = [0u64; 64];
+        for w in a.iter_mut() {
+            *w = rng.next_u64();
+        }
+        let orig = a;
+        transpose64(&mut a);
+        #[allow(clippy::needless_range_loop)] // r/c index both matrices
+        for r in 0..64 {
+            for c in 0..64 {
+                assert_eq!((orig[r] >> c) & 1, (a[c] >> r) & 1, "bit ({r},{c})");
+            }
+        }
+        // Involution.
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn column_counts_match_naive_ragged() {
+        for &len in &[1usize, 63, 64, 65, 130, 511, 512, 700] {
+            let streams: Vec<BitStream> = (0..9).map(|i| rand_stream(i, len)).collect();
+            let weights: Vec<BitStream> = (0..9).map(|i| rand_stream(100 + i, len)).collect();
+            let mut rows: Vec<KernelRow<'_>> = streams
+                .iter()
+                .zip(&weights)
+                .map(|(s, w)| KernelRow::Xnor(s.words(), w.words()))
+                .collect();
+            rows.push(KernelRow::Plain(streams[0].words()));
+            let mut counts = Vec::new();
+            column_counts_into(&rows, len, &mut counts);
+            assert_eq!(counts, naive_counts(&rows, len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn column_counts_many_rows_overflow_byte() {
+        // >255 rows exercises multi-byte-group extraction.
+        let len = 70usize;
+        let s = BitStream::ones(len);
+        let rows: Vec<KernelRow<'_>> = (0..300).map(|_| KernelRow::Plain(s.words())).collect();
+        let mut counts = Vec::new();
+        column_counts_into(&rows, len, &mut counts);
+        assert!(counts.iter().all(|&c| c == 300));
+    }
+
+    #[test]
+    #[should_panic(expected = "XNOR word count mismatch")]
+    fn column_counts_rejects_mismatched_xnor() {
+        let a = BitStream::zeros(64);
+        let b = BitStream::zeros(128);
+        let rows = [KernelRow::Xnor(a.words(), b.words())];
+        let mut counts = Vec::new();
+        column_counts_into(&rows, 64, &mut counts);
+    }
+
+    #[test]
+    fn xnor_popcount_matches_stream_op() {
+        for &len in &[1usize, 64, 65, 200, 512] {
+            let a = rand_stream(1, len);
+            let b = rand_stream(2, len);
+            let expect = a.xnor(&b).unwrap().count_ones() as u32;
+            assert_eq!(xnor_popcount(a.words(), b.words(), len), expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for &(n, len) in &[(1usize, 64usize), (5, 100), (64, 512), (64, 130), (17, 65)] {
+            let streams: Vec<BitStream> =
+                (0..n as u64).map(|i| rand_stream(i * 31 + 1, len)).collect();
+            let mut lanes = Vec::new();
+            pack_lanes_into(&streams, len, &mut lanes);
+            // Lane word t bit g == stream g bit t.
+            for t in (0..len).step_by(17) {
+                for (g, s) in streams.iter().enumerate() {
+                    assert_eq!((lanes[t] >> g) & 1 == 1, s.get(t).unwrap(), "({g},{t})");
+                }
+            }
+            let mut outs: Vec<BitStream> = (0..n).map(|_| BitStream::zeros(0)).collect();
+            unpack_lanes_into(&lanes, len, &mut outs);
+            assert_eq!(outs, streams, "n {n} len {len}");
+        }
+    }
+
+    #[test]
+    fn lane_planes_match_scalar_counts() {
+        let n_lanes = 64usize;
+        let clen = 130usize;
+        let acts: Vec<Vec<BitStream>> = (0..3)
+            .map(|j| {
+                (0..n_lanes as u64)
+                    .map(|g| rand_stream(j * 1000 + g, clen))
+                    .collect()
+            })
+            .collect();
+        let w: Vec<BitStream> = (0..3).map(|j| rand_stream(5000 + j, clen)).collect();
+        let bias = rand_stream(9000, clen);
+        let neutral = rand_stream(9001, clen);
+
+        let mut lanes: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        for (j, a) in acts.iter().enumerate() {
+            pack_lanes_into(a, clen, &mut lanes[j]);
+        }
+        let rows = [
+            LaneRow::Xnor(&lanes[0], w[0].words()),
+            LaneRow::Xnor(&lanes[1], w[1].words()),
+            LaneRow::Xnor(&lanes[2], w[2].words()),
+            LaneRow::Broadcast(bias.words()),
+            LaneRow::BroadcastXnor(neutral.words(), w[0].words()),
+        ];
+        let mut planes = Vec::new();
+        let used = lane_column_planes(&rows, clen, &mut planes);
+        assert!(used <= 3);
+
+        for g in 0..n_lanes {
+            for t in (0..clen).step_by(13) {
+                let mut expect = 0u32;
+                for (j, a) in acts.iter().enumerate() {
+                    let xnor = !(a[g].get(t).unwrap() ^ w[j].get(t).unwrap());
+                    expect += u32::from(xnor);
+                }
+                expect += u32::from(bias.get(t).unwrap());
+                expect += u32::from(!(neutral.get(t).unwrap() ^ w[0].get(t).unwrap()));
+                let mut got = 0u32;
+                for (p, plane) in planes.iter().take(used).enumerate() {
+                    got += (((plane[t] >> g) & 1) as u32) << p;
+                }
+                assert_eq!(got, expect, "lane {g} cycle {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_popcount_totals() {
+        let mut lp = LanePopcount::new();
+        let mut rng = SplitMix64::new(42);
+        let words: Vec<u64> = (0..300).map(|_| rng.next_u64()).collect();
+        for &w in &words {
+            lp.add(w);
+        }
+        for lane in [0usize, 1, 31, 63] {
+            let expect: u32 = words.iter().map(|w| ((w >> lane) & 1) as u32).sum();
+            assert_eq!(lp.total(lane), expect, "lane {lane}");
+        }
+    }
+}

@@ -1,5 +1,5 @@
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// A per-cycle source of single random bits.
 ///
@@ -82,7 +82,14 @@ impl ThermalRng {
 
 impl BitSource for ThermalRng {
     fn next_bit(&mut self) -> bool {
-        self.rng.gen_bool(self.bias)
+        if self.bias == 0.5 {
+            // Bit-exact with `gen_bool(0.5)` — both consume one `next_u64`
+            // and compare against the same midpoint — but skips the float
+            // scaling, which dominates the SNG hot path.
+            self.rng.next_u64() >> 63 == 0
+        } else {
+            self.rng.gen_bool(self.bias)
+        }
     }
 
     fn next_word(&mut self) -> u64 {
@@ -272,6 +279,17 @@ mod tests {
         let mut b = ThermalRng::with_seed(3);
         for _ in 0..100 {
             assert_eq!(a.next_bit(), b.next_bit());
+        }
+    }
+
+    #[test]
+    fn thermal_fast_path_matches_gen_bool() {
+        // The bias == 0.5 integer fast path must stay draw-for-draw
+        // identical to `gen_bool(0.5)` — every committed seed depends on it.
+        let mut fast = ThermalRng::with_seed(17);
+        let mut reference = StdRng::seed_from_u64(17);
+        for i in 0..4_096 {
+            assert_eq!(fast.next_bit(), reference.gen_bool(0.5), "draw {i}");
         }
     }
 

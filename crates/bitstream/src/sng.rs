@@ -229,16 +229,27 @@ impl<S: WordSource> Sng<S> {
     /// any partition of chunk sizes is bit-identical to one `N`-bit call —
     /// the property that makes chunked streaming inference resumable.
     pub fn generate_level(&mut self, level: u64, len: usize) -> BitStream {
-        let source = &mut self.source;
-        BitStream::from_fn(len, |_| source.next_value() < level)
+        let mut out = BitStream::zeros(0);
+        self.generate_level_into(level, len, &mut out);
+        out
     }
 
     /// [`Sng::generate_level`] into an existing stream, reusing its
     /// allocation: `out` becomes the next `len` bits of the stream at
     /// `level`, continuing from where the cursor left off.
+    ///
+    /// Bits are assembled a word at a time in a register (exactly one
+    /// comparison word consumed per bit, same as the scalar path) — this is
+    /// the SNG half of the word-parallel hot path.
     pub fn generate_level_into(&mut self, level: u64, len: usize, out: &mut BitStream) {
         let source = &mut self.source;
-        out.fill_from_fn(len, |_| source.next_value() < level);
+        out.fill_words_with(len, |_, n| {
+            let mut word = 0u64;
+            for i in 0..n {
+                word |= u64::from(source.next_value() < level) << i;
+            }
+            word
+        });
     }
 }
 

@@ -78,15 +78,69 @@ impl BitStream {
     /// Refills this stream in place as a fresh `len`-bit stream built from
     /// `f(cycle)`, reusing the word allocation (the chunked streaming path
     /// regenerates per-chunk buffers thousands of times per image).
-    pub fn fill_from_fn<F: FnMut(usize) -> bool>(&mut self, len: usize, mut f: F) {
+    pub fn fill_from_fn<F: FnMut(usize) -> bool>(&mut self, len: usize, f: F) {
+        self.fill_from_bits((0..len).map(f));
+    }
+
+    /// Refills this stream in place from an iterator of bits (cycle 0
+    /// first), reusing the word allocation — the in-place counterpart of
+    /// [`BitStream::from_bits`].
+    pub fn fill_from_bits<I: IntoIterator<Item = bool>>(&mut self, bits: I) {
         self.words.clear();
-        self.words.resize(Self::words_for(len), 0);
-        self.len = len;
-        for cycle in 0..len {
-            if f(cycle) {
-                self.words[cycle / WORD_BITS] |= 1u64 << (cycle % WORD_BITS);
+        let mut len = 0usize;
+        let mut cur = 0u64;
+        for b in bits {
+            if b {
+                cur |= 1u64 << (len % WORD_BITS);
+            }
+            len += 1;
+            if len.is_multiple_of(WORD_BITS) {
+                self.words.push(cur);
+                cur = 0;
             }
         }
+        if !len.is_multiple_of(WORD_BITS) {
+            self.words.push(cur);
+        }
+        self.len = len;
+    }
+
+    /// Refills this stream in place as a `len`-bit stream built one word at
+    /// a time: `f(word_index, valid_bits)` must return the packed word for
+    /// cycles `word_index * 64 ..`, of which only the low `valid_bits` bits
+    /// are kept (`valid_bits` is 64 except possibly for the final word).
+    pub fn fill_words_with<F: FnMut(usize, usize) -> u64>(&mut self, len: usize, mut f: F) {
+        self.words.clear();
+        self.words.reserve(Self::words_for(len));
+        self.len = len;
+        let full = len / WORD_BITS;
+        for w in 0..full {
+            self.words.push(f(w, WORD_BITS));
+        }
+        let tail = len % WORD_BITS;
+        if tail != 0 {
+            self.words.push(f(full, tail));
+            self.mask_tail();
+        }
+    }
+
+    /// Refills this stream in place from packed words (the in-place
+    /// counterpart of [`BitStream::from_words`]). Extra bits in the final
+    /// word beyond `len` are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds fewer than `len` bits.
+    pub fn fill_from_words(&mut self, words: &[u64], len: usize) {
+        assert!(
+            words.len() * WORD_BITS >= len,
+            "{} words cannot hold {len} bits",
+            words.len()
+        );
+        self.words.clear();
+        self.words.extend_from_slice(&words[..Self::words_for(len)]);
+        self.len = len;
+        self.mask_tail();
     }
 
     /// Copies the `len` bits starting at cycle `start` into a new stream
@@ -584,6 +638,44 @@ mod tests {
             buf.fill_from_fn(len, |i| i % 4 == 1);
             assert_eq!(buf, BitStream::from_fn(len, |i| i % 4 == 1), "len {len}");
         }
+    }
+
+    #[test]
+    fn fill_words_with_matches_from_fn() {
+        let mut buf = BitStream::zeros(0);
+        for len in [0usize, 5, 64, 129, 512] {
+            buf.fill_words_with(len, |w, n| {
+                let mut word = 0u64;
+                for i in 0..n {
+                    let cycle = w * WORD_BITS + i;
+                    word |= u64::from(cycle % 4 == 1) << i;
+                }
+                word
+            });
+            assert_eq!(buf, BitStream::from_fn(len, |i| i % 4 == 1), "len {len}");
+        }
+    }
+
+    #[test]
+    fn fill_words_with_masks_tail() {
+        let mut buf = BitStream::zeros(0);
+        buf.fill_words_with(5, |_, _| u64::MAX);
+        assert_eq!(buf.count_ones(), 5);
+    }
+
+    #[test]
+    fn fill_from_words_matches_from_words() {
+        let mut buf = BitStream::ones(3);
+        buf.fill_from_words(&[u64::MAX, u64::MAX], 70);
+        assert_eq!(buf, BitStream::from_words(vec![u64::MAX, u64::MAX], 70));
+        assert_eq!(buf.count_ones(), 70);
+    }
+
+    #[test]
+    fn fill_from_bits_matches_from_bits() {
+        let mut buf = BitStream::ones(100);
+        buf.fill_from_bits((0..130).map(|i| i % 7 == 2));
+        assert_eq!(buf, BitStream::from_fn(130, |i| i % 7 == 2));
     }
 
     #[test]

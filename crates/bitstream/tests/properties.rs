@@ -1,10 +1,16 @@
 //! Property-based tests of the stochastic-computing substrate.
 
 use aqfp_sc_bitstream::{
-    column_counts, maj3_streams, scc, Bipolar, BitStream, ColumnCounter, Lfsr, Sng, SplitMix64,
-    ThermalRng,
+    column_counts, column_counts_into, lane_column_planes, maj3_streams, pack_lanes_into, scc,
+    unpack_lanes_into, Bipolar, BitStream, ColumnCounter, KernelRow, LaneRow, Lfsr, Sng,
+    SplitMix64, ThermalRng,
 };
 use proptest::prelude::*;
+
+/// A deterministic random stream of `len` bits.
+fn random_stream(rng: &mut SplitMix64, len: usize) -> BitStream {
+    BitStream::from_bits((0..len).map(|_| rng.next_u64() >> 63 == 1))
+}
 
 /// Concatenation of per-chunk generation over `partition` (which must sum
 /// to the reference length) from a fresh cursor, interleaving the two
@@ -211,5 +217,93 @@ proptest! {
         prop_assert!((b.probability() - (v + 1.0) / 2.0).abs() < 1e-12);
         let back = Bipolar::from_probability(b.probability()).unwrap();
         prop_assert!((back.get() - v).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn word_parallel_column_counts_match_the_per_bit_reference(
+        len in 1usize..300,
+        xnor_rows in 1usize..8,
+        plain_rows in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        // Random lengths cover ragged (non-multiple-of-64) tails where the
+        // XNOR of the last word sets garbage bits beyond `len`; the row mix
+        // covers product rows (conv/dense taps) and plain rows (bias,
+        // pooling inputs).
+        let mut rng = SplitMix64::new(seed);
+        let pairs: Vec<(BitStream, BitStream)> = (0..xnor_rows)
+            .map(|_| (random_stream(&mut rng, len), random_stream(&mut rng, len)))
+            .collect();
+        let plains: Vec<BitStream> =
+            (0..plain_rows).map(|_| random_stream(&mut rng, len)).collect();
+        let mut rows: Vec<KernelRow<'_>> = pairs
+            .iter()
+            .map(|(a, b)| KernelRow::Xnor(a.words(), b.words()))
+            .collect();
+        rows.extend(plains.iter().map(|p| KernelRow::Plain(p.words())));
+        let mut got = Vec::new();
+        column_counts_into(&rows, len, &mut got);
+        // Per-bit reference over the same logical rows.
+        let mut materialised: Vec<BitStream> =
+            pairs.iter().map(|(a, b)| a.xnor(b).unwrap()).collect();
+        materialised.extend(plains.iter().cloned());
+        let want = column_counts(&materialised).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_counts_on_sliced_chunks(
+        len in 1usize..200,
+        start_frac in 0usize..100,
+        members in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        // Lane-packed column counting over an arbitrary (odd-offset) chunk
+        // slice of each member stream must agree with the scalar counter on
+        // the same slice, for every occupied lane.
+        let mut rng = SplitMix64::new(seed);
+        let full = 256usize;
+        let offset = (start_frac * (full - len)) / 100;
+        let streams: Vec<BitStream> =
+            (0..members).map(|_| random_stream(&mut rng, full)).collect();
+        let weight = random_stream(&mut rng, full);
+        let chunks: Vec<BitStream> =
+            streams.iter().map(|s| s.slice(offset, len)).collect();
+        let wchunk = weight.slice(offset, len);
+        let mut lanes = Vec::new();
+        pack_lanes_into(chunks.iter(), len, &mut lanes);
+        let rows = [LaneRow::Xnor(&lanes, wchunk.words()), LaneRow::Broadcast(wchunk.words())];
+        let mut planes = Vec::new();
+        let used = lane_column_planes(&rows, len, &mut planes);
+        for (g, chunk) in chunks.iter().enumerate() {
+            let want =
+                column_counts(&[chunk.xnor(&wchunk).unwrap(), wchunk.clone()]).unwrap();
+            for (t, &w) in want.iter().enumerate() {
+                let got: u32 = (0..used)
+                    .map(|p| (((planes[p][t] >> g) & 1) as u32) << p)
+                    .sum();
+                prop_assert_eq!(got, w, "lane {} cycle {}", g, t);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_pack_unpack_round_trips_any_width(
+        len in 1usize..200,
+        members in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let streams: Vec<BitStream> =
+            (0..members).map(|_| random_stream(&mut rng, len)).collect();
+        let mut lanes = Vec::new();
+        pack_lanes_into(streams.iter(), len, &mut lanes);
+        let mut back = vec![BitStream::zeros(0); members];
+        unpack_lanes_into(&lanes, len, &mut back);
+        prop_assert_eq!(back, streams);
     }
 }

@@ -111,9 +111,18 @@ impl FeatureExtraction {
     /// `width() != inputs()` — [`FeatureExtraction::pad_count_at`] helps
     /// (index it by the ABSOLUTE cycle when resuming mid-stream).
     pub fn run_counts_resume(&self, counts: &[u32], r: &mut i64) -> BitStream {
+        let mut out = BitStream::zeros(0);
+        self.run_counts_resume_into(counts, r, &mut out);
+        out
+    }
+
+    /// [`FeatureExtraction::run_counts_resume`] into an existing stream,
+    /// reusing its allocation (the plan hot path produces one activation
+    /// stream per neuron per chunk).
+    pub fn run_counts_resume_into(&self, counts: &[u32], r: &mut i64, out: &mut BitStream) {
         let threshold = self.threshold() as i64;
         let cap = self.m as i64;
-        BitStream::from_bits(counts.iter().map(|&c| {
+        out.fill_from_bits(counts.iter().map(|&c| {
             let t = c as i64 + *r;
             let fire = t >= threshold;
             // Firing subtracts (M-1)/2 + 1; not firing leaves T < threshold,
@@ -122,7 +131,7 @@ impl FeatureExtraction {
             // capacity of M wires.
             *r = (t - threshold).clamp(0, cap);
             fire
-        }))
+        }));
     }
 
     /// The neutral-padding bit contribution at `cycle` (1 on even cycles):
@@ -168,12 +177,17 @@ impl FeatureExtraction {
         // Scratch for the 2M-wide sort column, reused across all cycles:
         // [..m] is the input column, [m..] the previous feedback vector.
         let mut merged = vec![false; 2 * m];
+        // Word-aware column access: index packed words directly instead of
+        // per-bit `BitStream::get` (bounds already checked above).
+        let words: Vec<&[u64]> = products.iter().map(|p| p.words()).collect();
+        let pad_words = pad.words();
         for cycle in 0..len {
-            for (slot, p) in merged[..products.len()].iter_mut().zip(products) {
-                *slot = p.get(cycle).expect("length checked");
+            let (w, b) = (cycle / 64, cycle % 64);
+            for (slot, pw) in merged[..products.len()].iter_mut().zip(&words) {
+                *slot = (pw[w] >> b) & 1 == 1;
             }
             if m != self.inputs {
-                merged[m - 1] = pad.get(cycle).expect("length checked");
+                merged[m - 1] = (pad_words[w] >> b) & 1 == 1;
             }
             sorter.apply_bits(&mut merged[..m]); // ascending
             // Bitonic input for a descending merger: ascending ++ descending.

@@ -71,13 +71,22 @@ impl AveragePooling {
     /// into chunks and threading `r` through is bit-identical to one
     /// whole-sequence call.
     pub fn run_counts_resume(&self, counts: &[u32], r: &mut i64) -> BitStream {
+        let mut out = BitStream::zeros(0);
+        self.run_counts_resume_into(counts, r, &mut out);
+        out
+    }
+
+    /// [`AveragePooling::run_counts_resume`] into an existing stream,
+    /// reusing its allocation (the plan hot path produces one pooled stream
+    /// per window per chunk).
+    pub fn run_counts_resume_into(&self, counts: &[u32], r: &mut i64, out: &mut BitStream) {
         let m = self.m as i64;
-        BitStream::from_bits(counts.iter().map(|&c| {
+        out.fill_from_bits(counts.iter().map(|&c| {
             let t = c as i64 + *r;
             let fire = t >= m;
             *r = t - m * i64::from(fire);
             fire
-        }))
+        }));
     }
 
     /// Reference implementation that actually sorts per cycle (Algorithm 2
@@ -107,9 +116,13 @@ impl AveragePooling {
         let mut out = Vec::with_capacity(len);
         // Scratch for the 2M-wide sort column, reused across all cycles.
         let mut merged = vec![false; 2 * m];
+        // Word-aware column access: index packed words directly instead of
+        // per-bit `BitStream::get` (bounds already checked above).
+        let words: Vec<&[u64]> = streams.iter().map(|s| s.words()).collect();
         for cycle in 0..len {
-            for (slot, s) in merged[..m].iter_mut().zip(streams) {
-                *slot = s.get(cycle).expect("length checked");
+            let (w, b) = (cycle / 64, cycle % 64);
+            for (slot, sw) in merged[..m].iter_mut().zip(&words) {
+                *slot = (sw[w] >> b) & 1 == 1;
             }
             sorter.apply_bits(&mut merged[..m]);
             merged[m..].copy_from_slice(&feedback);

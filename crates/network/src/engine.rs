@@ -12,7 +12,7 @@ use std::sync::Arc;
 use aqfp_sc_nn::Tensor;
 
 use crate::compile::CompiledNetwork;
-use crate::plan::{argmax, derive, ExecPlan, Platform, TAG_IMAGE};
+use crate::plan::{argmax, derive, ExecPlan, ExecState, Platform, TAG_IMAGE};
 
 /// Reusable, thread-safe stochastic inference engine over a
 /// [`CompiledNetwork`].
@@ -156,9 +156,12 @@ impl InferenceEngine {
     }
 
     /// Shared batch driver: contiguous chunks of the image list go to
-    /// scoped workers, each reusing one [`ExecState`] (and its arena)
-    /// across its chunk. The static partition keeps the output ordering
-    /// (and the per-image seeds) independent of scheduling.
+    /// scoped workers. Each worker runs every full group of [`LANE_GROUP`]
+    /// images through the batch-transposed kernel path
+    /// ([`ExecPlan::advance_batch`] — 64 images per machine word), and the
+    /// remainder through the scalar one-shot path, both bit-identical. The
+    /// static partition keeps the output ordering (and the per-image
+    /// seeds) independent of scheduling.
     pub(crate) fn run_batch<T, F>(&self, images: &[&Tensor], base_seed: u64, finish: F) -> Vec<T>
     where
         T: Send,
@@ -178,10 +181,35 @@ impl InferenceEngine {
                 let finish = &finish;
                 scope.spawn(move || {
                     let mut state = self.plan.new_state();
-                    for (j, (img, slot)) in imgs.iter().zip(slots).enumerate() {
-                        let seed = Self::image_seed(base_seed, ci * chunk + j);
-                        *slot =
-                            Some(finish(self.plan.run_one_shot(&mut state, img, seed)));
+                    let mut lane_states: Vec<ExecState> = Vec::new();
+                    let mut j = 0usize;
+                    while j < imgs.len() {
+                        if imgs.len() - j >= LANE_GROUP {
+                            if lane_states.is_empty() {
+                                lane_states.resize_with(LANE_GROUP, || self.plan.new_state());
+                            }
+                            for (g, st) in lane_states.iter_mut().enumerate() {
+                                let seed = Self::image_seed(base_seed, ci * chunk + j + g);
+                                self.plan.begin(st, imgs[j + g], seed);
+                            }
+                            while self
+                                .plan
+                                .advance_batch(&mut lane_states, self.plan.stream_len())
+                                > 0
+                            {}
+                            for (g, st) in lane_states.iter().enumerate() {
+                                slots[j + g] = Some(finish(self.plan.scores(st)));
+                            }
+                            j += LANE_GROUP;
+                        } else {
+                            let seed = Self::image_seed(base_seed, ci * chunk + j);
+                            slots[j] = Some(finish(self.plan.run_one_shot(
+                                &mut state,
+                                imgs[j],
+                                seed,
+                            )));
+                            j += 1;
+                        }
                     }
                 });
             }
@@ -189,6 +217,11 @@ impl InferenceEngine {
         out.into_iter().map(|s| s.expect("every slot filled")).collect()
     }
 }
+
+/// Images per batch-transposed lane group: one image per bit of a machine
+/// word. Workers engage [`ExecPlan::advance_batch`] only for full groups —
+/// partial groups run the scalar path, which is bit-identical.
+const LANE_GROUP: usize = 64;
 
 /// Shared accuracy accumulation over per-sample outcomes: `None` for an
 /// empty sample set (an empty set has no accuracy — 0.0 would read as a

@@ -55,10 +55,12 @@
 use std::sync::Arc;
 
 use aqfp_sc_bitstream::{
-    mux_add, Bipolar, BitStream, BitsAsWords, ColumnCounter, SplitMix64, Sng, ThermalRng,
+    column_counts_into, extract_plane_counts, lane_column_planes, mux_add, pack_lanes_into,
+    transpose64, unpack_lanes_into, xnor_popcount, Bipolar, BitStream, BitsAsWords, KernelRow,
+    LanePopcount, LaneRow, SplitMix64, Sng, ThermalRng, MAX_KERNEL_ROWS, MAX_PLANES, WORD_BITS,
 };
 use aqfp_sc_core::baseline::Btanh;
-use aqfp_sc_core::{AveragePooling, FeatureExtraction, MajorityChain};
+use aqfp_sc_core::{AveragePooling, FeatureExtraction};
 use aqfp_sc_nn::{Padding, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -336,11 +338,12 @@ impl ExecPlan {
             class_acc: Vec::new(),
             cycles: 0,
             pixel_chunks: Vec::new(),
-            counter: ColumnCounter::new(0),
             counts: Vec::new(),
             neutral_chunk: BitStream::zeros(0),
             w_chunks: Vec::new(),
             b_chunks: Vec::new(),
+            act_a: Vec::new(),
+            act_b: Vec::new(),
         }
     }
 
@@ -450,17 +453,16 @@ impl ExecPlan {
             layers,
             class_acc,
             pixel_chunks,
-            counter,
             counts,
             neutral_chunk,
             w_chunks,
             b_chunks,
+            act_a,
+            act_b,
             ..
         } = state;
-        // Retarget the counter at the (possibly shorter, final) chunk and
-        // slice the neutral stream at the absolute offset so its 0101…
+        // Slice the neutral stream at the absolute offset so its 0101…
         // parity matches a whole-stream run.
-        counter.reset(clen);
         let neutral: &BitStream = if full {
             &self.neutral
         } else {
@@ -473,14 +475,16 @@ impl ExecPlan {
             cursor.generate_into(clen, buf);
         }
         // Activations of the layer under evaluation: the first layer reads
-        // the pixel buffers directly, later ones the previous layer's
-        // output.
-        let mut owned: Vec<BitStream> = Vec::new();
+        // the pixel buffers directly, later ones the `act_a` arena; each
+        // producing layer writes into `act_b` and the arenas are swapped —
+        // no per-chunk activation allocation.
+        let mut first = true;
         for (li, (layer, lstate)) in self.layers.iter().zip(layers.iter_mut()).enumerate()
         {
-            let streams: &[BitStream] = if li == 0 { pixel_chunks } else { &owned };
+            let streams: &[BitStream] = if first { pixel_chunks } else { act_a };
             let (layer_in_c, h, w_dim) = self.shapes[li];
-            let next: Option<Vec<BitStream>> = match layer {
+            let mut produced = true;
+            match layer {
                 CachedLayer::Conv { k, in_c, out_c, padding, w, b } => {
                     let (oh, ow) = conv_out_dims(h, w_dim, *k, *padding);
                     let pad = match padding {
@@ -490,13 +494,14 @@ impl ExecPlan {
                     let m = in_c * k * k;
                     let (w_run, b_run) =
                         chunk_streams(full, w, b, offset, clen, w_chunks, b_chunks);
-                    let mut out = Vec::with_capacity(out_c * oh * ow);
+                    act_b.resize_with(out_c * oh * ow, || BitStream::zeros(0));
+                    let mut rows: Vec<KernelRow<'_>> = Vec::with_capacity(m + 1);
                     let mut idx = 0usize;
                     for oc in 0..*out_c {
                         let wrow = &w_run[oc * m..(oc + 1) * m];
                         for oy in 0..oh {
                             for ox in 0..ow {
-                                counter.clear();
+                                rows.clear();
                                 let mut j = 0usize;
                                 for ic in 0..*in_c {
                                     for ky in 0..*k {
@@ -513,30 +518,33 @@ impl ExecPlan {
                                                 &streams[(ic * h + iy as usize) * w_dim
                                                     + ix as usize]
                                             };
-                                            counter
-                                                .add_xnor_words(x.words(), wrow[j].words());
+                                            rows.push(KernelRow::Xnor(
+                                                x.words(),
+                                                wrow[j].words(),
+                                            ));
                                             j += 1;
                                         }
                                     }
                                 }
-                                counter.add_words(b_run[oc].words());
-                                out.push(neuron_chunk(
+                                rows.push(KernelRow::Plain(b_run[oc].words()));
+                                column_counts_into(&rows, clen, counts);
+                                neuron_chunk_into(
                                     m + 1,
                                     offset,
                                     lstate,
                                     idx,
-                                    counter,
                                     counts,
-                                ));
+                                    &mut act_b[idx],
+                                );
                                 idx += 1;
                             }
                         }
                     }
-                    Some(out)
                 }
                 CachedLayer::Pool { k } => {
                     let (oh, ow) = (h / k, w_dim / k);
-                    let mut out = Vec::with_capacity(layer_in_c * oh * ow);
+                    act_b.resize_with(layer_in_c * oh * ow, || BitStream::zeros(0));
+                    let mut rows: Vec<KernelRow<'_>> = Vec::with_capacity(k * k);
                     let mut idx = 0usize;
                     for c in 0..layer_in_c {
                         // All windows of a channel share one selector
@@ -550,23 +558,22 @@ impl ExecPlan {
                                 });
                                 match (platform, &mut *lstate) {
                                     (Platform::Aqfp, LayerState::PoolSorter { r }) => {
-                                        counter.clear();
+                                        rows.clear();
                                         for s in window {
-                                            counter.add_words(s.words());
+                                            rows.push(KernelRow::Plain(s.words()));
                                         }
-                                        counter.counts_into(counts);
-                                        out.push(
-                                            AveragePooling::new(k * k)
-                                                .run_counts_resume(counts, &mut r[idx]),
+                                        column_counts_into(&rows, clen, counts);
+                                        AveragePooling::new(k * k).run_counts_resume_into(
+                                            counts,
+                                            &mut r[idx],
+                                            &mut act_b[idx],
                                         );
                                     }
                                     (Platform::Cmos, LayerState::PoolMux { rngs }) => {
                                         let mut rng = rngs[c].clone();
                                         let cloned: Vec<BitStream> = window.cloned().collect();
-                                        out.push(
-                                            mux_add(&cloned, &mut rng)
-                                                .expect("well-formed window"),
-                                        );
+                                        act_b[idx] = mux_add(&cloned, &mut rng)
+                                            .expect("well-formed window");
                                         advanced = Some(rng);
                                     }
                                     _ => unreachable!("pool state matches platform"),
@@ -580,66 +587,91 @@ impl ExecPlan {
                             rngs[c] = rng;
                         }
                     }
-                    Some(out)
                 }
                 CachedLayer::Dense { in_f, out_f, w, b } => {
                     let (w_run, b_run) =
                         chunk_streams(full, w, b, offset, clen, w_chunks, b_chunks);
-                    let mut out = Vec::with_capacity(*out_f);
+                    act_b.resize_with(*out_f, || BitStream::zeros(0));
+                    let mut rows: Vec<KernelRow<'_>> = Vec::with_capacity(in_f + 1);
                     for o in 0..*out_f {
                         let wrow = &w_run[o * in_f..(o + 1) * in_f];
-                        counter.clear();
+                        rows.clear();
                         for (x, ws) in streams.iter().zip(wrow) {
-                            counter.add_xnor_words(x.words(), ws.words());
+                            rows.push(KernelRow::Xnor(x.words(), ws.words()));
                         }
-                        counter.add_words(b_run[o].words());
-                        out.push(neuron_chunk(in_f + 1, offset, lstate, o, counter, counts));
+                        rows.push(KernelRow::Plain(b_run[o].words()));
+                        column_counts_into(&rows, clen, counts);
+                        neuron_chunk_into(in_f + 1, offset, lstate, o, counts, &mut act_b[o]);
                     }
-                    Some(out)
                 }
                 CachedLayer::Output { in_f, classes, order, w, b } => {
+                    produced = false;
                     let (w_run, b_run) =
                         chunk_streams(full, w, b, offset, clen, w_chunks, b_chunks);
+                    let nw = clen.div_ceil(WORD_BITS);
+                    let tail = clen % WORD_BITS;
                     for (cl, class_order) in order.iter().enumerate().take(*classes) {
                         let wrow = &w_run[cl * in_f..(cl + 1) * in_f];
                         match platform {
                             Platform::Aqfp => {
-                                let mut products: Vec<BitStream> = class_order
-                                    .iter()
-                                    .map(|&j| {
-                                        streams[j].xnor(&wrow[j]).expect("lengths match")
-                                    })
-                                    .collect();
-                                products.push(b_run[cl].clone());
-                                if products.len().is_multiple_of(2) {
-                                    // The chain pads even widths with the
-                                    // neutral stream; supply the
-                                    // absolute-parity slice ourselves so an
-                                    // odd chunk offset cannot restart the
-                                    // 0101… pattern.
-                                    products.push(neutral.clone());
+                                // Inline word-level majority chain over the
+                                // XNOR products (in wiring order), the bias,
+                                // and — for even fan-in+1 — the
+                                // absolute-parity neutral pad. No product
+                                // streams are materialised; the XNOR's
+                                // garbage tail bits are masked before the
+                                // popcount.
+                                let width = if (in_f + 1).is_multiple_of(2) {
+                                    in_f + 2
+                                } else {
+                                    in_f + 1
+                                };
+                                let mut total = 0u64;
+                                for wi in 0..nw {
+                                    let input = |i: usize| -> u64 {
+                                        if i < *in_f {
+                                            let j = class_order[i];
+                                            !(streams[j].words()[wi] ^ wrow[j].words()[wi])
+                                        } else if i == *in_f {
+                                            b_run[cl].words()[wi]
+                                        } else {
+                                            neutral.words()[wi]
+                                        }
+                                    };
+                                    let mut y = if width == 1 {
+                                        input(0)
+                                    } else {
+                                        maj_word(input(0), input(1), input(2))
+                                    };
+                                    let mut i = 3;
+                                    while i + 1 < width {
+                                        y = maj_word(y, input(i), input(i + 1));
+                                        i += 2;
+                                    }
+                                    if wi == nw - 1 && tail != 0 {
+                                        y &= (1u64 << tail) - 1;
+                                    }
+                                    total += u64::from(y.count_ones());
                                 }
-                                let chain = MajorityChain::new(products.len());
-                                let so = chain.run(&products).expect("well-formed");
-                                class_acc[cl] += so.count_ones() as u64;
+                                class_acc[cl] += total;
                             }
                             Platform::Cmos => {
-                                counter.clear();
+                                // APC total = Σ popcount of every product
+                                // row — no per-cycle counts needed.
+                                let mut total = b_run[cl].count_ones() as u64;
                                 for (x, ws) in streams.iter().zip(wrow) {
-                                    counter.add_xnor_words(x.words(), ws.words());
+                                    total +=
+                                        u64::from(xnor_popcount(x.words(), ws.words(), clen));
                                 }
-                                counter.add_words(b_run[cl].words());
-                                counter.counts_into(counts);
-                                class_acc[cl] +=
-                                    counts.iter().map(|&c| u64::from(c)).sum::<u64>();
+                                class_acc[cl] += total;
                             }
                         }
                     }
-                    None
                 }
-            };
-            if let Some(out) = next {
-                owned = out;
+            }
+            if produced {
+                std::mem::swap(act_a, act_b);
+                first = false;
             }
         }
         state.cycles = offset + clen;
@@ -683,6 +715,353 @@ impl ExecPlan {
         self.advance(state, self.stream_len);
         self.scores(state)
     }
+
+    /// Advances up to 64 bound states together through one chunk of at most
+    /// `max_cycles` cycles using the batch-transposed (lane) kernels: the
+    /// same cycle of every image is packed into one 64-bit word, weight and
+    /// bias streams (image-independent) are broadcast across lanes, and the
+    /// per-image FSM state (sorter feedback, `Btanh`, selector RNGs) stays
+    /// scalar. Bit-identical to advancing each state with
+    /// [`ExecPlan::advance`] over the same cycles.
+    ///
+    /// Chunks are additionally clamped to [`MAX_KERNEL_ROWS`] cycles (the
+    /// lane popcount capacity), so callers should loop
+    /// `while plan.advance_batch(&mut states, n) > 0 {}`. Returns the
+    /// number of cycles consumed (0 once every state has finished).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` is empty or holds more than 64 states, when any
+    /// state is not bound to this plan, or when the states disagree on the
+    /// cycles consumed so far.
+    pub fn advance_batch(&self, states: &mut [ExecState], max_cycles: usize) -> usize {
+        assert!(
+            !states.is_empty() && states.len() <= WORD_BITS,
+            "advance_batch takes 1..=64 states"
+        );
+        let fp = self.fingerprint();
+        for st in states.iter() {
+            assert_eq!(st.bound.as_ref(), Some(&fp), "state is not bound to this plan");
+        }
+        let offset = states[0].cycles;
+        assert!(
+            states.iter().all(|s| s.cycles == offset),
+            "states disagree on the current cycle offset"
+        );
+        let clen = max_cycles.min(self.stream_len - offset).min(MAX_KERNEL_ROWS);
+        if clen == 0 {
+            return 0;
+        }
+        let full = offset == 0 && clen == self.stream_len;
+        let n = states.len();
+        let platform = self.platform;
+        // Absolute-parity neutral slice, shared across images.
+        let mut neutral_buf = BitStream::zeros(0);
+        let neutral: &BitStream = if full {
+            &self.neutral
+        } else {
+            self.neutral.slice_into(offset, clen, &mut neutral_buf);
+            &neutral_buf
+        };
+        // Generate this chunk of every image's pixel streams, then pack
+        // them into lane layout: cur[p][t] holds cycle t of pixel stream p
+        // across all images (image g in bit g).
+        for st in states.iter_mut() {
+            for (cursor, buf) in st.pixels.iter_mut().zip(st.pixel_chunks.iter_mut()) {
+                cursor.generate_into(clen, buf);
+            }
+        }
+        let np = states[0].pixels.len();
+        let mut cur: Vec<Vec<u64>> = Vec::new();
+        cur.resize_with(np, Vec::new);
+        for (p, lane) in cur.iter_mut().enumerate() {
+            pack_lanes_into(states.iter().map(|s| &s.pixel_chunks[p]), clen, lane);
+        }
+        // Scratch local to the batch step: the ping-pong lane arenas, the
+        // carry-save planes and their lane-major transpose, one per-image
+        // output stream per neuron, and the weight/bias chunk slices.
+        let mut next: Vec<Vec<u64>> = Vec::new();
+        let mut planes: Vec<Vec<u64>> = Vec::new();
+        let mut planes_t: Vec<Vec<u64>> = Vec::new();
+        let mut img_out: Vec<BitStream> = (0..n).map(|_| BitStream::zeros(0)).collect();
+        let mut w_chunks: Vec<BitStream> = Vec::new();
+        let mut b_chunks: Vec<BitStream> = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let (layer_in_c, h, w_dim) = self.shapes[li];
+            let mut produced = true;
+            match layer {
+                CachedLayer::Conv { k, in_c, out_c, padding, w, b } => {
+                    let (oh, ow) = conv_out_dims(h, w_dim, *k, *padding);
+                    let pad = match padding {
+                        Padding::Valid => 0isize,
+                        Padding::Same => (k / 2) as isize,
+                    };
+                    let m = in_c * k * k;
+                    let (w_run, b_run) =
+                        chunk_streams(full, w, b, offset, clen, &mut w_chunks, &mut b_chunks);
+                    next.resize_with(out_c * oh * ow, Vec::new);
+                    let mut rows: Vec<LaneRow<'_>> = Vec::with_capacity(m + 1);
+                    let mut idx = 0usize;
+                    for oc in 0..*out_c {
+                        let wrow = &w_run[oc * m..(oc + 1) * m];
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                rows.clear();
+                                let mut j = 0usize;
+                                for ic in 0..*in_c {
+                                    for ky in 0..*k {
+                                        for kx in 0..*k {
+                                            let iy = oy as isize + ky as isize - pad;
+                                            let ix = ox as isize + kx as isize - pad;
+                                            if iy < 0
+                                                || ix < 0
+                                                || iy >= h as isize
+                                                || ix >= w_dim as isize
+                                            {
+                                                // Zero-valued padding row,
+                                                // broadcast to every lane.
+                                                rows.push(LaneRow::BroadcastXnor(
+                                                    neutral.words(),
+                                                    wrow[j].words(),
+                                                ));
+                                            } else {
+                                                rows.push(LaneRow::Xnor(
+                                                    &cur[(ic * h + iy as usize) * w_dim
+                                                        + ix as usize],
+                                                    wrow[j].words(),
+                                                ));
+                                            }
+                                            j += 1;
+                                        }
+                                    }
+                                }
+                                rows.push(LaneRow::Broadcast(b_run[oc].words()));
+                                let used = lane_column_planes(&rows, clen, &mut planes);
+                                transpose_lane_planes(&planes, used, clen, &mut planes_t);
+                                for (g, st) in states.iter_mut().enumerate() {
+                                    let ExecState { layers, counts, .. } = st;
+                                    lane_counts_for_image(&planes_t, used, g, clen, counts);
+                                    neuron_chunk_into(
+                                        m + 1,
+                                        offset,
+                                        &mut layers[li],
+                                        idx,
+                                        counts,
+                                        &mut img_out[g],
+                                    );
+                                }
+                                pack_lanes_into(img_out.iter(), clen, &mut next[idx]);
+                                idx += 1;
+                            }
+                        }
+                    }
+                }
+                CachedLayer::Pool { k } => {
+                    let (oh, ow) = (h / k, w_dim / k);
+                    next.resize_with(layer_in_c * oh * ow, Vec::new);
+                    match platform {
+                        Platform::Aqfp => {
+                            let mut rows: Vec<LaneRow<'_>> = Vec::with_capacity(k * k);
+                            let mut idx = 0usize;
+                            for c in 0..layer_in_c {
+                                for oy in 0..oh {
+                                    for ox in 0..ow {
+                                        rows.clear();
+                                        for i in 0..k * k {
+                                            rows.push(LaneRow::Lanes(
+                                                &cur[(c * h + oy * k + i / k) * w_dim
+                                                    + ox * k
+                                                    + i % k],
+                                            ));
+                                        }
+                                        let used = lane_column_planes(&rows, clen, &mut planes);
+                                        transpose_lane_planes(&planes, used, clen, &mut planes_t);
+                                        for (g, st) in states.iter_mut().enumerate() {
+                                            let ExecState { layers, counts, .. } = st;
+                                            lane_counts_for_image(
+                                                &planes_t, used, g, clen, counts,
+                                            );
+                                            match &mut layers[li] {
+                                                LayerState::PoolSorter { r } => {
+                                                    AveragePooling::new(k * k)
+                                                        .run_counts_resume_into(
+                                                            counts,
+                                                            &mut r[idx],
+                                                            &mut img_out[g],
+                                                        );
+                                                }
+                                                _ => unreachable!("pool state matches platform"),
+                                            }
+                                        }
+                                        pack_lanes_into(img_out.iter(), clen, &mut next[idx]);
+                                        idx += 1;
+                                    }
+                                }
+                            }
+                        }
+                        Platform::Cmos => {
+                            // Mux pooling draws per-image selector bits, so
+                            // the windows are unpacked back to per-image
+                            // streams and run through the scalar mux — the
+                            // per-channel selector discipline (each window
+                            // advances a clone, the canonical cursor steps
+                            // once per chunk) is preserved per image.
+                            let mut elem: Vec<Vec<BitStream>> = (0..k * k)
+                                .map(|_| (0..n).map(|_| BitStream::zeros(0)).collect())
+                                .collect();
+                            let mut idx = 0usize;
+                            for c in 0..layer_in_c {
+                                let mut advanced: Vec<Option<StdRng>> =
+                                    (0..n).map(|_| None).collect();
+                                for oy in 0..oh {
+                                    for ox in 0..ow {
+                                        for (i, e) in elem.iter_mut().enumerate() {
+                                            unpack_lanes_into(
+                                                &cur[(c * h + oy * k + i / k) * w_dim
+                                                    + ox * k
+                                                    + i % k],
+                                                clen,
+                                                e,
+                                            );
+                                        }
+                                        for (g, st) in states.iter().enumerate() {
+                                            let mut rng = match &st.layers[li] {
+                                                LayerState::PoolMux { rngs } => rngs[c].clone(),
+                                                _ => unreachable!("pool state matches platform"),
+                                            };
+                                            let window: Vec<BitStream> =
+                                                elem.iter().map(|e| e[g].clone()).collect();
+                                            img_out[g] = mux_add(&window, &mut rng)
+                                                .expect("well-formed window");
+                                            advanced[g] = Some(rng);
+                                        }
+                                        pack_lanes_into(img_out.iter(), clen, &mut next[idx]);
+                                        idx += 1;
+                                    }
+                                }
+                                for (st, rng) in states.iter_mut().zip(advanced.iter_mut()) {
+                                    if let (LayerState::PoolMux { rngs }, Some(rng)) =
+                                        (&mut st.layers[li], rng.take())
+                                    {
+                                        rngs[c] = rng;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                CachedLayer::Dense { in_f, out_f, w, b } => {
+                    let (w_run, b_run) =
+                        chunk_streams(full, w, b, offset, clen, &mut w_chunks, &mut b_chunks);
+                    next.resize_with(*out_f, Vec::new);
+                    let mut rows: Vec<LaneRow<'_>> = Vec::with_capacity(in_f + 1);
+                    for o in 0..*out_f {
+                        let wrow = &w_run[o * in_f..(o + 1) * in_f];
+                        rows.clear();
+                        for (x, ws) in cur.iter().zip(wrow) {
+                            rows.push(LaneRow::Xnor(x, ws.words()));
+                        }
+                        rows.push(LaneRow::Broadcast(b_run[o].words()));
+                        let used = lane_column_planes(&rows, clen, &mut planes);
+                        transpose_lane_planes(&planes, used, clen, &mut planes_t);
+                        for (g, st) in states.iter_mut().enumerate() {
+                            let ExecState { layers, counts, .. } = st;
+                            lane_counts_for_image(&planes_t, used, g, clen, counts);
+                            neuron_chunk_into(
+                                in_f + 1,
+                                offset,
+                                &mut layers[li],
+                                o,
+                                counts,
+                                &mut img_out[g],
+                            );
+                        }
+                        pack_lanes_into(img_out.iter(), clen, &mut next[o]);
+                    }
+                }
+                CachedLayer::Output { in_f, classes, order, w, b } => {
+                    produced = false;
+                    let (w_run, b_run) =
+                        chunk_streams(full, w, b, offset, clen, &mut w_chunks, &mut b_chunks);
+                    for (cl, class_order) in order.iter().enumerate().take(*classes) {
+                        let wrow = &w_run[cl * in_f..(cl + 1) * in_f];
+                        match platform {
+                            Platform::Aqfp => {
+                                // Per-cycle lane-parallel majority chain
+                                // over the XNOR products (wiring order), the
+                                // bias, and — for even fan-in+1 — the
+                                // absolute-parity neutral pad, all broadcast
+                                // per cycle; one popcount lane per image.
+                                let width = if (in_f + 1).is_multiple_of(2) {
+                                    in_f + 2
+                                } else {
+                                    in_f + 1
+                                };
+                                let bias_words = b_run[cl].words();
+                                let neutral_words = neutral.words();
+                                let mut lp = LanePopcount::new();
+                                #[allow(clippy::needless_range_loop)] // t indexes many lanes
+                                for t in 0..clen {
+                                    let input = |i: usize| -> u64 {
+                                        if i < *in_f {
+                                            let j = class_order[i];
+                                            cur[j][t]
+                                                ^ sbit(wrow[j].words(), t).wrapping_sub(1)
+                                        } else if i == *in_f {
+                                            0u64.wrapping_sub(sbit(bias_words, t))
+                                        } else {
+                                            0u64.wrapping_sub(sbit(neutral_words, t))
+                                        }
+                                    };
+                                    let mut y = if width == 1 {
+                                        input(0)
+                                    } else {
+                                        maj_word(input(0), input(1), input(2))
+                                    };
+                                    let mut i = 3;
+                                    while i + 1 < width {
+                                        y = maj_word(y, input(i), input(i + 1));
+                                        i += 2;
+                                    }
+                                    lp.add(y);
+                                }
+                                for (g, st) in states.iter_mut().enumerate() {
+                                    st.class_acc[cl] += u64::from(lp.total(g));
+                                }
+                            }
+                            Platform::Cmos => {
+                                // APC total per image: Σ per-lane popcounts
+                                // of every XNOR product row, plus the
+                                // (image-independent) bias ones.
+                                let bias_ones = b_run[cl].count_ones() as u64;
+                                let mut totals = [0u64; WORD_BITS];
+                                for (x, ws) in cur.iter().zip(wrow) {
+                                    let wsw = ws.words();
+                                    let mut lp = LanePopcount::new();
+                                    for (t, &xw) in x.iter().enumerate().take(clen) {
+                                        lp.add(xw ^ sbit(wsw, t).wrapping_sub(1));
+                                    }
+                                    for (g, tot) in totals.iter_mut().enumerate().take(n) {
+                                        *tot += u64::from(lp.total(g));
+                                    }
+                                }
+                                for (g, st) in states.iter_mut().enumerate() {
+                                    st.class_acc[cl] += totals[g] + bias_ones;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if produced {
+                std::mem::swap(&mut cur, &mut next);
+            }
+        }
+        for st in states.iter_mut() {
+            st.cycles = offset + clen;
+        }
+        clen
+    }
 }
 
 /// All resumable state of one in-flight image plus the reusable scratch
@@ -705,8 +1084,6 @@ pub struct ExecState {
     // ---- arena: reused per chunk, kept across rebinds ----
     /// Per-chunk buffers the pixel cursors generate into.
     pixel_chunks: Vec<BitStream>,
-    /// The shared product column counter.
-    counter: ColumnCounter,
     /// Per-cycle counts buffer.
     counts: Vec<u32>,
     /// Absolute-parity neutral slice of the current chunk.
@@ -715,6 +1092,12 @@ pub struct ExecState {
     w_chunks: Vec<BitStream>,
     /// Bias-stream chunk slices of the layer under evaluation.
     b_chunks: Vec<BitStream>,
+    /// Ping-pong activation arenas: the layer under evaluation reads
+    /// `act_a` and writes `act_b`, then the two swap — activations are
+    /// reused across chunks and images with no per-chunk allocation.
+    act_a: Vec<BitStream>,
+    /// See [`ExecState::act_a`].
+    act_b: Vec<BitStream>,
 }
 
 impl ExecState {
@@ -784,19 +1167,18 @@ fn slice_all(src: &[BitStream], offset: usize, clen: usize, out: &mut Vec<BitStr
     }
 }
 
-/// One neuron's chunk output from the counts accumulated in `counter`,
-/// resuming the neuron's cross-chunk state at slot `idx`. The even-width
-/// sorter pad is folded in at the ABSOLUTE cycle so odd chunk offsets keep
-/// the 0101… phase.
-fn neuron_chunk(
+/// One neuron's chunk output from the per-cycle column `counts`, resuming
+/// the neuron's cross-chunk state at slot `idx` and writing into `out`
+/// (reusing its allocation). The even-width sorter pad is folded in at the
+/// ABSOLUTE cycle so odd chunk offsets keep the 0101… phase.
+fn neuron_chunk_into(
     rows: usize,
     offset: usize,
     lstate: &mut LayerState,
     idx: usize,
-    counter: &ColumnCounter,
-    counts: &mut Vec<u32>,
-) -> BitStream {
-    counter.counts_into(counts);
+    counts: &mut [u32],
+    out: &mut BitStream,
+) {
     match lstate {
         LayerState::Feature { r } => {
             let fe = FeatureExtraction::new(rows);
@@ -805,13 +1187,72 @@ fn neuron_chunk(
                     *c += fe.pad_count_at(offset + i);
                 }
             }
-            fe.run_counts_resume(counts, &mut r[idx])
+            fe.run_counts_resume_into(counts, &mut r[idx], out);
         }
         LayerState::Fsm { fsm } => {
             let f = &mut fsm[idx];
-            BitStream::from_bits(counts.iter().map(|&c| f.step(c)))
+            out.fill_from_bits(counts.iter().map(|&c| f.step(c)));
         }
         _ => unreachable!("neuron state matches layer kind"),
+    }
+}
+
+/// Bit `t` (0 or 1) of a packed scalar stream.
+#[inline]
+fn sbit(words: &[u64], t: usize) -> u64 {
+    (words[t / WORD_BITS] >> (t % WORD_BITS)) & 1
+}
+
+/// Bitwise 3-input majority — one majority gate per bit position.
+#[inline]
+fn maj_word(a: u64, b: u64, c: u64) -> u64 {
+    (a & b) | (a & c) | (b & c)
+}
+
+/// Transposes carry-save lane planes from cycle-major (`planes[p][t]` holds
+/// count bit `p` of every lane at cycle `t`) into lane-major 64-cycle
+/// blocks: in `out[p]`, the block starting at `t0` stores at word `t0 + g`
+/// the cycles `t0..t0+64` of lane `g` — the layout
+/// [`lane_counts_for_image`] extracts per-image counts from.
+fn transpose_lane_planes(planes: &[Vec<u64>], used: usize, clen: usize, out: &mut Vec<Vec<u64>>) {
+    let blocks = clen.div_ceil(WORD_BITS);
+    if out.len() < used {
+        out.resize_with(used, Vec::new);
+    }
+    for (src, dst) in planes.iter().zip(out.iter_mut()).take(used) {
+        dst.clear();
+        dst.resize(blocks * WORD_BITS, 0);
+        for bi in 0..blocks {
+            let t0 = bi * WORD_BITS;
+            let valid = WORD_BITS.min(clen - t0);
+            let mut mat = [0u64; WORD_BITS];
+            mat[..valid].copy_from_slice(&src[t0..t0 + valid]);
+            transpose64(&mut mat);
+            dst[t0..t0 + WORD_BITS].copy_from_slice(&mat);
+        }
+    }
+}
+
+/// Per-cycle column counts of image `g`, gathered from the lane-major
+/// planes produced by [`transpose_lane_planes`].
+fn lane_counts_for_image(
+    planes_t: &[Vec<u64>],
+    used: usize,
+    g: usize,
+    clen: usize,
+    counts: &mut Vec<u32>,
+) {
+    counts.clear();
+    counts.resize(clen, 0);
+    let mut pw = [0u64; MAX_PLANES];
+    let mut t0 = 0usize;
+    while t0 < clen {
+        let valid = WORD_BITS.min(clen - t0);
+        for (p, plane) in planes_t.iter().enumerate().take(used) {
+            pw[p] = plane[t0 + g];
+        }
+        extract_plane_counts(&pw[..used], valid, &mut counts[t0..t0 + valid]);
+        t0 += WORD_BITS;
     }
 }
 

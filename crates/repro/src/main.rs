@@ -1,7 +1,7 @@
 //! Reproduction harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--quick|--full]
+//! repro <experiment> [--quick|--full] [--threads N]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
 //!              table9 fig7b fig11 fig13 ablation streaming artifact all
@@ -9,6 +9,9 @@
 //!
 //! `repro artifact` additionally accepts `--save PATH` / `--verify PATH`
 //! for the cross-process model-artifact round trip (see `tables::artifact`).
+//! `--threads N` sets the inference-engine worker-pool size in the
+//! batched-vs-serial ablation segment (default: available parallelism);
+//! the worker count never changes results, only wall-clock.
 //!
 //! Every experiment prints the paper's reported values next to the
 //! measured ones; `EXPERIMENTS.md` records a full run.
@@ -27,6 +30,14 @@ fn main() {
     } else {
         Mode::Default
     };
+    let threads = args.iter().position(|a| a == "--threads").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads needs a positive integer value");
+                std::process::exit(2);
+            })
+    });
     match experiment {
         "table1" => tables::table1(mode),
         "table2" => tables::table2(mode),
@@ -40,7 +51,7 @@ fn main() {
         "fig7b" => tables::fig7b(),
         "fig11" => tables::fig11(),
         "fig13" => tables::fig13(mode),
-        "ablation" => tables::ablation(mode),
+        "ablation" => tables::ablation(mode, threads),
         "streaming" => tables::streaming(mode),
         "artifact" => tables::artifact(mode, &args),
         "all" => {
@@ -55,14 +66,14 @@ fn main() {
             tables::fig7b();
             tables::fig11();
             tables::fig13(mode);
-            tables::ablation(mode);
+            tables::ablation(mode, threads);
             tables::streaming(mode);
             tables::artifact(mode, &args);
             tables::table9(mode);
         }
         _ => {
             eprintln!(
-                "usage: repro <table1..table9|fig7b|fig11|fig13|ablation|streaming|artifact|all> [--quick|--full]\n       repro artifact [--save PATH|--verify PATH]"
+                "usage: repro <table1..table9|fig7b|fig11|fig13|ablation|streaming|artifact|all> [--quick|--full] [--threads N]\n       repro artifact [--save PATH|--verify PATH]"
             );
             std::process::exit(2);
         }

@@ -625,8 +625,10 @@ pub fn fig13(mode: Mode) {
 }
 
 /// Ablations: majority chain vs exact majority; bitonic vs Batcher cost;
-/// synthesis on/off.
-pub fn ablation(mode: Mode) {
+/// synthesis on/off. `threads` overrides the inference-engine worker-pool
+/// size in the batched-vs-serial segment (`None`: available parallelism);
+/// the worker count never changes results, only wall-clock.
+pub fn ablation(mode: Mode, threads: Option<usize>) {
     header("Ablation: majority chain vs exact wide majority (ranking fidelity)");
     let n = 1024;
     let t = trials(mode, 10);
@@ -702,6 +704,10 @@ pub fn ablation(mode: Mode) {
         let serial_time = t0.elapsed();
         let t1 = std::time::Instant::now();
         let engine = InferenceEngine::new(&compiled, n, Platform::Aqfp);
+        let engine = match threads {
+            Some(t) => engine.with_threads(t),
+            None => engine,
+        };
         let batched = engine.classify_batch(&images, SEED);
         let batched_time = t1.elapsed();
         assert_eq!(serial, batched, "batched inference must be bit-identical");

@@ -140,3 +140,25 @@ fn empty_batch_is_fine_and_has_no_accuracy() {
     // a 0 %-accurate model.
     assert_eq!(engine.evaluate(&[], BASE_SEED), None);
 }
+
+#[test]
+fn batches_crossing_the_lane_threshold_match_per_image_scores() {
+    // 70 images on one worker: the first 64 run through the batch-transposed
+    // lane kernels, the remaining 6 through the scalar path. Both must agree
+    // bit for bit with one-image batches (which never engage lane mode).
+    let compiled = compiled_tiny();
+    let images = probe_images(70);
+    for platform in [Platform::Aqfp, Platform::Cmos] {
+        let engine =
+            InferenceEngine::new(&compiled, STREAM_LEN, platform).with_threads(1);
+        let batch = engine.scores_batch(&images, BASE_SEED);
+        for (i, image) in images.iter().enumerate() {
+            let seed = InferenceEngine::image_seed(BASE_SEED, i);
+            assert_eq!(
+                batch[i],
+                engine.scores(image, seed),
+                "{platform:?} image {i}: lane-threshold batch diverged"
+            );
+        }
+    }
+}

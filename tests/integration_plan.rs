@@ -91,6 +91,41 @@ proptest! {
     }
 
     #[test]
+    fn batch_transposed_advance_is_bit_identical_to_scalar(
+        partition in prop::collection::vec(1usize..64, 1..6),
+        count in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // advance_batch packs the same cycle of every image into one word;
+        // it must reproduce the scalar per-image path bit for bit over any
+        // chunk partition (odd offsets, short tails) on both platforms.
+        let n: usize = partition.iter().sum();
+        let compiled = compiled_probe();
+        let images: Vec<Tensor> = (0..count).map(|g| probe_image(g % 4)).collect();
+        for platform in [Platform::Aqfp, Platform::Cmos] {
+            let plan = ExecPlan::new(compiled, n, platform);
+            let want: Vec<Vec<f64>> = images
+                .iter()
+                .enumerate()
+                .map(|(g, img)| {
+                    let mut st = plan.new_state();
+                    plan.run_one_shot(&mut st, img, seed + g as u64)
+                })
+                .collect();
+            let mut states: Vec<_> = images.iter().map(|_| plan.new_state()).collect();
+            for (g, (st, img)) in states.iter_mut().zip(&images).enumerate() {
+                plan.begin(st, img, seed + g as u64);
+            }
+            for &chunk in &partition {
+                prop_assert_eq!(plan.advance_batch(&mut states, chunk), chunk);
+            }
+            prop_assert_eq!(plan.advance_batch(&mut states, 1), 0);
+            let got: Vec<Vec<f64>> = states.iter().map(|st| plan.scores(st)).collect();
+            prop_assert_eq!(&got, &want, "{:?}: lane path diverged (N={})", platform, n);
+        }
+    }
+
+    #[test]
     fn oversized_and_zero_advances_are_clamped_not_drifting(
         head in 1usize..96,
         variant in 0usize..4,
@@ -110,6 +145,29 @@ proptest! {
             prop_assert_eq!(plan.advance(&mut state, n * 10), n - head.min(n));
             prop_assert_eq!(plan.advance(&mut state, n * 10), 0);
             prop_assert_eq!(&plan.scores(&state), &whole, "{:?}", platform);
+        }
+    }
+}
+
+#[test]
+fn full_64_lane_group_matches_scalar_on_both_platforms() {
+    // All 64 lanes of the machine word occupied at once: garbage in unused
+    // lanes cannot exist here, but cross-lane contamination would. Odd N
+    // forces a ragged (non-multiple-of-64) cycle tail in every lane kernel.
+    let compiled = compiled_probe();
+    let n = 193;
+    let images: Vec<Tensor> = (0..64).map(|g| probe_image(g % 4)).collect();
+    for platform in [Platform::Aqfp, Platform::Cmos] {
+        let plan = ExecPlan::new(compiled, n, platform);
+        let mut states: Vec<_> = images.iter().map(|_| plan.new_state()).collect();
+        for (g, (st, img)) in states.iter_mut().zip(&images).enumerate() {
+            plan.begin(st, img, 900 + g as u64);
+        }
+        while plan.advance_batch(&mut states, n) > 0 {}
+        for (g, (st, img)) in states.iter().zip(&images).enumerate() {
+            let mut scalar = plan.new_state();
+            let want = plan.run_one_shot(&mut scalar, img, 900 + g as u64);
+            assert_eq!(plan.scores(st), want, "{platform:?} lane {g} diverged");
         }
     }
 }
