@@ -10,8 +10,8 @@
 
 use aqfp_sc_data::synthetic_digits;
 use aqfp_sc_network::{
-    build_model, ActivationStyle, CompiledNetwork, ExitPolicy, InferenceEngine, NetworkSpec,
-    Platform, StreamingEngine,
+    build_model, ActivationStyle, BatchMode, CompiledNetwork, ExitPolicy, InferenceEngine,
+    NetworkSpec, Platform, StreamingEngine,
 };
 use aqfp_sc_nn::Tensor;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -85,6 +85,23 @@ fn bench_streaming_inference(c: &mut Criterion) {
                 b.iter(|| black_box(streaming.classify_batch(imgs, SEED)))
             },
         );
+    }
+    // The lane-group headline: scalar vs batch-transposed streaming on a
+    // single worker (threads pinned to 1 so the ratio isolates the lane
+    // path instead of worker-count fragmentation), margin policy on the
+    // fixed-64 schedule. CI gates batched/32 normalised by scalar/32.
+    let single = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp).with_threads(1);
+    let imgs = images(32);
+    for (name, mode) in
+        [("scalar", BatchMode::Scalar), ("batched", BatchMode::LaneGroups)]
+    {
+        group.bench_with_input(BenchmarkId::new(name, 32), &imgs, |b, imgs| {
+            let streaming = StreamingEngine::new(&single, CHUNK)
+                .with_policy(ExitPolicy::Margin { z: 2.5 })
+                .with_min_cycles(CHUNK)
+                .with_batch_mode(mode);
+            b.iter(|| black_box(streaming.classify_batch(imgs, SEED)))
+        });
     }
     group.finish();
 }

@@ -221,6 +221,15 @@ pub enum LaneRow<'a> {
     /// XNOR of two scalar streams broadcast to every lane (e.g. a padding
     /// neutral stream times a weight stream).
     BroadcastXnor(&'a [u64], &'a [u64]),
+    /// XNOR of two lane-packed operands: `!(a[t] ^ b[t])` per cycle. This
+    /// is the mixed-offset form of [`LaneRow::Xnor`] — when the lanes of a
+    /// group sit at *different* absolute cycles, the weight stream is no
+    /// longer a per-cycle scalar and must itself be lane-packed (see
+    /// [`pack_offset_windows_into`]).
+    XnorLanes(&'a [u64], &'a [u64]),
+    /// Lane-packed bits contributing themselves, already aligned per lane
+    /// (e.g. a bias or neutral stream packed at per-lane offsets).
+    PackedLanes(&'a [u64]),
 }
 
 #[inline]
@@ -229,20 +238,6 @@ fn scalar_bit(words: &[u64], t: usize) -> u64 {
 }
 
 impl LaneRow<'_> {
-    /// The lane word for cycle `t`.
-    #[inline]
-    fn word(&self, t: usize) -> u64 {
-        match self {
-            LaneRow::Xnor(lanes, w) => lanes[t] ^ scalar_bit(w, t).wrapping_sub(1),
-            LaneRow::Lanes(lanes) => lanes[t],
-            LaneRow::Broadcast(s) => 0u64.wrapping_sub(scalar_bit(s, t)),
-            LaneRow::BroadcastXnor(a, b) => {
-                // XNOR of two scalar bits, broadcast: all-ones iff equal.
-                0u64.wrapping_sub(1 ^ (scalar_bit(a, t) ^ scalar_bit(b, t)))
-            }
-        }
-    }
-
     fn check(&self, clen: usize) {
         let scalar_need = words_for(clen);
         match self {
@@ -261,6 +256,15 @@ impl LaneRow<'_> {
                     a.len() >= scalar_need && b.len() >= scalar_need,
                     "lane row: too few scalar words"
                 );
+            }
+            LaneRow::XnorLanes(a, b) => {
+                assert!(
+                    a.len() >= clen && b.len() >= clen,
+                    "lane row: too few lane words"
+                );
+            }
+            LaneRow::PackedLanes(lanes) => {
+                assert!(lanes.len() >= clen, "lane row: too few lane words");
             }
         }
     }
@@ -286,23 +290,71 @@ pub fn lane_column_planes(rows: &[LaneRow<'_>], clen: usize, planes: &mut Vec<Ve
         p.clear();
         p.resize(clen, 0);
     }
+    // Per-variant inner loops: the enum dispatch happens once per row per
+    // block instead of once per (row, cycle), monomorphising six tight
+    // carry-save loops.
+    #[inline(always)]
+    fn accum<F: FnMut(usize) -> u64>(
+        planes: &mut [Vec<u64>],
+        t0: usize,
+        bw: usize,
+        used: &mut usize,
+        mut word: F,
+    ) {
+        // The first two carry levels run branchlessly on hoisted slices (a
+        // zero carry stores back unchanged planes) — most inserts die
+        // there, and the data-dependent branch only guards the rare deeper
+        // ripple through the remaining planes.
+        let (first, rest) = planes.split_first_mut().expect("kernels have >= 2 rows");
+        let (second, deep) = rest.split_first_mut().expect("kernels have >= 2 rows");
+        if *used < 2 {
+            *used = 2;
+        }
+        let block0 = &mut first[t0..t0 + bw];
+        let block1 = &mut second[t0..t0 + bw];
+        for (i, (w0, w1)) in block0.iter_mut().zip(block1.iter_mut()).enumerate() {
+            let t = t0 + i;
+            let mut carry = word(t);
+            let s = *w0;
+            *w0 = s ^ carry;
+            carry &= s;
+            let s = *w1;
+            *w1 = s ^ carry;
+            carry &= s;
+            if carry != 0 {
+                let mut p = 0usize;
+                while carry != 0 {
+                    let s = deep[p][t];
+                    deep[p][t] = s ^ carry;
+                    carry &= s;
+                    p += 1;
+                }
+                if p + 2 > *used {
+                    *used = p + 2;
+                }
+            }
+        }
+    }
     let mut used = 0usize;
     let mut t0 = 0usize;
     while t0 < clen {
         let bw = (clen - t0).min(BLOCK_WORDS);
         for row in rows {
-            #[allow(clippy::needless_range_loop)] // t indexes every plane
-            for t in t0..t0 + bw {
-                let mut carry = row.word(t);
-                let mut p = 0usize;
-                while carry != 0 {
-                    let s = planes[p][t];
-                    planes[p][t] = s ^ carry;
-                    carry &= s;
-                    p += 1;
+            match row {
+                LaneRow::Xnor(lanes, w) => accum(planes, t0, bw, &mut used, |t| {
+                    lanes[t] ^ scalar_bit(w, t).wrapping_sub(1)
+                }),
+                LaneRow::Lanes(lanes) | LaneRow::PackedLanes(lanes) => {
+                    accum(planes, t0, bw, &mut used, |t| lanes[t])
                 }
-                if p > used {
-                    used = p;
+                LaneRow::Broadcast(sw) => {
+                    accum(planes, t0, bw, &mut used, |t| 0u64.wrapping_sub(scalar_bit(sw, t)))
+                }
+                LaneRow::BroadcastXnor(a, b) => accum(planes, t0, bw, &mut used, |t| {
+                    0u64.wrapping_sub(1 ^ (scalar_bit(a, t) ^ scalar_bit(b, t)))
+                }),
+                LaneRow::XnorLanes(a, b) => {
+                    accum(planes, t0, bw, &mut used, |t| !(a[t] ^ b[t]))
                 }
             }
         }
@@ -384,6 +436,75 @@ where
         let cyc0 = w * WORD_BITS;
         let valid = (len - cyc0).min(WORD_BITS);
         out[cyc0..cyc0 + valid].copy_from_slice(&mat[..valid]);
+    }
+}
+
+/// 64 bits of a word-packed scalar stream starting at bit `pos`. Bits
+/// beyond the stream's storage read as 0 (the stream's own tail bits are
+/// already masked by [`BitStream`]'s invariants).
+#[inline]
+fn window64(words: &[u64], pos: usize) -> u64 {
+    let i = pos / WORD_BITS;
+    let s = pos % WORD_BITS;
+    if i >= words.len() {
+        return 0;
+    }
+    let lo = words[i] >> s;
+    if s == 0 || i + 1 >= words.len() {
+        lo
+    } else {
+        lo | (words[i + 1] << (WORD_BITS - s))
+    }
+}
+
+/// Pack per-lane *windows* of one scalar stream into lane layout: lane `g`
+/// (for `g < offsets.len()`) receives bits
+/// `offsets[g] .. offsets[g] + clen` of `words`, so `out[t]` holds bit
+/// `offsets[g] + t` of the stream in bit `g`. Unused lanes read as 0.
+///
+/// This is what lets a retire-and-refill lane group keep *mixed* absolute
+/// cycle offsets inside one machine word: an image-independent stream
+/// (weights, bias, the 0101… neutral pad) stops being a per-cycle
+/// broadcast the moment two lanes disagree on their absolute cycle, and
+/// must instead be gathered per lane at each lane's own offset.
+/// `bit_len` is the scalar stream's length in bits; every window must fit
+/// (`offsets[g] + clen <= bit_len`). `out` is resized to `clen` words.
+///
+/// # Panics
+///
+/// Panics when `offsets` is empty or holds more than 64 lanes, or when any
+/// window runs past `bit_len`.
+pub fn pack_offset_windows_into(
+    words: &[u64],
+    bit_len: usize,
+    offsets: &[usize],
+    clen: usize,
+    out: &mut Vec<u64>,
+) {
+    assert!(
+        !offsets.is_empty() && offsets.len() <= WORD_BITS,
+        "pack_offset_windows_into: need 1..=64 lanes"
+    );
+    assert!(words.len() * WORD_BITS >= bit_len, "pack_offset_windows_into: too few words");
+    for &o in offsets {
+        assert!(
+            o.checked_add(clen).is_some_and(|end| end <= bit_len),
+            "pack_offset_windows_into: window runs past the stream"
+        );
+    }
+    out.clear();
+    out.resize(clen, 0);
+    let mut mat = [0u64; 64];
+    let mut t0 = 0usize;
+    while t0 < clen {
+        mat.fill(0);
+        for (g, &o) in offsets.iter().enumerate() {
+            mat[g] = window64(words, o + t0);
+        }
+        transpose64(&mut mat);
+        let valid = (clen - t0).min(WORD_BITS);
+        out[t0..t0 + valid].copy_from_slice(&mat[..valid]);
+        t0 += WORD_BITS;
     }
 }
 
@@ -569,6 +690,67 @@ mod tests {
                 }
                 expect += u32::from(bias.get(t).unwrap());
                 expect += u32::from(!(neutral.get(t).unwrap() ^ w[0].get(t).unwrap()));
+                let mut got = 0u32;
+                for (p, plane) in planes.iter().take(used).enumerate() {
+                    got += (((plane[t] >> g) & 1) as u32) << p;
+                }
+                assert_eq!(got, expect, "lane {g} cycle {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_windows_pack_matches_per_bit_gather() {
+        let stream = rand_stream(31, 700);
+        for &(n, clen) in &[(1usize, 64usize), (3, 100), (64, 65), (17, 130), (40, 1)] {
+            let offsets: Vec<usize> = (0..n).map(|g| (g * 37 + 5) % (700 - clen + 1)).collect();
+            let mut out = Vec::new();
+            pack_offset_windows_into(stream.words(), 700, &offsets, clen, &mut out);
+            assert_eq!(out.len(), clen);
+            for (g, &o) in offsets.iter().enumerate() {
+                for (t, &w) in out.iter().enumerate().take(clen) {
+                    assert_eq!(
+                        (w >> g) & 1 == 1,
+                        stream.get(o + t).unwrap(),
+                        "lane {g} offset {o} cycle {t}"
+                    );
+                }
+            }
+            // Unused lanes read as zero.
+            if n < 64 {
+                for (t, &w) in out.iter().enumerate().take(clen) {
+                    assert_eq!(w >> n, 0, "unused lanes must be zero at cycle {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window runs past the stream")]
+    fn offset_windows_reject_out_of_range_windows() {
+        let stream = rand_stream(3, 100);
+        let mut out = Vec::new();
+        pack_offset_windows_into(stream.words(), 100, &[50], 51, &mut out);
+    }
+
+    #[test]
+    fn xnor_lanes_and_packed_lanes_rows_match_per_bit() {
+        let clen = 130usize;
+        let a = rand_stream(1, clen);
+        let b = rand_stream(2, clen);
+        let mut a_lanes = Vec::new();
+        let mut b_lanes = Vec::new();
+        // Same stream in every lane keeps the reference simple; per-lane
+        // independence is pinned by the ragged proptests in tests/.
+        pack_lanes_into(std::iter::repeat_n(&a, 5), clen, &mut a_lanes);
+        pack_lanes_into(std::iter::repeat_n(&b, 5), clen, &mut b_lanes);
+        let rows = [LaneRow::XnorLanes(&a_lanes, &b_lanes), LaneRow::PackedLanes(&b_lanes)];
+        let mut planes = Vec::new();
+        let used = lane_column_planes(&rows, clen, &mut planes);
+        for g in 0..5 {
+            for t in 0..clen {
+                let expect = u32::from(!(a.get(t).unwrap() ^ b.get(t).unwrap()))
+                    + u32::from(b.get(t).unwrap());
                 let mut got = 0u32;
                 for (p, plane) in planes.iter().take(used).enumerate() {
                     got += (((plane[t] >> g) & 1) as u32) << p;

@@ -33,6 +33,20 @@ pub trait WordSource {
 
     /// Draws the next word; only the low [`WordSource::bits`] bits are used.
     fn next_value(&mut self) -> u64;
+
+    /// Draws `n` (≤ 64) consecutive words and compares each against
+    /// `level`, packing the `word < level` results LSB-first — the SNG
+    /// comparator inner loop. Implementors may override it with a faster
+    /// routine, but the override must consume the same draws and produce
+    /// the same bits as this default.
+    fn compare_bits(&mut self, level: u64, n: u32) -> u64 {
+        debug_assert!(n <= 64, "compare_bits packs at most 64 results");
+        let mut w = 0u64;
+        for i in 0..n {
+            w |= u64::from(self.next_value() < level) << i;
+        }
+        w
+    }
 }
 
 /// Model of the AQFP 1-bit true random number generator (paper Fig. 7, 9).

@@ -98,10 +98,20 @@ impl WordSource for LfsrWordSource {
 
 /// Adapter making any [`BitSource`] usable as an `n`-bit [`WordSource`]
 /// (`n` fresh bits are drawn per word, LSB first).
+///
+/// Bits are consumed from the source's packed 64-bit draws
+/// ([`BitSource::next_word`]): the hardware being modelled stacks `n`
+/// 1-bit RNG cells per comparison word (paper Fig. 9), i.e. every cell
+/// bit carries one bit of entropy — so the software model peels `n` bits
+/// per word from each 64-bit draw instead of spending a full PRNG draw
+/// per cell bit. The buffer is cursor state: chunked generation stays
+/// bit-identical to one-shot generation.
 #[derive(Debug, Clone)]
 pub struct BitsAsWords<S> {
     source: S,
     bits: u32,
+    buffer: u64,
+    remaining: u32,
 }
 
 impl<S: BitSource> BitsAsWords<S> {
@@ -112,7 +122,7 @@ impl<S: BitSource> BitsAsWords<S> {
     /// Panics when `bits` is 0 or exceeds 63.
     pub fn new(bits: u32, source: S) -> Self {
         assert!(bits > 0 && bits < 64, "width must be in 1..=63, got {bits}");
-        BitsAsWords { source, bits }
+        BitsAsWords { source, bits, buffer: 0, remaining: 0 }
     }
 }
 
@@ -123,12 +133,63 @@ impl<S: BitSource> WordSource for BitsAsWords<S> {
 
     fn next_value(&mut self) -> u64 {
         let mut v = 0u64;
-        for i in 0..self.bits {
-            if self.source.next_bit() {
-                v |= 1 << i;
+        let mut got = 0u32;
+        while got < self.bits {
+            if self.remaining == 0 {
+                self.buffer = self.source.next_word();
+                self.remaining = u64::BITS;
             }
+            // take < 64 always: bits < 64, so no shift overflow below.
+            let take = (self.bits - got).min(self.remaining);
+            v |= (self.buffer & ((1u64 << take) - 1)) << got;
+            self.buffer >>= take;
+            self.remaining -= take;
+            got += take;
         }
         v
+    }
+
+    /// SWAR override for the ubiquitous 8-bit comparator: one 64-bit draw
+    /// holds eight comparison bytes, compared in parallel in 16-bit SWAR
+    /// lanes. Bit- and consumption-identical to the default (buffered
+    /// leftovers drain through the scalar peel first, whole words go eight
+    /// comparisons at a time, the tail peels scalar again).
+    fn compare_bits(&mut self, level: u64, n: u32) -> u64 {
+        debug_assert!(n <= 64, "compare_bits packs at most 64 results");
+        if self.bits != 8 {
+            let mut w = 0u64;
+            for i in 0..n {
+                w |= u64::from(self.next_value() < level) << i;
+            }
+            return w;
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n && self.remaining != 0 {
+            out |= u64::from(self.next_value() < level) << got;
+            got += 1;
+        }
+        const EVEN: u64 = 0x00FF_00FF_00FF_00FF;
+        const ONES16: u64 = 0x0001_0001_0001_0001;
+        // x < level  ⇔  no carry out of bit 7 in x + (256 − level); the
+        // addend lives in a 16-bit lane so the carry lands in lane bit 8.
+        let addend = (256 - level.min(256)) * ONES16;
+        while n - got >= 8 {
+            let w = self.source.next_word();
+            let lt_e = (((w & EVEN) + addend) >> 8) & ONES16 ^ ONES16;
+            let lt_o = ((((w >> 8) & EVEN) + addend) >> 8) & ONES16 ^ ONES16;
+            // Gather lane bits {0,16,32,48} into byte bits {0,2,4,6} (even
+            // comparisons) and {1,3,5,7} (odd comparisons).
+            let r_e = (lt_e | (lt_e >> 14) | (lt_e >> 28) | (lt_e >> 42)) & 0x55;
+            let r_o = ((lt_o << 1) | (lt_o >> 13) | (lt_o >> 27) | (lt_o >> 41)) & 0xAA;
+            out |= (r_e | r_o) << got;
+            got += 8;
+        }
+        while got < n {
+            out |= u64::from(self.next_value() < level) << got;
+            got += 1;
+        }
+        out
     }
 }
 
@@ -243,13 +304,7 @@ impl<S: WordSource> Sng<S> {
     /// the SNG half of the word-parallel hot path.
     pub fn generate_level_into(&mut self, level: u64, len: usize, out: &mut BitStream) {
         let source = &mut self.source;
-        out.fill_words_with(len, |_, n| {
-            let mut word = 0u64;
-            for i in 0..n {
-                word |= u64::from(source.next_value() < level) << i;
-            }
-            word
-        });
+        out.fill_words_with(len, |_, n| source.compare_bits(level, n as u32));
     }
 }
 
@@ -367,6 +422,26 @@ mod tests {
             bits.extend(buf.iter());
         }
         assert_eq!(BitStream::from_bits(bits), full);
+    }
+
+    #[test]
+    fn swar_compare_bits_matches_scalar_peel() {
+        // The 8-bit SWAR comparator must consume and produce exactly what
+        // the generic scalar peel does, at every level incl. the 0 / 2^n
+        // extremes, across uneven request sizes that exercise the buffered
+        // leftover and tail paths.
+        for level in [0u64, 1, 7, 128, 200, 255, 256] {
+            let mut fast = BitsAsWords::new(8, ThermalRng::with_seed(91));
+            let mut slow = BitsAsWords::new(8, ThermalRng::with_seed(91));
+            for n in [64u32, 3, 8, 13, 64, 1, 40] {
+                let a = fast.compare_bits(level, n);
+                let mut b = 0u64;
+                for i in 0..n {
+                    b |= u64::from(slow.next_value() < level) << i;
+                }
+                assert_eq!(a, b, "level {level} n {n}");
+            }
+        }
     }
 
     #[test]

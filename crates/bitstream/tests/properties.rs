@@ -1,9 +1,9 @@
 //! Property-based tests of the stochastic-computing substrate.
 
 use aqfp_sc_bitstream::{
-    column_counts, column_counts_into, lane_column_planes, maj3_streams, pack_lanes_into, scc,
-    unpack_lanes_into, Bipolar, BitStream, ColumnCounter, KernelRow, LaneRow, Lfsr, Sng,
-    SplitMix64, ThermalRng,
+    column_counts, column_counts_into, lane_column_planes, maj3_streams, pack_lanes_into,
+    pack_offset_windows_into, scc, unpack_lanes_into, Bipolar, BitStream, ColumnCounter,
+    KernelRow, LaneRow, Lfsr, Sng, SplitMix64, ThermalRng,
 };
 use proptest::prelude::*;
 
@@ -305,5 +305,82 @@ proptest! {
         let mut back = vec![BitStream::zeros(0); members];
         unpack_lanes_into(&lanes, len, &mut back);
         prop_assert_eq!(back, streams);
+    }
+
+    #[test]
+    fn offset_window_pack_matches_per_bit_gather_for_ragged_lane_sets(
+        bit_len in 65usize..600,
+        raw_offsets in prop::collection::vec(0usize..600, 1..=64),
+        clen_frac in 1usize..=100,
+        seed in any::<u64>(),
+    ) {
+        // Ragged retire-and-refill groups: 1..=64 lanes, each at its own
+        // absolute offset (word-aligned and not), windows crossing word
+        // boundaries and ending anywhere up to the stream end. The packed
+        // window must equal a per-bit gather for every occupied lane, and
+        // unused lanes must stay zero.
+        let mut rng = SplitMix64::new(seed);
+        let stream = random_stream(&mut rng, bit_len);
+        let max_off = raw_offsets.iter().copied().max().unwrap().min(bit_len - 1);
+        let clen = 1 + (clen_frac * (bit_len - max_off - 1)) / 100;
+        let offsets: Vec<usize> =
+            raw_offsets.iter().map(|&o| o.min(bit_len - clen)).collect();
+        let mut packed = Vec::new();
+        pack_offset_windows_into(stream.words(), bit_len, &offsets, clen, &mut packed);
+        prop_assert_eq!(packed.len(), clen);
+        for (t, &word) in packed.iter().enumerate() {
+            for (g, &off) in offsets.iter().enumerate() {
+                let want = u64::from(stream.get(off + t).unwrap());
+                prop_assert_eq!(
+                    (word >> g) & 1, want,
+                    "lane {} offset {} cycle {}", g, off, t
+                );
+            }
+            // Lanes beyond the ragged set carry no garbage.
+            if offsets.len() < 64 {
+                prop_assert_eq!(word >> offsets.len(), 0, "unused lanes at cycle {}", t);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_offset_lane_rows_match_per_bit_reference_on_ragged_sets(
+        bit_len in 80usize..400,
+        lane_count in 1usize..=64,
+        clen in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        // XnorLanes/PackedLanes rows (the mixed-offset forms) through the
+        // carry-save plane kernel vs a per-bit recount: each lane reads
+        // its own window of the shared weight stream, so the planes must
+        // reproduce, per lane and per cycle, XNOR(act, w[off..]) + w[off..].
+        let mut rng = SplitMix64::new(seed);
+        let clen = clen.min(bit_len / 2);
+        let weight = random_stream(&mut rng, bit_len);
+        let offsets: Vec<usize> = (0..lane_count)
+            .map(|_| (rng.next_u64() as usize) % (bit_len - clen + 1))
+            .collect();
+        let acts: Vec<BitStream> =
+            (0..lane_count).map(|_| random_stream(&mut rng, clen)).collect();
+        let mut act_lanes = Vec::new();
+        pack_lanes_into(acts.iter(), clen, &mut act_lanes);
+        let mut w_lanes = Vec::new();
+        pack_offset_windows_into(weight.words(), bit_len, &offsets, clen, &mut w_lanes);
+        let rows =
+            [LaneRow::XnorLanes(&act_lanes, &w_lanes), LaneRow::PackedLanes(&w_lanes)];
+        let mut planes = Vec::new();
+        let used = lane_column_planes(&rows, clen, &mut planes);
+        for (g, (act, &off)) in acts.iter().zip(&offsets).enumerate() {
+            #[allow(clippy::needless_range_loop)] // t indexes streams, lanes, and planes alike
+            for t in 0..clen {
+                let wbit = weight.get(off + t).unwrap();
+                let xnor = u32::from(act.get(t).unwrap() == wbit);
+                let want = xnor + u32::from(wbit);
+                let got: u32 = (0..used)
+                    .map(|p| (((planes[p][t] >> g) & 1) as u32) << p)
+                    .sum();
+                prop_assert_eq!(got, want, "lane {} offset {} cycle {}", g, off, t);
+            }
+        }
     }
 }

@@ -13,6 +13,8 @@
 
 use aqfp_sc_bitstream::{mux_add, BitStream, BitstreamError, ColumnCounter};
 use aqfp_sc_circuit::CmosGateCounts;
+
+use crate::lanes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -72,6 +74,98 @@ impl Btanh {
     pub fn step(&mut self, c: u32) -> bool {
         self.state = (self.state + 2 * c as i64 - self.m).clamp(0, self.max);
         self.state > self.max / 2
+    }
+
+    /// Lane-parallel [`Btanh::step`] over a whole chunk: per-cycle APC
+    /// counts of up to 64 images arrive as bit planes (`planes[p][t]`
+    /// holds bit `p` of every lane's count at cycle `t`, lane `g` in bit
+    /// `g`), one FSM per lane in `fsms` (all with identical `m` and state
+    /// count), and the saturating-counter recurrence runs for every lane
+    /// at once in bit-sliced ripple-carry arithmetic. Bit `g` of `out[t]`
+    /// is lane `g`'s output bit; lanes at or above `fsms.len()` compute
+    /// garbage — callers must never read them.
+    ///
+    /// Per lane, this is bit-identical to calling [`Btanh::step`] on that
+    /// lane's counts cycle by cycle (each FSM's counter state is updated
+    /// in place, so chunking resumes exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fsms` is empty or exceeds 64 lanes, when the FSMs
+    /// disagree on geometry, or when a plane is shorter than `clen`.
+    pub fn run_planes_resume_into(
+        fsms: &mut [&mut Btanh],
+        planes: &[Vec<u64>],
+        used: usize,
+        clen: usize,
+        out: &mut [u64],
+    ) {
+        assert!(
+            !fsms.is_empty() && fsms.len() <= 64,
+            "run_planes: need 1..=64 lane FSMs"
+        );
+        assert!(out.len() >= clen, "run_planes: output buffer too short");
+        for p in planes.iter().take(used) {
+            assert!(p.len() >= clen, "run_planes: count plane shorter than chunk");
+        }
+        let (m, max) = (fsms[0].m, fsms[0].max);
+        assert!(
+            fsms.iter().all(|f| f.m == m && f.max == max),
+            "run_planes: mixed FSM geometries in one lane group"
+        );
+        let (m, max) = (m as u64, max as u64);
+        // state ≤ max and 2·count ≤ 2M, so `state + 2c` fits in
+        // bits(max + 2M).
+        let width = lanes::bit_width(max + 2 * m).min(lanes::PLANES);
+        let mut states: Vec<i64> = fsms.iter().map(|f| f.state).collect();
+        let mut sp: lanes::Planes = [0; lanes::PLANES];
+        lanes::pack_states(&states, &mut sp);
+        let mut diff: lanes::Planes = [0; lanes::PLANES];
+        let c_planes = used.min(width - 1);
+        let mid = max / 2 + 1;
+        for (t, out_word) in out.iter_mut().enumerate().take(clen) {
+            // Pass 1, fused add + subtract: U = state + 2c (the count
+            // planes enter shifted up one position) and D = U − M in one
+            // sweep. pos = [U ≥ M] is the complemented final borrow;
+            // state' = clamp(U − M, 0, max) floors underflowing lanes at 0.
+            let mut carry = 0u64;
+            let mut borrow = 0u64;
+            for (p, d) in diff.iter_mut().enumerate().take(width) {
+                let x = if p >= 1 && p - 1 < c_planes { planes[p - 1][t] } else { 0 };
+                let y = sp[p];
+                let sum = x ^ y ^ carry;
+                carry = (x & y) | (carry & (x ^ y));
+                let kbit = 0u64.wrapping_sub((m >> p) & 1);
+                *d = sum ^ kbit ^ borrow;
+                borrow = (!sum & (kbit | borrow)) | (kbit & borrow);
+            }
+            let pos = !borrow;
+            // Pass 2: floor-mask and the [D ≥ max+1] cap borrow chain.
+            let cap = max + 1;
+            let mut borrow = 0u64;
+            for (p, d) in diff.iter_mut().enumerate().take(width) {
+                *d &= pos;
+                let kbit = 0u64.wrapping_sub((cap >> p) & 1);
+                borrow = (!*d & (kbit | borrow)) | (kbit & borrow);
+            }
+            let over = !borrow;
+            // Pass 3: select state' and run the output threshold borrow
+            // chain [state' ≥ max/2 + 1] in the same sweep.
+            let mut borrow = 0u64;
+            for (p, spl) in sp.iter_mut().enumerate().take(width) {
+                let maxbit = 0u64.wrapping_sub((max >> p) & 1);
+                let snew = (diff[p] & !over) | (maxbit & over);
+                *spl = snew;
+                let kbit = 0u64.wrapping_sub((mid >> p) & 1);
+                borrow = (!snew & (kbit | borrow)) | (kbit & borrow);
+            }
+            // Output bit: counter above mid-range (state' > max/2).
+            *out_word = !borrow;
+        }
+        lanes::unpack_states(&sp, &mut states);
+        for (f, s) in fsms.iter_mut().zip(states) {
+            f.state = s;
+        }
     }
 }
 
@@ -209,6 +303,47 @@ mod tests {
         let streams = streams_for(&[0.5, -0.5, 0.3, -0.3, 0.0], 8192, 3);
         let out = apc_feature_extraction(&streams, btanh_states(5)).unwrap();
         assert!(out.bipolar_value().get().abs() < 0.25, "got {}", out.bipolar_value());
+    }
+
+    #[test]
+    fn btanh_lane_parallel_planes_match_scalar_steps() {
+        // 41 ragged lanes of distinct APC count sequences through the
+        // bit-sliced saturating-counter recurrence in uneven resumed
+        // chunks, vs Btanh::step per lane per cycle.
+        let m = 9usize;
+        let lanes_n = 41usize;
+        let clen = 110usize;
+        let counts: Vec<Vec<u32>> = (0..lanes_n)
+            .map(|g| (0..clen).map(|t| ((t * 5 + g * 7) % 10) as u32).collect())
+            .collect();
+        let used = 4usize; // counts ≤ 9 fit in 4 planes
+        let mut planes = vec![vec![0u64; clen]; used];
+        for (g, cs) in counts.iter().enumerate() {
+            for (t, &c) in cs.iter().enumerate() {
+                for (p, plane) in planes.iter_mut().enumerate() {
+                    plane[t] |= ((u64::from(c) >> p) & 1) << g;
+                }
+            }
+        }
+        let mut fsms: Vec<Btanh> = (0..lanes_n).map(|_| Btanh::new(m)).collect();
+        let mut out = vec![0u64; clen];
+        let mut pos = 0usize;
+        while pos < clen {
+            let c = 37.min(clen - pos);
+            let sub: Vec<Vec<u64>> =
+                planes.iter().map(|p| p[pos..pos + c].to_vec()).collect();
+            let mut refs: Vec<&mut Btanh> = fsms.iter_mut().collect();
+            Btanh::run_planes_resume_into(&mut refs, &sub, used, c, &mut out[pos..pos + c]);
+            pos += c;
+        }
+        for (g, cs) in counts.iter().enumerate() {
+            let mut scalar = Btanh::new(m);
+            for (t, &c) in cs.iter().enumerate() {
+                let want = scalar.step(c);
+                assert_eq!((out[t] >> g) & 1 == 1, want, "lane {g} cycle {t}");
+            }
+            assert_eq!(fsms[g].state, scalar.state, "final counter, lane {g}");
+        }
     }
 
     #[test]

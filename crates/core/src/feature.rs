@@ -6,6 +6,7 @@ use aqfp_sc_circuit::Netlist;
 use aqfp_sc_sorting::{Direction, SortingNetwork};
 use aqfp_sc_synth::{synthesize, SynthOptions, SynthResult};
 
+use crate::lanes;
 use crate::netlists;
 
 /// The sorter-based feature-extraction block.
@@ -132,6 +133,107 @@ impl FeatureExtraction {
             *r = (t - threshold).clamp(0, cap);
             fire
         }));
+    }
+
+    /// Lane-parallel [`FeatureExtraction::run_counts_resume_into`]: the
+    /// per-cycle column counts of up to 64 images arrive as bit planes
+    /// (`planes[p][t]` holds bit `p` of every lane's count at cycle `t`,
+    /// lane `g` in bit `g` — the layout `lane_column_planes` produces), and
+    /// the recurrence runs for every lane at once in bit-sliced
+    /// ripple-carry arithmetic instead of 64 serial scalar FSM steps.
+    ///
+    /// `r` holds the feedback occupancy of each active lane (lane `g` is
+    /// `r[g]`) and is updated in place; bit `g` of `out[t]` is lane `g`'s
+    /// output bit. Lanes at or above `r.len()` compute garbage from
+    /// whatever the unused count bits hold — callers must never read them.
+    ///
+    /// Counts must already include the neutral-padding stream when
+    /// [`width()`](FeatureExtraction::width) `!=`
+    /// [`inputs()`](FeatureExtraction::inputs) — append the `0101…` stream
+    /// as an extra kernel row at each lane's ABSOLUTE cycle parity.
+    /// Per lane, splitting into chunks and threading `r[g]` through is
+    /// bit-identical to [`FeatureExtraction::run_counts_resume_into`] on
+    /// that lane's counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than 64 lanes are given or a plane is shorter than
+    /// `clen`.
+    pub fn run_planes_resume_into(
+        &self,
+        planes: &[Vec<u64>],
+        used: usize,
+        clen: usize,
+        r: &mut [i64],
+        out: &mut [u64],
+    ) {
+        assert!(r.len() <= 64, "run_planes: more than 64 lanes");
+        assert!(out.len() >= clen, "run_planes: output buffer too short");
+        for p in planes.iter().take(used) {
+            assert!(p.len() >= clen, "run_planes: count plane shorter than chunk");
+        }
+        let m = self.m as u64;
+        let threshold = self.threshold() as u64;
+        // count ≤ M and r ≤ M, so every intermediate fits in bits(2M).
+        let width = lanes::bit_width(2 * m).min(lanes::PLANES);
+        let used = used.min(width);
+        let mut rp: lanes::Planes = [0; lanes::PLANES];
+        lanes::pack_states(r, &mut rp);
+        let mut diff: lanes::Planes = [0; lanes::PLANES];
+        // Per-plane constant masks of θ, M+1, and M, hoisted out of the
+        // cycle loop.
+        let mut thr_k: lanes::Planes = [0; lanes::PLANES];
+        let mut cap_k: lanes::Planes = [0; lanes::PLANES];
+        let mut m_k: lanes::Planes = [0; lanes::PLANES];
+        for (p, ((tk, ck), mk)) in
+            thr_k.iter_mut().zip(cap_k.iter_mut()).zip(m_k.iter_mut()).enumerate().take(width)
+        {
+            *tk = 0u64.wrapping_sub((threshold >> p) & 1);
+            *ck = 0u64.wrapping_sub(((m + 1) >> p) & 1);
+            *mk = 0u64.wrapping_sub((m >> p) & 1);
+        }
+        for (t, out_word) in out.iter_mut().enumerate().take(clen) {
+            // Pass 1, fused add + subtract: T = count + r and D = T − θ in
+            // one sweep (the ripple carry and the borrow advance in
+            // lockstep). fire = [T ≥ θ] is the complemented final borrow;
+            // lanes that underflow are the non-firing ones, and their
+            // feedback floor-clips to 0. The loop splits at `used`: count
+            // planes above it are all-zero, which drops the x terms.
+            let mut carry = 0u64;
+            let mut borrow = 0u64;
+            for p in 0..used {
+                let x = planes[p][t];
+                let y = rp[p];
+                let sum = x ^ y ^ carry;
+                carry = (x & y) | (carry & (x ^ y));
+                diff[p] = sum ^ thr_k[p] ^ borrow;
+                borrow = (!sum & (thr_k[p] | borrow)) | (thr_k[p] & borrow);
+            }
+            for p in used..width {
+                let y = rp[p];
+                let sum = y ^ carry;
+                carry &= y;
+                diff[p] = sum ^ thr_k[p] ^ borrow;
+                borrow = (!sum & (thr_k[p] | borrow)) | (thr_k[p] & borrow);
+            }
+            let fire = !borrow;
+            *out_word = fire;
+            // Pass 2: mask non-firing lanes to 0 and run the [D ≥ M+1]
+            // borrow chain on the masked value (a 0 never overflows, so
+            // the cap cannot be spuriously selected on non-firing lanes).
+            let mut borrow = 0u64;
+            for (p, d) in diff.iter_mut().enumerate().take(width) {
+                *d &= fire;
+                borrow = (!*d & (cap_k[p] | borrow)) | (cap_k[p] & borrow);
+            }
+            let over = !borrow;
+            // Pass 3: r' = over ? M : D — the upper clamp at the physical
+            // feedback capacity of M wires.
+            for (p, rpl) in rp.iter_mut().enumerate().take(width) {
+                *rpl = (diff[p] & !over) | (m_k[p] & over);
+            }
+        }
+        lanes::unpack_states(&rp, r);
     }
 
     /// The neutral-padding bit contribution at `cycle` (1 on even cycles):
@@ -412,6 +514,46 @@ mod tests {
             bits.extend(fe.run_counts_resume(chunk, &mut r).iter());
         }
         assert_eq!(BitStream::from_bits(bits), whole);
+    }
+
+    #[test]
+    fn lane_parallel_planes_match_scalar_recurrence() {
+        // 37 ragged lanes with distinct count sequences, run through the
+        // bit-sliced lane recurrence in uneven resumed chunks, must match
+        // the scalar per-lane recurrence bit for bit (output and final r).
+        let fe = FeatureExtraction::new(9);
+        let lanes_n = 37usize;
+        let clen = 100usize;
+        let counts: Vec<Vec<u32>> = (0..lanes_n)
+            .map(|g| (0..clen).map(|t| ((t * 7 + g * 13) % 10) as u32).collect())
+            .collect();
+        let used = 4usize; // counts ≤ 9 fit in 4 planes
+        let mut planes = vec![vec![0u64; clen]; used];
+        for (g, cs) in counts.iter().enumerate() {
+            for (t, &c) in cs.iter().enumerate() {
+                for (p, plane) in planes.iter_mut().enumerate() {
+                    plane[t] |= ((u64::from(c) >> p) & 1) << g;
+                }
+            }
+        }
+        let mut r = vec![0i64; lanes_n];
+        let mut out = vec![0u64; clen];
+        let mut pos = 0usize;
+        while pos < clen {
+            let c = 33.min(clen - pos);
+            let sub: Vec<Vec<u64>> =
+                planes.iter().map(|p| p[pos..pos + c].to_vec()).collect();
+            fe.run_planes_resume_into(&sub, used, c, &mut r, &mut out[pos..pos + c]);
+            pos += c;
+        }
+        for (g, cs) in counts.iter().enumerate() {
+            let mut rr = 0i64;
+            let want = fe.run_counts_resume(cs, &mut rr);
+            for (t, w) in want.iter().enumerate() {
+                assert_eq!((out[t] >> g) & 1 == 1, w, "lane {g} cycle {t}");
+            }
+            assert_eq!(r[g], rr, "final feedback, lane {g}");
+        }
     }
 
     #[test]

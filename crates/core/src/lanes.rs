@@ -1,0 +1,181 @@
+//! Bit-sliced lane arithmetic for the lane-parallel FSM runners.
+//!
+//! The batch-transposed execution path counts XNOR columns for up to 64
+//! images at once (`lane_column_planes`: plane `p`, cycle `t` holds bit `p`
+//! of every lane's count, lane `g` in bit `g` of the word). Running each
+//! lane's activation FSM serially on extracted `u32` counts would throw
+//! that parallelism away — the per-cycle recurrences of
+//! [`FeatureExtraction`](crate::FeatureExtraction),
+//! [`AveragePooling`](crate::AveragePooling) and
+//! [`baseline::Btanh`](crate::baseline::Btanh) are all of the form
+//! `t = state + count; fire = t ≥ K; state' = clamp/select(t − K)`, which
+//! this module evaluates for all 64 lanes per word-op using ripple-carry
+//! bit-plane arithmetic: one `u64` holds bit `p` of 64 independent
+//! integers.
+//!
+//! Plane arrays are fixed at [`PLANES`] words — wide enough for
+//! `2 · MAX_KERNEL_ROWS` (the largest `count + state` sum any FSM can see)
+//! — and every helper walks only the caller's active width.
+
+/// Bit planes per lane integer: covers sums up to `2^PLANES − 1`, i.e.
+/// `count + state` for the widest supported kernel (65 535 rows).
+pub(crate) const PLANES: usize = 18;
+
+/// 64 lane-parallel unsigned integers in LSB-first bit-plane form.
+pub(crate) type Planes = [u64; PLANES];
+
+/// `out = a + b` per lane over `width` planes. The caller guarantees the
+/// true sums fit in `width` bits (the final carry is discarded).
+///
+/// Reference implementation: the production runners inline this ripple
+/// carry fused with the subtract chains; tests pin the primitive here.
+#[cfg(test)]
+#[inline]
+pub(crate) fn add(a: &Planes, b: &Planes, width: usize, out: &mut Planes) {
+    let mut carry = 0u64;
+    for p in 0..width {
+        let (x, y) = (a[p], b[p]);
+        out[p] = x ^ y ^ carry;
+        carry = (x & y) | (carry & (x ^ y));
+    }
+}
+
+/// `out = a − k` per lane over `width` planes (two's complement; lanes that
+/// underflow hold wrapped values). Returns the borrow mask: bit `g` set
+/// means lane `g` had `a < k`. `width` must cover both `a` and `k`.
+///
+/// Reference implementation: the production runners inline this borrow
+/// chain fused with the ripple carry; tests pin the primitive here.
+#[cfg(test)]
+#[inline]
+pub(crate) fn sub_const(a: &Planes, k: u64, width: usize, out: &mut Planes) -> u64 {
+    let mut borrow = 0u64;
+    for p in 0..width {
+        let kbit = 0u64.wrapping_sub((k >> p) & 1);
+        let x = a[p];
+        out[p] = x ^ kbit ^ borrow;
+        borrow = (!x & (kbit | borrow)) | (kbit & borrow);
+    }
+    borrow
+}
+
+/// Mask of lanes where `a ≥ k`, over `width` planes covering both.
+///
+/// Reference implementation: the production runners inline this borrow
+/// chain into their select passes; tests pin the primitive here.
+#[cfg(test)]
+#[inline]
+pub(crate) fn ge_const(a: &Planes, k: u64, width: usize) -> u64 {
+    let mut borrow = 0u64;
+    for (p, &x) in a.iter().enumerate().take(width) {
+        let kbit = 0u64.wrapping_sub((k >> p) & 1);
+        borrow = (!x & (kbit | borrow)) | (kbit & borrow);
+    }
+    !borrow
+}
+
+/// Packs per-lane integer states into bit planes (lane `g` → bit `g`).
+/// Values must be non-negative and fit in [`PLANES`] bits.
+pub(crate) fn pack_states(states: &[i64], planes: &mut Planes) {
+    planes.fill(0);
+    for (g, &s) in states.iter().enumerate() {
+        debug_assert!((0..(1i64 << PLANES)).contains(&s), "lane state out of range");
+        for (p, plane) in planes.iter_mut().enumerate() {
+            *plane |= (((s as u64) >> p) & 1) << g;
+        }
+    }
+}
+
+/// Unpacks bit planes back into per-lane integer states.
+pub(crate) fn unpack_states(planes: &Planes, states: &mut [i64]) {
+    for (g, s) in states.iter_mut().enumerate() {
+        let mut v = 0u64;
+        for (p, plane) in planes.iter().enumerate() {
+            v |= ((plane >> g) & 1) << p;
+        }
+        *s = v as i64;
+    }
+}
+
+/// Bits needed to represent `v` (`bit_width(0) == 0`).
+#[inline]
+pub(crate) fn bit_width(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_vals(vals: &[u64]) -> Planes {
+        let mut p = [0u64; PLANES];
+        for (g, &v) in vals.iter().enumerate() {
+            for (pi, plane) in p.iter_mut().enumerate() {
+                *plane |= ((v >> pi) & 1) << g;
+            }
+        }
+        p
+    }
+
+    fn to_vals(p: &Planes, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|g| {
+                p.iter().enumerate().fold(0u64, |acc, (pi, plane)| {
+                    acc | (((plane >> g) & 1) << pi)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn add_matches_scalar() {
+        let a: Vec<u64> = (0..64).map(|g| (g * 37 + 5) % 200).collect();
+        let b: Vec<u64> = (0..64).map(|g| (g * 91 + 13) % 180).collect();
+        let (pa, pb) = (from_vals(&a), from_vals(&b));
+        let mut out = [0u64; PLANES];
+        add(&pa, &pb, 10, &mut out);
+        let got = to_vals(&out, 64);
+        for g in 0..64 {
+            assert_eq!(got[g], a[g] + b[g], "lane {g}");
+        }
+    }
+
+    #[test]
+    fn sub_const_matches_scalar_with_borrow_mask() {
+        let a: Vec<u64> = (0..64).map(|g| g * 3).collect();
+        let pa = from_vals(&a);
+        let mut out = [0u64; PLANES];
+        let k = 100u64;
+        let borrow = sub_const(&pa, k, 9, &mut out);
+        let got = to_vals(&out, 64);
+        for g in 0..64 {
+            let under = a[g] < k;
+            assert_eq!(borrow >> g & 1 == 1, under, "borrow lane {g}");
+            if !under {
+                assert_eq!(got[g], a[g] - k, "diff lane {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn ge_const_matches_scalar() {
+        let a: Vec<u64> = (0..64).map(|g| g * 5 % 97).collect();
+        let pa = from_vals(&a);
+        for k in [0u64, 1, 48, 96, 97] {
+            let mask = ge_const(&pa, k, 8);
+            for (g, &v) in a.iter().enumerate() {
+                assert_eq!(mask >> g & 1 == 1, v >= k, "k={k} lane {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let vals: Vec<i64> = (0..40).map(|g| (g * 77 + 3) % 1000).collect();
+        let mut planes = [0u64; PLANES];
+        pack_states(&vals, &mut planes);
+        let mut back = vec![0i64; 40];
+        unpack_states(&planes, &mut back);
+        assert_eq!(back, vals);
+    }
+}

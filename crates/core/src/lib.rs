@@ -67,6 +67,7 @@ pub mod accuracy;
 pub mod baseline;
 mod categorize;
 mod feature;
+mod lanes;
 mod matrix;
 mod netlists;
 mod pooling;

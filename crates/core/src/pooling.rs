@@ -5,6 +5,7 @@ use aqfp_sc_circuit::Netlist;
 use aqfp_sc_sorting::{Direction, SortingNetwork};
 use aqfp_sc_synth::{synthesize, SynthOptions, SynthResult};
 
+use crate::lanes;
 use crate::netlists;
 
 /// The sorter-based average-pooling (sub-sampling) block.
@@ -87,6 +88,84 @@ impl AveragePooling {
             *r = t - m * i64::from(fire);
             fire
         }));
+    }
+
+    /// Lane-parallel [`AveragePooling::run_counts_resume_into`]: per-cycle
+    /// column counts of up to 64 images arrive as bit planes
+    /// (`planes[p][t]` holds bit `p` of every lane's count at cycle `t`,
+    /// lane `g` in bit `g`), and the conserving recurrence runs for every
+    /// lane at once in bit-sliced ripple-carry arithmetic.
+    ///
+    /// `r` holds each active lane's feedback occupancy (updated in place);
+    /// bit `g` of `out[t]` is lane `g`'s output bit. Lanes at or above
+    /// `r.len()` compute garbage — callers must never read them. Per lane,
+    /// chunking with `r[g]` threaded through is bit-identical to
+    /// [`AveragePooling::run_counts_resume_into`] on that lane's counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than 64 lanes are given or a plane is shorter than
+    /// `clen`.
+    pub fn run_planes_resume_into(
+        &self,
+        planes: &[Vec<u64>],
+        used: usize,
+        clen: usize,
+        r: &mut [i64],
+        out: &mut [u64],
+    ) {
+        assert!(r.len() <= 64, "run_planes: more than 64 lanes");
+        assert!(out.len() >= clen, "run_planes: output buffer too short");
+        for p in planes.iter().take(used) {
+            assert!(p.len() >= clen, "run_planes: count plane shorter than chunk");
+        }
+        let m = self.m as u64;
+        // count ≤ M and r < M, so every intermediate fits in bits(2M).
+        let width = lanes::bit_width(2 * m).min(lanes::PLANES);
+        let used = used.min(width);
+        let mut rp: lanes::Planes = [0; lanes::PLANES];
+        lanes::pack_states(r, &mut rp);
+        let mut t_sum: lanes::Planes = [0; lanes::PLANES];
+        let mut diff: lanes::Planes = [0; lanes::PLANES];
+        // Per-plane constant mask of M, hoisted out of the cycle loop.
+        let mut m_k: lanes::Planes = [0; lanes::PLANES];
+        for (p, mk) in m_k.iter_mut().enumerate().take(width) {
+            *mk = 0u64.wrapping_sub((m >> p) & 1);
+        }
+        for (t, out_word) in out.iter_mut().enumerate().take(clen) {
+            // Fused add + subtract: T = count + r and D = T − M in one
+            // sweep (ripple carry and borrow advance in lockstep).
+            // fire = [T ≥ M] is the complemented final borrow. The loop
+            // splits at `used`: count planes above it are all-zero, which
+            // drops the x terms.
+            let mut carry = 0u64;
+            let mut borrow = 0u64;
+            for p in 0..used {
+                let x = planes[p][t];
+                let y = rp[p];
+                let sum = x ^ y ^ carry;
+                carry = (x & y) | (carry & (x ^ y));
+                t_sum[p] = sum;
+                diff[p] = sum ^ m_k[p] ^ borrow;
+                borrow = (!sum & (m_k[p] | borrow)) | (m_k[p] & borrow);
+            }
+            for p in used..width {
+                let y = rp[p];
+                let sum = y ^ carry;
+                carry &= y;
+                t_sum[p] = sum;
+                diff[p] = sum ^ m_k[p] ^ borrow;
+                borrow = (!sum & (m_k[p] | borrow)) | (m_k[p] & borrow);
+            }
+            let fire = !borrow;
+            *out_word = fire;
+            // Firing lanes keep T − M, the rest keep T — ones are
+            // conserved (one output 1 per M input 1s).
+            for (p, rpl) in rp.iter_mut().enumerate().take(width) {
+                *rpl = (diff[p] & fire) | (t_sum[p] & !fire);
+            }
+        }
+        lanes::unpack_states(&rp, r);
     }
 
     /// Reference implementation that actually sorts per cycle (Algorithm 2
@@ -190,6 +269,46 @@ mod tests {
             "got {} want {expect}",
             so.bipolar_value()
         );
+    }
+
+    #[test]
+    fn lane_parallel_planes_match_scalar_recurrence() {
+        // 29 ragged lanes of distinct count sequences through the
+        // bit-sliced recurrence in uneven resumed chunks, vs the scalar
+        // per-lane recurrence.
+        let pool = AveragePooling::new(4);
+        let lanes_n = 29usize;
+        let clen = 90usize;
+        let counts: Vec<Vec<u32>> = (0..lanes_n)
+            .map(|g| (0..clen).map(|t| ((t * 3 + g * 11) % 5) as u32).collect())
+            .collect();
+        let used = 3usize; // counts ≤ 4 fit in 3 planes
+        let mut planes = vec![vec![0u64; clen]; used];
+        for (g, cs) in counts.iter().enumerate() {
+            for (t, &c) in cs.iter().enumerate() {
+                for (p, plane) in planes.iter_mut().enumerate() {
+                    plane[t] |= ((u64::from(c) >> p) & 1) << g;
+                }
+            }
+        }
+        let mut r = vec![0i64; lanes_n];
+        let mut out = vec![0u64; clen];
+        let mut pos = 0usize;
+        while pos < clen {
+            let c = 41.min(clen - pos);
+            let sub: Vec<Vec<u64>> =
+                planes.iter().map(|p| p[pos..pos + c].to_vec()).collect();
+            pool.run_planes_resume_into(&sub, used, c, &mut r, &mut out[pos..pos + c]);
+            pos += c;
+        }
+        for (g, cs) in counts.iter().enumerate() {
+            let mut rr = 0i64;
+            let want = pool.run_counts_resume(cs, &mut rr);
+            for (t, w) in want.iter().enumerate() {
+                assert_eq!((out[t] >> g) & 1 == 1, w, "lane {g} cycle {t}");
+            }
+            assert_eq!(r[g], rr, "final feedback, lane {g}");
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The reusable batched inference front-end: one [`ExecPlan`] (cached
-//! weight streams) shared immutably across a scoped worker pool, one
-//! [`ExecState`] per worker reused across its images.
+//! weight streams) shared immutably across a scoped worker pool, each
+//! worker driving its image slice through the shared lane-group scheduler
+//! ([`crate::scheduler`]) — up to 64 images per machine word, with
+//! recycled [`ExecState`]s and a scalar fallback below the measured lane
+//! break-even.
 //!
 //! The forward pass itself lives in [`crate::plan`] — this module only
 //! owns the batching policy: static contiguous partitioning of the image
@@ -11,8 +14,12 @@ use std::sync::Arc;
 
 use aqfp_sc_nn::Tensor;
 
+use aqfp_sc_bitstream::WORD_BITS;
+
 use crate::compile::CompiledNetwork;
-use crate::plan::{argmax, derive, ExecPlan, ExecState, Platform, TAG_IMAGE};
+use crate::plan::{argmax, derive, ExecPlan, Platform, TAG_IMAGE};
+use crate::scheduler::{drive_lane_groups, lane_min, GroupStats, NoExit};
+use crate::streaming::ChunkSchedule;
 
 /// Reusable, thread-safe stochastic inference engine over a
 /// [`CompiledNetwork`].
@@ -156,12 +163,15 @@ impl InferenceEngine {
     }
 
     /// Shared batch driver: contiguous chunks of the image list go to
-    /// scoped workers. Each worker runs every full group of [`LANE_GROUP`]
-    /// images through the batch-transposed kernel path
-    /// ([`ExecPlan::advance_batch`] — 64 images per machine word), and the
-    /// remainder through the scalar one-shot path, both bit-identical. The
-    /// static partition keeps the output ordering (and the per-image
-    /// seeds) independent of scheduling.
+    /// scoped workers, and each worker runs its slice through the shared
+    /// lane-group scheduler with a full-length schedule and no exit policy
+    /// — every group of up to 64 images advances as one machine word
+    /// through [`ExecPlan::advance_batch`]. Groups below
+    /// [`lane_min`](crate::lane_min) lanes (short remainders, tiny
+    /// batches) run the scalar core instead, which is bit-identical; the
+    /// threshold is the measured per-platform break-even of the lane path. The static
+    /// partition keeps the output ordering (and the per-image seeds)
+    /// independent of scheduling.
     pub(crate) fn run_batch<T, F>(&self, images: &[&Tensor], base_seed: u64, finish: F) -> Vec<T>
     where
         T: Send,
@@ -174,42 +184,28 @@ impl InferenceEngine {
         let chunk = images.len().div_ceil(threads);
         let mut out: Vec<Option<T>> = Vec::new();
         out.resize_with(images.len(), || None);
+        let schedule = ChunkSchedule::fixed(self.plan.stream_len().max(1));
         std::thread::scope(|scope| {
             for (ci, (imgs, slots)) in
                 images.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
             {
                 let finish = &finish;
                 scope.spawn(move || {
-                    let mut state = self.plan.new_state();
-                    let mut lane_states: Vec<ExecState> = Vec::new();
-                    let mut j = 0usize;
-                    while j < imgs.len() {
-                        if imgs.len() - j >= LANE_GROUP {
-                            if lane_states.is_empty() {
-                                lane_states.resize_with(LANE_GROUP, || self.plan.new_state());
-                            }
-                            for (g, st) in lane_states.iter_mut().enumerate() {
-                                let seed = Self::image_seed(base_seed, ci * chunk + j + g);
-                                self.plan.begin(st, imgs[j + g], seed);
-                            }
-                            while self
-                                .plan
-                                .advance_batch(&mut lane_states, self.plan.stream_len())
-                                > 0
-                            {}
-                            for (g, st) in lane_states.iter().enumerate() {
-                                slots[j + g] = Some(finish(self.plan.scores(st)));
-                            }
-                            j += LANE_GROUP;
-                        } else {
-                            let seed = Self::image_seed(base_seed, ci * chunk + j);
-                            slots[j] = Some(finish(self.plan.run_one_shot(
-                                &mut state,
-                                imgs[j],
-                                seed,
-                            )));
-                            j += 1;
-                        }
+                    let seeds: Vec<u64> = (0..imgs.len())
+                        .map(|j| Self::image_seed(base_seed, ci * chunk + j))
+                        .collect();
+                    let outcomes = drive_lane_groups(
+                        &self.plan,
+                        imgs,
+                        &seeds,
+                        schedule,
+                        &NoExit,
+                        WORD_BITS,
+                        lane_min(self.plan.platform()),
+                        &mut GroupStats::default(),
+                    );
+                    for (slot, o) in slots.iter_mut().zip(outcomes) {
+                        *slot = Some(finish(o.scores));
                     }
                 });
             }
@@ -217,11 +213,6 @@ impl InferenceEngine {
         out.into_iter().map(|s| s.expect("every slot filled")).collect()
     }
 }
-
-/// Images per batch-transposed lane group: one image per bit of a machine
-/// word. Workers engage [`ExecPlan::advance_batch`] only for full groups —
-/// partial groups run the scalar path, which is bit-identical.
-const LANE_GROUP: usize = 64;
 
 /// Shared accuracy accumulation over per-sample outcomes: `None` for an
 /// empty sample set (an empty set has no accuracy — 0.0 would read as a

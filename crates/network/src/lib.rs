@@ -65,6 +65,7 @@ mod engine;
 mod eval;
 mod plan;
 mod registry;
+mod scheduler;
 mod streaming;
 
 pub use arch::{build_model, response_table, ActivationStyle, LayerSpec, NetworkSpec};
@@ -73,8 +74,9 @@ pub use compile::{CompiledLayer, CompiledNetwork};
 pub use cost::{network_cost, NetworkCost, PlatformCost};
 pub use engine::InferenceEngine;
 pub use eval::{run_table9, Table9Config, Table9Row};
-pub use plan::{ExecPlan, ExecState, PlanFingerprint, Platform};
+pub use plan::{BatchArena, ExecPlan, ExecState, PlanFingerprint, Platform};
 pub use registry::ModelRegistry;
+pub use scheduler::{lane_min, GroupStats};
 pub use streaming::{
-    ChunkSchedule, ExitPolicy, StreamingEngine, StreamingEvaluation, StreamingOutcome,
+    BatchMode, ChunkSchedule, ExitPolicy, StreamingEngine, StreamingEvaluation, StreamingOutcome,
 };

@@ -55,9 +55,10 @@
 use std::sync::Arc;
 
 use aqfp_sc_bitstream::{
-    column_counts_into, extract_plane_counts, lane_column_planes, mux_add, pack_lanes_into,
-    transpose64, unpack_lanes_into, xnor_popcount, Bipolar, BitStream, BitsAsWords, KernelRow,
-    LanePopcount, LaneRow, SplitMix64, Sng, ThermalRng, MAX_KERNEL_ROWS, MAX_PLANES, WORD_BITS,
+    column_counts_into, lane_column_planes, mux_add, pack_lanes_into,
+    pack_offset_windows_into, unpack_lanes_into, xnor_popcount, Bipolar, BitStream,
+    BitsAsWords, KernelRow,
+    LanePopcount, LaneRow, SplitMix64, Sng, ThermalRng, MAX_KERNEL_ROWS, WORD_BITS,
 };
 use aqfp_sc_core::baseline::Btanh;
 use aqfp_sc_core::{AveragePooling, FeatureExtraction};
@@ -718,23 +719,48 @@ impl ExecPlan {
 
     /// Advances up to 64 bound states together through one chunk of at most
     /// `max_cycles` cycles using the batch-transposed (lane) kernels: the
-    /// same cycle of every image is packed into one 64-bit word, weight and
-    /// bias streams (image-independent) are broadcast across lanes, and the
-    /// per-image FSM state (sorter feedback, `Btanh`, selector RNGs) stays
-    /// scalar. Bit-identical to advancing each state with
+    /// same packed cycle slot of every image goes into one 64-bit word and
+    /// the per-image FSM state (sorter feedback, `Btanh`, selector RNGs)
+    /// stays scalar. Bit-identical to advancing each state with
     /// [`ExecPlan::advance`] over the same cycles.
     ///
-    /// Chunks are additionally clamped to [`MAX_KERNEL_ROWS`] cycles (the
-    /// lane popcount capacity), so callers should loop
+    /// The states may sit at **different** absolute cycle offsets (a
+    /// retire-and-refill streaming group mixes half-done survivors with
+    /// freshly begun images): when offsets agree, image-independent
+    /// streams (weights, biases, the 0101… neutral pad) are broadcast per
+    /// cycle; when they disagree, each such stream is gathered per lane at
+    /// that lane's own offset, so every image still sees exactly the bits
+    /// a scalar run at its offset would. Every state advances by the same
+    /// returned cycle count.
+    ///
+    /// Chunks are clamped to the *smallest* remaining budget across the
+    /// states and to [`MAX_KERNEL_ROWS`] cycles (the lane popcount
+    /// capacity), so callers should loop
     /// `while plan.advance_batch(&mut states, n) > 0 {}`. Returns the
-    /// number of cycles consumed (0 once every state has finished).
+    /// number of cycles consumed (0 once any state has finished — retire
+    /// finished states from the group to keep the rest advancing).
     ///
     /// # Panics
     ///
-    /// Panics when `states` is empty or holds more than 64 states, when any
-    /// state is not bound to this plan, or when the states disagree on the
-    /// cycles consumed so far.
+    /// Panics when `states` is empty or holds more than 64 states, or when
+    /// any state is not bound to this plan.
     pub fn advance_batch(&self, states: &mut [ExecState], max_cycles: usize) -> usize {
+        let mut arena = BatchArena::default();
+        let mut refs: Vec<&mut ExecState> = states.iter_mut().collect();
+        self.advance_batch_in(&mut refs, max_cycles, &mut arena)
+    }
+
+    /// [`ExecPlan::advance_batch`] with caller-owned scratch: the
+    /// [`BatchArena`] keeps the lane-packed buffers alive across chunks,
+    /// so a steady-state streaming driver allocates nothing per chunk.
+    /// Takes `&mut ExecState` references so a scheduler can advance lanes
+    /// that live inside its own bookkeeping structures.
+    pub fn advance_batch_in(
+        &self,
+        states: &mut [&mut ExecState],
+        max_cycles: usize,
+        arena: &mut BatchArena,
+    ) -> usize {
         assert!(
             !states.is_empty() && states.len() <= WORD_BITS,
             "advance_batch takes 1..=64 states"
@@ -743,52 +769,73 @@ impl ExecPlan {
         for st in states.iter() {
             assert_eq!(st.bound.as_ref(), Some(&fp), "state is not bound to this plan");
         }
-        let offset = states[0].cycles;
-        assert!(
-            states.iter().all(|s| s.cycles == offset),
-            "states disagree on the current cycle offset"
-        );
-        let clen = max_cycles.min(self.stream_len - offset).min(MAX_KERNEL_ROWS);
+        let BatchArena {
+            cur,
+            next,
+            planes,
+            img_out,
+            r_scratch,
+            w_chunks,
+            b_chunks,
+            w_lanes,
+            b_lanes,
+            neutral_buf,
+            neutral_lanes,
+            offsets,
+        } = arena;
+        offsets.clear();
+        offsets.extend(states.iter().map(|s| s.cycles));
+        let remaining = offsets.iter().map(|&o| self.stream_len - o).min().unwrap();
+        let clen = max_cycles.min(remaining).min(MAX_KERNEL_ROWS);
         if clen == 0 {
             return 0;
         }
-        let full = offset == 0 && clen == self.stream_len;
+        // Lanes at one common offset share broadcast weight/bias/neutral
+        // bits; mixed offsets force the per-lane gathered form.
+        let mixed = offsets.iter().any(|&o| o != offsets[0]);
+        let offset = offsets[0];
+        let full = !mixed && offset == 0 && clen == self.stream_len;
         let n = states.len();
         let platform = self.platform;
-        // Absolute-parity neutral slice, shared across images.
-        let mut neutral_buf = BitStream::zeros(0);
+        // Absolute-parity neutral pad: a shared slice when the offsets
+        // agree, a per-lane gathered window when they differ (lane g's
+        // 0101… phase follows lane g's own absolute cycle).
         let neutral: &BitStream = if full {
             &self.neutral
         } else {
-            self.neutral.slice_into(offset, clen, &mut neutral_buf);
-            &neutral_buf
+            self.neutral.slice_into(offset, clen, neutral_buf);
+            neutral_buf
         };
+        if mixed {
+            pack_offset_windows_into(
+                self.neutral.words(),
+                self.stream_len,
+                offsets,
+                clen,
+                neutral_lanes,
+            );
+        }
         // Generate this chunk of every image's pixel streams, then pack
-        // them into lane layout: cur[p][t] holds cycle t of pixel stream p
-        // across all images (image g in bit g).
+        // them into lane layout: cur[p][t] holds packed cycle slot t of
+        // pixel stream p across all images (image g in bit g).
         for st in states.iter_mut() {
             for (cursor, buf) in st.pixels.iter_mut().zip(st.pixel_chunks.iter_mut()) {
                 cursor.generate_into(clen, buf);
             }
         }
         let np = states[0].pixels.len();
-        let mut cur: Vec<Vec<u64>> = Vec::new();
-        cur.resize_with(np, Vec::new);
-        for (p, lane) in cur.iter_mut().enumerate() {
+        if cur.len() < np {
+            cur.resize_with(np, Vec::new);
+        }
+        for (p, lane) in cur.iter_mut().enumerate().take(np) {
             pack_lanes_into(states.iter().map(|s| &s.pixel_chunks[p]), clen, lane);
         }
-        // Scratch local to the batch step: the ping-pong lane arenas, the
-        // carry-save planes and their lane-major transpose, one per-image
-        // output stream per neuron, and the weight/bias chunk slices.
-        let mut next: Vec<Vec<u64>> = Vec::new();
-        let mut planes: Vec<Vec<u64>> = Vec::new();
-        let mut planes_t: Vec<Vec<u64>> = Vec::new();
-        let mut img_out: Vec<BitStream> = (0..n).map(|_| BitStream::zeros(0)).collect();
-        let mut w_chunks: Vec<BitStream> = Vec::new();
-        let mut b_chunks: Vec<BitStream> = Vec::new();
         for (li, layer) in self.layers.iter().enumerate() {
             let (layer_in_c, h, w_dim) = self.shapes[li];
             let mut produced = true;
+            if img_out.len() < n {
+                img_out.resize_with(n, || BitStream::zeros(0));
+            }
             match layer {
                 CachedLayer::Conv { k, in_c, out_c, padding, w, b } => {
                     let (oh, ow) = conv_out_dims(h, w_dim, *k, *padding);
@@ -797,13 +844,24 @@ impl ExecPlan {
                         Padding::Same => (k / 2) as isize,
                     };
                     let m = in_c * k * k;
-                    let (w_run, b_run) =
-                        chunk_streams(full, w, b, offset, clen, &mut w_chunks, &mut b_chunks);
-                    next.resize_with(out_c * oh * ow, Vec::new);
+                    // The sorter pads even fan-ins with the 0101… neutral
+                    // stream; fold it in as one more kernel row so the lane
+                    // FSM sees finished counts (parity follows each lane's
+                    // absolute cycle through the windowed neutral).
+                    let pad_row = platform == Platform::Aqfp
+                        && FeatureExtraction::new(m + 1).width() != m + 1;
+                    let (w_run, b_run) = if mixed {
+                        pack_windows_all(w, b, offsets, clen, w_lanes, b_lanes);
+                        (&[][..], &[][..])
+                    } else {
+                        chunk_streams(full, w, b, offset, clen, w_chunks, b_chunks)
+                    };
+                    if next.len() < out_c * oh * ow {
+                        next.resize_with(out_c * oh * ow, Vec::new);
+                    }
                     let mut rows: Vec<LaneRow<'_>> = Vec::with_capacity(m + 1);
                     let mut idx = 0usize;
                     for oc in 0..*out_c {
-                        let wrow = &w_run[oc * m..(oc + 1) * m];
                         for oy in 0..oh {
                             for ox in 0..ow {
                                 rows.clear();
@@ -813,44 +871,62 @@ impl ExecPlan {
                                         for kx in 0..*k {
                                             let iy = oy as isize + ky as isize - pad;
                                             let ix = ox as isize + kx as isize - pad;
-                                            if iy < 0
+                                            let oob = iy < 0
                                                 || ix < 0
                                                 || iy >= h as isize
-                                                || ix >= w_dim as isize
-                                            {
-                                                // Zero-valued padding row,
-                                                // broadcast to every lane.
-                                                rows.push(LaneRow::BroadcastXnor(
+                                                || ix >= w_dim as isize;
+                                            let wj = oc * m + j;
+                                            rows.push(match (oob, mixed) {
+                                                // Zero-valued padding row ×
+                                                // weight, per-lane parity.
+                                                (true, true) => LaneRow::XnorLanes(
+                                                    neutral_lanes,
+                                                    &w_lanes[wj],
+                                                ),
+                                                (true, false) => LaneRow::BroadcastXnor(
                                                     neutral.words(),
-                                                    wrow[j].words(),
-                                                ));
-                                            } else {
-                                                rows.push(LaneRow::Xnor(
-                                                    &cur[(ic * h + iy as usize) * w_dim
-                                                        + ix as usize],
-                                                    wrow[j].words(),
-                                                ));
-                                            }
+                                                    w_run[wj].words(),
+                                                ),
+                                                (false, mx) => {
+                                                    let x = &cur[(ic * h + iy as usize)
+                                                        * w_dim
+                                                        + ix as usize];
+                                                    if mx {
+                                                        LaneRow::XnorLanes(x, &w_lanes[wj])
+                                                    } else {
+                                                        LaneRow::Xnor(x, w_run[wj].words())
+                                                    }
+                                                }
+                                            });
                                             j += 1;
                                         }
                                     }
                                 }
-                                rows.push(LaneRow::Broadcast(b_run[oc].words()));
-                                let used = lane_column_planes(&rows, clen, &mut planes);
-                                transpose_lane_planes(&planes, used, clen, &mut planes_t);
-                                for (g, st) in states.iter_mut().enumerate() {
-                                    let ExecState { layers, counts, .. } = st;
-                                    lane_counts_for_image(&planes_t, used, g, clen, counts);
-                                    neuron_chunk_into(
-                                        m + 1,
-                                        offset,
-                                        &mut layers[li],
-                                        idx,
-                                        counts,
-                                        &mut img_out[g],
-                                    );
+                                rows.push(if mixed {
+                                    LaneRow::PackedLanes(&b_lanes[oc])
+                                } else {
+                                    LaneRow::Broadcast(b_run[oc].words())
+                                });
+                                if pad_row {
+                                    rows.push(if mixed {
+                                        LaneRow::PackedLanes(neutral_lanes)
+                                    } else {
+                                        LaneRow::Broadcast(neutral.words())
+                                    });
                                 }
-                                pack_lanes_into(img_out.iter(), clen, &mut next[idx]);
+                                let used = lane_column_planes(&rows, clen, planes);
+                                lane_neuron_chunk(
+                                    platform,
+                                    states,
+                                    li,
+                                    idx,
+                                    m + 1,
+                                    planes,
+                                    used,
+                                    clen,
+                                    r_scratch,
+                                    &mut next[idx],
+                                );
                                 idx += 1;
                             }
                         }
@@ -858,7 +934,9 @@ impl ExecPlan {
                 }
                 CachedLayer::Pool { k } => {
                     let (oh, ow) = (h / k, w_dim / k);
-                    next.resize_with(layer_in_c * oh * ow, Vec::new);
+                    if next.len() < layer_in_c * oh * ow {
+                        next.resize_with(layer_in_c * oh * ow, Vec::new);
+                    }
                     match platform {
                         Platform::Aqfp => {
                             let mut rows: Vec<LaneRow<'_>> = Vec::with_capacity(k * k);
@@ -874,26 +952,18 @@ impl ExecPlan {
                                                     + i % k],
                                             ));
                                         }
-                                        let used = lane_column_planes(&rows, clen, &mut planes);
-                                        transpose_lane_planes(&planes, used, clen, &mut planes_t);
-                                        for (g, st) in states.iter_mut().enumerate() {
-                                            let ExecState { layers, counts, .. } = st;
-                                            lane_counts_for_image(
-                                                &planes_t, used, g, clen, counts,
-                                            );
-                                            match &mut layers[li] {
-                                                LayerState::PoolSorter { r } => {
-                                                    AveragePooling::new(k * k)
-                                                        .run_counts_resume_into(
-                                                            counts,
-                                                            &mut r[idx],
-                                                            &mut img_out[g],
-                                                        );
-                                                }
-                                                _ => unreachable!("pool state matches platform"),
-                                            }
-                                        }
-                                        pack_lanes_into(img_out.iter(), clen, &mut next[idx]);
+                                        let used = lane_column_planes(&rows, clen, planes);
+                                        lane_pool_chunk(
+                                            states,
+                                            li,
+                                            idx,
+                                            k * k,
+                                            planes,
+                                            used,
+                                            clen,
+                                            r_scratch,
+                                            &mut next[idx],
+                                        );
                                         idx += 1;
                                     }
                                 }
@@ -935,7 +1005,11 @@ impl ExecPlan {
                                                 .expect("well-formed window");
                                             advanced[g] = Some(rng);
                                         }
-                                        pack_lanes_into(img_out.iter(), clen, &mut next[idx]);
+                                        pack_lanes_into(
+                                            img_out.iter().take(n),
+                                            clen,
+                                            &mut next[idx],
+                                        );
                                         idx += 1;
                                     }
                                 }
@@ -951,53 +1025,78 @@ impl ExecPlan {
                     }
                 }
                 CachedLayer::Dense { in_f, out_f, w, b } => {
-                    let (w_run, b_run) =
-                        chunk_streams(full, w, b, offset, clen, &mut w_chunks, &mut b_chunks);
-                    next.resize_with(*out_f, Vec::new);
+                    let pad_row = platform == Platform::Aqfp
+                        && FeatureExtraction::new(in_f + 1).width() != in_f + 1;
+                    let (w_run, b_run) = if mixed {
+                        pack_windows_all(w, b, offsets, clen, w_lanes, b_lanes);
+                        (&[][..], &[][..])
+                    } else {
+                        chunk_streams(full, w, b, offset, clen, w_chunks, b_chunks)
+                    };
+                    if next.len() < *out_f {
+                        next.resize_with(*out_f, Vec::new);
+                    }
                     let mut rows: Vec<LaneRow<'_>> = Vec::with_capacity(in_f + 1);
                     for o in 0..*out_f {
-                        let wrow = &w_run[o * in_f..(o + 1) * in_f];
                         rows.clear();
-                        for (x, ws) in cur.iter().zip(wrow) {
-                            rows.push(LaneRow::Xnor(x, ws.words()));
+                        for (j, x) in cur.iter().enumerate().take(*in_f) {
+                            rows.push(if mixed {
+                                LaneRow::XnorLanes(x, &w_lanes[o * in_f + j])
+                            } else {
+                                LaneRow::Xnor(x, w_run[o * in_f + j].words())
+                            });
                         }
-                        rows.push(LaneRow::Broadcast(b_run[o].words()));
-                        let used = lane_column_planes(&rows, clen, &mut planes);
-                        transpose_lane_planes(&planes, used, clen, &mut planes_t);
-                        for (g, st) in states.iter_mut().enumerate() {
-                            let ExecState { layers, counts, .. } = st;
-                            lane_counts_for_image(&planes_t, used, g, clen, counts);
-                            neuron_chunk_into(
-                                in_f + 1,
-                                offset,
-                                &mut layers[li],
-                                o,
-                                counts,
-                                &mut img_out[g],
-                            );
+                        rows.push(if mixed {
+                            LaneRow::PackedLanes(&b_lanes[o])
+                        } else {
+                            LaneRow::Broadcast(b_run[o].words())
+                        });
+                        if pad_row {
+                            rows.push(if mixed {
+                                LaneRow::PackedLanes(neutral_lanes)
+                            } else {
+                                LaneRow::Broadcast(neutral.words())
+                            });
                         }
-                        pack_lanes_into(img_out.iter(), clen, &mut next[o]);
+                        let used = lane_column_planes(&rows, clen, planes);
+                        lane_neuron_chunk(
+                            platform,
+                            states,
+                            li,
+                            o,
+                            in_f + 1,
+                            planes,
+                            used,
+                            clen,
+                            r_scratch,
+                            &mut next[o],
+                        );
                     }
                 }
                 CachedLayer::Output { in_f, classes, order, w, b } => {
                     produced = false;
-                    let (w_run, b_run) =
-                        chunk_streams(full, w, b, offset, clen, &mut w_chunks, &mut b_chunks);
+                    let (w_run, b_run) = if mixed {
+                        pack_windows_all(w, b, offsets, clen, w_lanes, b_lanes);
+                        (&[][..], &[][..])
+                    } else {
+                        chunk_streams(full, w, b, offset, clen, w_chunks, b_chunks)
+                    };
                     for (cl, class_order) in order.iter().enumerate().take(*classes) {
-                        let wrow = &w_run[cl * in_f..(cl + 1) * in_f];
                         match platform {
                             Platform::Aqfp => {
                                 // Per-cycle lane-parallel majority chain
                                 // over the XNOR products (wiring order), the
                                 // bias, and — for even fan-in+1 — the
-                                // absolute-parity neutral pad, all broadcast
-                                // per cycle; one popcount lane per image.
+                                // absolute-parity neutral pad. Uniform
+                                // groups broadcast the scalar bit to every
+                                // lane; mixed groups read the per-lane
+                                // gathered windows. One popcount lane per
+                                // image either way.
                                 let width = if (in_f + 1).is_multiple_of(2) {
                                     in_f + 2
                                 } else {
                                     in_f + 1
                                 };
-                                let bias_words = b_run[cl].words();
                                 let neutral_words = neutral.words();
                                 let mut lp = LanePopcount::new();
                                 #[allow(clippy::needless_range_loop)] // t indexes many lanes
@@ -1005,10 +1104,21 @@ impl ExecPlan {
                                     let input = |i: usize| -> u64 {
                                         if i < *in_f {
                                             let j = class_order[i];
-                                            cur[j][t]
-                                                ^ sbit(wrow[j].words(), t).wrapping_sub(1)
+                                            if mixed {
+                                                !(cur[j][t] ^ w_lanes[cl * in_f + j][t])
+                                            } else {
+                                                cur[j][t]
+                                                    ^ sbit(w_run[cl * in_f + j].words(), t)
+                                                        .wrapping_sub(1)
+                                            }
                                         } else if i == *in_f {
-                                            0u64.wrapping_sub(sbit(bias_words, t))
+                                            if mixed {
+                                                b_lanes[cl][t]
+                                            } else {
+                                                0u64.wrapping_sub(sbit(b_run[cl].words(), t))
+                                            }
+                                        } else if mixed {
+                                            neutral_lanes[t]
                                         } else {
                                             0u64.wrapping_sub(sbit(neutral_words, t))
                                         }
@@ -1031,22 +1141,47 @@ impl ExecPlan {
                             }
                             Platform::Cmos => {
                                 // APC total per image: Σ per-lane popcounts
-                                // of every XNOR product row, plus the
-                                // (image-independent) bias ones.
-                                let bias_ones = b_run[cl].count_ones() as u64;
-                                let mut totals = [0u64; WORD_BITS];
-                                for (x, ws) in cur.iter().zip(wrow) {
-                                    let wsw = ws.words();
+                                // of every XNOR product row, plus the bias
+                                // ones — image-independent when the offsets
+                                // agree, counted per lane when they differ
+                                // (each lane reads its own bias window).
+                                let mut bias_ones = [0u64; WORD_BITS];
+                                if mixed {
                                     let mut lp = LanePopcount::new();
-                                    for (t, &xw) in x.iter().enumerate().take(clen) {
-                                        lp.add(xw ^ sbit(wsw, t).wrapping_sub(1));
+                                    for &w in b_lanes[cl].iter().take(clen) {
+                                        lp.add(w);
+                                    }
+                                    for (g, bo) in
+                                        bias_ones.iter_mut().enumerate().take(n)
+                                    {
+                                        *bo = u64::from(lp.total(g));
+                                    }
+                                } else {
+                                    let ones = b_run[cl].count_ones() as u64;
+                                    for bo in bias_ones.iter_mut().take(n) {
+                                        *bo = ones;
+                                    }
+                                }
+                                let mut totals = [0u64; WORD_BITS];
+                                for (j, x) in cur.iter().enumerate().take(*in_f) {
+                                    let mut lp = LanePopcount::new();
+                                    if mixed {
+                                        let wl = &w_lanes[cl * in_f + j];
+                                        for (t, &xw) in x.iter().enumerate().take(clen) {
+                                            lp.add(!(xw ^ wl[t]));
+                                        }
+                                    } else {
+                                        let wsw = w_run[cl * in_f + j].words();
+                                        for (t, &xw) in x.iter().enumerate().take(clen) {
+                                            lp.add(xw ^ sbit(wsw, t).wrapping_sub(1));
+                                        }
                                     }
                                     for (g, tot) in totals.iter_mut().enumerate().take(n) {
                                         *tot += u64::from(lp.total(g));
                                     }
                                 }
                                 for (g, st) in states.iter_mut().enumerate() {
-                                    st.class_acc[cl] += totals[g] + bias_ones;
+                                    st.class_acc[cl] += totals[g] + bias_ones[g];
                                 }
                             }
                         }
@@ -1054,13 +1189,91 @@ impl ExecPlan {
                 }
             }
             if produced {
-                std::mem::swap(&mut cur, &mut next);
+                std::mem::swap(cur, next);
             }
         }
         for st in states.iter_mut() {
-            st.cycles = offset + clen;
+            st.cycles += clen;
         }
         clen
+    }
+}
+
+/// Reusable scratch for the batch-transposed path
+/// ([`ExecPlan::advance_batch_in`]): the lane-packed activation ping-pong
+/// arenas, the carry-save planes, gathered per-lane FSM residuals,
+/// per-image output chunk streams, and the uniform-offset (chunk slice) and
+/// mixed-offset (per-lane gathered window) forms of the weight / bias /
+/// neutral streams. Every buffer grows to its high-water mark and is then
+/// reused, so a steady-state chunk driver allocates nothing per chunk.
+pub struct BatchArena {
+    /// Lane-packed activations the layer under evaluation reads.
+    cur: Vec<Vec<u64>>,
+    /// Lane-packed activations the layer under evaluation writes.
+    next: Vec<Vec<u64>>,
+    /// Carry-save column planes.
+    planes: Vec<Vec<u64>>,
+    /// Per-image neuron output chunk streams (CMOS mux pooling only).
+    img_out: Vec<BitStream>,
+    /// Gathered per-lane FSM residuals for the lane-parallel runners.
+    r_scratch: Vec<i64>,
+    /// Uniform-offset weight chunk slices of the layer under evaluation.
+    w_chunks: Vec<BitStream>,
+    /// Uniform-offset bias chunk slices of the layer under evaluation.
+    b_chunks: Vec<BitStream>,
+    /// Mixed-offset per-lane weight windows of the layer under evaluation.
+    w_lanes: Vec<Vec<u64>>,
+    /// Mixed-offset per-lane bias windows of the layer under evaluation.
+    b_lanes: Vec<Vec<u64>>,
+    /// Uniform-offset neutral-pad chunk slice.
+    neutral_buf: BitStream,
+    /// Mixed-offset per-lane neutral-pad windows.
+    neutral_lanes: Vec<u64>,
+    /// Per-lane absolute cycle offsets of the group under evaluation.
+    offsets: Vec<usize>,
+}
+
+impl Default for BatchArena {
+    fn default() -> Self {
+        Self {
+            cur: Vec::new(),
+            next: Vec::new(),
+            planes: Vec::new(),
+            img_out: Vec::new(),
+            r_scratch: Vec::new(),
+            w_chunks: Vec::new(),
+            b_chunks: Vec::new(),
+            w_lanes: Vec::new(),
+            b_lanes: Vec::new(),
+            neutral_buf: BitStream::zeros(0),
+            neutral_lanes: Vec::new(),
+            offsets: Vec::new(),
+        }
+    }
+}
+
+/// Gathers the per-lane windows of every weight and bias stream of one
+/// layer at the lanes' own absolute offsets (the mixed-offset counterpart
+/// of [`chunk_streams`]), reusing the arena buffers.
+fn pack_windows_all(
+    w: &[BitStream],
+    b: &[BitStream],
+    offsets: &[usize],
+    clen: usize,
+    w_lanes: &mut Vec<Vec<u64>>,
+    b_lanes: &mut Vec<Vec<u64>>,
+) {
+    if w_lanes.len() < w.len() {
+        w_lanes.resize_with(w.len(), Vec::new);
+    }
+    if b_lanes.len() < b.len() {
+        b_lanes.resize_with(b.len(), Vec::new);
+    }
+    for (s, out) in w.iter().zip(w_lanes.iter_mut()) {
+        pack_offset_windows_into(s.words(), s.len(), offsets, clen, out);
+    }
+    for (s, out) in b.iter().zip(b_lanes.iter_mut()) {
+        pack_offset_windows_into(s.words(), s.len(), offsets, clen, out);
     }
 }
 
@@ -1209,50 +1422,89 @@ fn maj_word(a: u64, b: u64, c: u64) -> u64 {
     (a & b) | (a & c) | (b & c)
 }
 
-/// Transposes carry-save lane planes from cycle-major (`planes[p][t]` holds
-/// count bit `p` of every lane at cycle `t`) into lane-major 64-cycle
-/// blocks: in `out[p]`, the block starting at `t0` stores at word `t0 + g`
-/// the cycles `t0..t0+64` of lane `g` — the layout
-/// [`lane_counts_for_image`] extracts per-image counts from.
-fn transpose_lane_planes(planes: &[Vec<u64>], used: usize, clen: usize, out: &mut Vec<Vec<u64>>) {
-    let blocks = clen.div_ceil(WORD_BITS);
-    if out.len() < used {
-        out.resize_with(used, Vec::new);
-    }
-    for (src, dst) in planes.iter().zip(out.iter_mut()).take(used) {
-        dst.clear();
-        dst.resize(blocks * WORD_BITS, 0);
-        for bi in 0..blocks {
-            let t0 = bi * WORD_BITS;
-            let valid = WORD_BITS.min(clen - t0);
-            let mut mat = [0u64; WORD_BITS];
-            mat[..valid].copy_from_slice(&src[t0..t0 + valid]);
-            transpose64(&mut mat);
-            dst[t0..t0 + WORD_BITS].copy_from_slice(&mat);
+/// One neuron slot's chunk output for a whole lane group, straight from
+/// the carry-save column planes ([`lane_column_planes`] layout): the three
+/// activation recurrences are evaluated bit-sliced across lanes, and the
+/// per-cycle fire-mask words written to `out` ARE the next layer's
+/// lane-packed activation — no per-image transpose, count extraction or
+/// repacking. Bits of `out` above the lane count are unspecified; nothing
+/// downstream reads them. Cross-chunk state lives in each lane's
+/// `ExecState` slot `idx` and is gathered/scattered around the run.
+#[allow(clippy::too_many_arguments)]
+fn lane_neuron_chunk(
+    platform: Platform,
+    states: &mut [&mut ExecState],
+    li: usize,
+    idx: usize,
+    rows: usize,
+    planes: &[Vec<u64>],
+    used: usize,
+    clen: usize,
+    r_scratch: &mut Vec<i64>,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    out.resize(clen, 0);
+    match platform {
+        Platform::Aqfp => {
+            // Any even-width sorter pad was already folded into the count
+            // planes as an extra kernel row, so the counts are final here.
+            let fe = FeatureExtraction::new(rows);
+            r_scratch.clear();
+            r_scratch.extend(states.iter().map(|st| match &st.layers[li] {
+                LayerState::Feature { r } => r[idx],
+                _ => unreachable!("neuron state matches platform"),
+            }));
+            fe.run_planes_resume_into(planes, used, clen, r_scratch, out);
+            for (st, &r) in states.iter_mut().zip(r_scratch.iter()) {
+                match &mut st.layers[li] {
+                    LayerState::Feature { r: rs } => rs[idx] = r,
+                    _ => unreachable!("neuron state matches platform"),
+                }
+            }
+        }
+        Platform::Cmos => {
+            let mut fsms: Vec<&mut Btanh> = states
+                .iter_mut()
+                .map(|st| match &mut st.layers[li] {
+                    LayerState::Fsm { fsm } => &mut fsm[idx],
+                    _ => unreachable!("neuron state matches platform"),
+                })
+                .collect();
+            Btanh::run_planes_resume_into(&mut fsms, planes, used, clen, out);
         }
     }
 }
 
-/// Per-cycle column counts of image `g`, gathered from the lane-major
-/// planes produced by [`transpose_lane_planes`].
-fn lane_counts_for_image(
-    planes_t: &[Vec<u64>],
+/// AQFP pooling counterpart of [`lane_neuron_chunk`]: one pool window's
+/// chunk output for a whole lane group, bit-sliced across lanes, with the
+/// sorter-feedback residual resumed from each lane's `PoolSorter` slot.
+#[allow(clippy::too_many_arguments)]
+fn lane_pool_chunk(
+    states: &mut [&mut ExecState],
+    li: usize,
+    idx: usize,
+    window: usize,
+    planes: &[Vec<u64>],
     used: usize,
-    g: usize,
     clen: usize,
-    counts: &mut Vec<u32>,
+    r_scratch: &mut Vec<i64>,
+    out: &mut Vec<u64>,
 ) {
-    counts.clear();
-    counts.resize(clen, 0);
-    let mut pw = [0u64; MAX_PLANES];
-    let mut t0 = 0usize;
-    while t0 < clen {
-        let valid = WORD_BITS.min(clen - t0);
-        for (p, plane) in planes_t.iter().enumerate().take(used) {
-            pw[p] = plane[t0 + g];
+    out.clear();
+    out.resize(clen, 0);
+    let ap = AveragePooling::new(window);
+    r_scratch.clear();
+    r_scratch.extend(states.iter().map(|st| match &st.layers[li] {
+        LayerState::PoolSorter { r } => r[idx],
+        _ => unreachable!("pool state matches platform"),
+    }));
+    ap.run_planes_resume_into(planes, used, clen, r_scratch, out);
+    for (st, &r) in states.iter_mut().zip(r_scratch.iter()) {
+        match &mut st.layers[li] {
+            LayerState::PoolSorter { r: rs } => rs[idx] = r,
+            _ => unreachable!("pool state matches platform"),
         }
-        extract_plane_counts(&pw[..used], valid, &mut counts[t0..t0 + valid]);
-        t0 += WORD_BITS;
     }
 }
 

@@ -1,0 +1,262 @@
+//! The shared lane-group scheduler: both batched front-ends — the
+//! one-shot [`InferenceEngine`](crate::InferenceEngine) and the
+//! early-exit [`StreamingEngine`](crate::StreamingEngine) — drive images
+//! through the batch-transposed kernel path in words of up to 64 lanes,
+//! with per-lane schedule checkpoints and retire-and-refill compaction.
+//!
+//! # Lane ownership
+//!
+//! A lane owns exactly one in-flight image's [`ExecState`]; the lane's
+//! position in the word is just its index in the live-lane list and never
+//! affects bits (the carry-save plane arithmetic is bitwise per-lane
+//! independent). The group advances by the *minimum* distance to any live
+//! lane's next checkpoint, so every lane lands exactly on its own
+//! checkpoints; splitting one lane's schedule chunk into several
+//! sub-advances is safe because any partition of N cycles is bit-identical
+//! (the partition invariant of [`ExecPlan::advance`]).
+//!
+//! # Retire and refill
+//!
+//! The exit policy is consulted only for a lane sitting exactly at its own
+//! checkpoint, with the same per-image bookkeeping the scalar streaming
+//! loop keeps — so a batched run retires every image at the same cycle,
+//! with the same scores, as the scalar path. A retired lane's `ExecState`
+//! goes to a free pool and is immediately re-`begin`-ed on the next queued
+//! image, keeping the word dense instead of dragging finished images to
+//! full N. Refilled lanes start at absolute cycle 0 while survivors sit
+//! mid-stream; [`ExecPlan::advance_batch_in`] gathers the
+//! image-independent streams per lane at each lane's own offset, which is
+//! what makes compaction bit-drift-free.
+
+use aqfp_sc_bitstream::WORD_BITS;
+use aqfp_sc_nn::Tensor;
+
+use crate::plan::{BatchArena, ExecPlan, ExecState, Platform};
+use crate::streaming::ChunkSchedule;
+
+/// Smallest lane group the batch-transposed kernel path is worth engaging
+/// for; smaller groups run the scalar core, which is bit-identical — the
+/// threshold is purely a throughput knob.
+///
+/// Break-even note (trained tiny net, N=512, one thread, one-shot
+/// full-length schedule): on AQFP the lane path is ~1.6× the scalar core
+/// at 16 lanes, ~2× at 24, ~3× at 32, and ~5.5× at 64 — the per-chunk
+/// pack and SNG-broadcast overhead is amortised over the lane count. On
+/// CMOS the bit-parallel scalar core is much faster to begin with, so the
+/// crossover sits higher: 16 lanes is a ~0.8× *regression* and the lane
+/// path only pulls ahead from ~24 lanes (~1.1×, climbing to ~1.7× at 64).
+pub fn lane_min(platform: Platform) -> usize {
+    match platform {
+        Platform::Aqfp => 16,
+        Platform::Cmos => 24,
+    }
+}
+
+/// Per-lane early-exit decision logic, consulted only when a lane reaches
+/// one of its own schedule checkpoints with cycles still remaining. The
+/// `Book` is the per-image bookkeeping carried across checkpoints (e.g.
+/// the argmax stability streak); it starts fresh at `Default` every time a
+/// lane is (re)filled.
+pub(crate) trait LanePolicy {
+    /// Cross-checkpoint bookkeeping carried per lane.
+    type Book: Default;
+
+    /// Returns `true` to retire the lane early. Must depend only on `plan`,
+    /// `state`, and `book` — never on lane position or group composition —
+    /// so batched and scalar runs make identical decisions.
+    fn exit(&self, plan: &ExecPlan, state: &ExecState, book: &mut Self::Book) -> bool;
+}
+
+/// A policy that never exits early: one-shot batch semantics (every lane
+/// runs to full N; with a full-length schedule there is exactly one
+/// checkpoint, at N).
+pub(crate) struct NoExit;
+
+impl LanePolicy for NoExit {
+    type Book = ();
+
+    fn exit(&self, _plan: &ExecPlan, _state: &ExecState, _book: &mut ()) -> bool {
+        false
+    }
+}
+
+/// Result of one lane's run, in the same terms as the scalar streaming
+/// loop reports.
+pub(crate) struct LaneOutcome {
+    /// Class scores at the cycle the lane retired.
+    pub scores: Vec<f64>,
+    /// Cycles consumed.
+    pub cycles: usize,
+    /// Schedule checkpoints reached (the scalar loop's chunk count).
+    pub chunks: usize,
+    /// Whether the policy fired before full N.
+    pub early_exit: bool,
+}
+
+/// Occupancy accounting of a lane-group run: how full the machine word was
+/// kept across kernel advance steps.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Kernel advance steps taken — one batch-transposed group advance, or
+    /// one scalar advance of a single lane on the small-group fallback.
+    pub steps: u64,
+    /// Total lanes advanced, summed over all steps.
+    pub lane_steps: u64,
+}
+
+impl GroupStats {
+    /// Mean active lanes per advance step (0.0 for an empty run).
+    pub fn avg_lanes(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.lane_steps as f64 / self.steps as f64
+        }
+    }
+
+    /// Folds another accumulator in (workers sum their per-slice stats).
+    pub fn merge(&mut self, other: GroupStats) {
+        self.steps += other.steps;
+        self.lane_steps += other.lane_steps;
+    }
+}
+
+/// One live lane: an in-flight image, its next checkpoint, and the
+/// policy's per-image bookkeeping.
+struct Lane<B> {
+    state: ExecState,
+    /// Index into the caller's image slice (results keep input order no
+    /// matter when lanes retire).
+    img: usize,
+    /// Schedule checkpoints reached so far (= the schedule index of the
+    /// chunk currently in flight).
+    chunk_idx: usize,
+    /// Absolute cycle of the next policy consult, capped at N.
+    checkpoint: usize,
+    book: B,
+}
+
+/// Drives `images` (with per-image `seeds`) to completion through the
+/// plan, keeping up to `lane_limit` lanes in flight and consulting
+/// `policy` at each lane's own schedule checkpoints. Groups below
+/// `min_batch_lanes` advance through the scalar core instead (bit-identical
+/// either way — the threshold is purely a throughput knob). Returns one
+/// outcome per image, in input order, and accumulates word-occupancy
+/// accounting into `stats`.
+#[allow(clippy::too_many_arguments)] // the scheduler knobs are all orthogonal
+pub(crate) fn drive_lane_groups<P: LanePolicy>(
+    plan: &ExecPlan,
+    images: &[&Tensor],
+    seeds: &[u64],
+    schedule: ChunkSchedule,
+    policy: &P,
+    lane_limit: usize,
+    min_batch_lanes: usize,
+    stats: &mut GroupStats,
+) -> Vec<LaneOutcome> {
+    assert_eq!(images.len(), seeds.len(), "one seed per image");
+    let n = plan.stream_len();
+    let lane_limit = lane_limit.clamp(1, WORD_BITS);
+    let mut results: Vec<Option<LaneOutcome>> = Vec::new();
+    results.resize_with(images.len(), || None);
+    let mut free: Vec<ExecState> = Vec::new();
+    let mut lanes: Vec<Lane<P::Book>> = Vec::new();
+    let mut pending = 0usize;
+    let mut arena = BatchArena::default();
+    loop {
+        // Refill (and the initial fill): recycled states re-`begin` on
+        // queued images until the word is at capacity.
+        while lanes.len() < lane_limit && pending < images.len() {
+            let img = pending;
+            pending += 1;
+            let mut state = free.pop().unwrap_or_else(|| plan.new_state());
+            plan.begin(&mut state, images[img], seeds[img]);
+            if n == 0 {
+                // Degenerate zero-length stream: the scalar loop never
+                // advances and never consults the policy.
+                results[img] = Some(LaneOutcome {
+                    scores: plan.scores(&state),
+                    cycles: 0,
+                    chunks: 0,
+                    early_exit: false,
+                });
+                free.push(state);
+                continue;
+            }
+            lanes.push(Lane {
+                checkpoint: schedule.len_at(0).min(n),
+                state,
+                img,
+                chunk_idx: 0,
+                book: P::Book::default(),
+            });
+        }
+        if lanes.is_empty() {
+            break;
+        }
+        // Advance the whole group to the nearest per-lane checkpoint.
+        // Live lanes always have checkpoint > cycles, so d >= 1 and the
+        // loop makes progress every iteration.
+        let d = lanes.iter().map(|l| l.checkpoint - l.state.cycles()).min().unwrap();
+        if lanes.len() >= min_batch_lanes {
+            let mut advanced = 0usize;
+            while advanced < d {
+                let mut refs: Vec<&mut ExecState> =
+                    lanes.iter_mut().map(|l| &mut l.state).collect();
+                let got = plan.advance_batch_in(&mut refs, d - advanced, &mut arena);
+                debug_assert!(got > 0, "live lanes always have cycles remaining");
+                advanced += got;
+                stats.steps += 1;
+                stats.lane_steps += lanes.len() as u64;
+            }
+        } else {
+            // Below the lane break-even the pack/transpose overhead
+            // dominates: advance each lane straight to its own checkpoint
+            // through the scalar core.
+            for l in lanes.iter_mut() {
+                let want = l.checkpoint - l.state.cycles();
+                plan.advance(&mut l.state, want);
+                stats.steps += 1;
+                stats.lane_steps += 1;
+            }
+        }
+        // Consult the policy for every lane sitting at its checkpoint,
+        // with the scalar loop's exact semantics: a lane that just
+        // consumed its full budget retires *without* a policy consult
+        // (`early_exit = false`).
+        let mut i = 0usize;
+        while i < lanes.len() {
+            let retire = {
+                let lane = &mut lanes[i];
+                if lane.state.cycles() < lane.checkpoint {
+                    i += 1;
+                    continue;
+                }
+                lane.chunk_idx += 1;
+                let consumed = lane.state.cycles();
+                if consumed >= n {
+                    Some(false)
+                } else if policy.exit(plan, &lane.state, &mut lane.book) {
+                    Some(true)
+                } else {
+                    lane.checkpoint = (consumed + schedule.len_at(lane.chunk_idx)).min(n);
+                    None
+                }
+            };
+            match retire {
+                Some(early_exit) => {
+                    let lane = lanes.swap_remove(i);
+                    results[lane.img] = Some(LaneOutcome {
+                        scores: plan.scores(&lane.state),
+                        cycles: lane.state.cycles(),
+                        chunks: lane.chunk_idx,
+                        early_exit,
+                    });
+                    free.push(lane.state);
+                }
+                None => i += 1,
+            }
+        }
+    }
+    results.into_iter().map(|r| r.expect("every image retired")).collect()
+}

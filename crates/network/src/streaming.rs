@@ -20,11 +20,28 @@
 //! `tests/integration_plan.rs`). This holds by construction: streaming and
 //! one-shot runs execute the same [`ExecPlan::advance`](crate::ExecPlan)
 //! core, whose output never depends on how N cycles are partitioned.
+//!
+//! # Lane-group batching
+//!
+//! The batch front-ends default to [`BatchMode::LaneGroups`]: each worker
+//! drives its image slice through the shared lane-group scheduler
+//! (`crate::scheduler`), which packs up to 64 in-flight images into one
+//! machine word per cycle, consults the exit policy at each lane's own
+//! schedule checkpoints, and refills retired lanes from the pending queue
+//! so the word stays dense. The invariant extends to this path: for every
+//! schedule, policy, thread count, and lane-group size, the batched run
+//! reports the same label, scores, cycle count, and chunk count per image
+//! as [`BatchMode::Scalar`] — the scheduler advances each lane to exactly
+//! the cycles the scalar loop would, and per-lane stream gathering in
+//! [`ExecPlan::advance_batch`](crate::ExecPlan::advance_batch) keeps
+//! mixed-offset words bit-exact after compaction.
 
+use aqfp_sc_bitstream::WORD_BITS;
 use aqfp_sc_nn::Tensor;
 
 use crate::engine::{accuracy, InferenceEngine};
-use crate::plan::{argmax, ExecState, Platform};
+use crate::plan::{argmax, ExecPlan, ExecState, Platform};
+use crate::scheduler::{drive_lane_groups, lane_min, GroupStats, LanePolicy};
 
 /// When a streaming run is allowed to stop consuming cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,16 +129,48 @@ impl ChunkSchedule {
 
     /// Length of chunk `index` (0-based), before clamping to the cycles
     /// remaining. Always at least 1.
+    ///
+    /// # Saturation contract
+    ///
+    /// Geometric growth is computed in `f64` and brought back with Rust's
+    /// *saturating* float→int cast, so no `index`/`factor` combination can
+    /// panic, wrap, or return 0:
+    ///
+    /// * a product beyond `usize::MAX` (huge `factor`, huge `index`, or
+    ///   both — including an infinite intermediate) saturates to
+    ///   `usize::MAX` and is clamped to `cap`;
+    /// * `index` is clamped to `i32::MAX` before `powi`; growth is
+    ///   monotone for `factor > 1`, so any such index is deep in
+    ///   saturation and still lands on `cap` (`factor = 1` stays `first`);
+    /// * a NaN `factor` (constructible via the public enum fields) casts
+    ///   to 0 and lands on the floor of 1.
     pub fn len_at(&self, index: usize) -> usize {
         match *self {
             ChunkSchedule::Fixed { len } => len.max(1),
             ChunkSchedule::Geometric { first, factor, cap } => {
-                // f64 → usize casts saturate, so overflow lands on `cap`.
                 let grown = (first as f64) * factor.powi(index.min(i32::MAX as usize) as i32);
                 (grown.round() as usize).clamp(1, cap.max(1))
             }
         }
     }
+}
+
+/// How the [`StreamingEngine`] batch front-ends advance their images.
+///
+/// Both modes are bit-identical per image (same label, scores, exit cycle,
+/// and chunk count — enforced by the equivalence proptests in
+/// `tests/integration_streaming.rs`); the mode is purely a throughput
+/// knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// One image at a time through the scalar chunk loop — the reference
+    /// path.
+    Scalar,
+    /// Whole lane groups through the batch-transposed kernel
+    /// ([`ExecPlan::advance_batch`](crate::ExecPlan::advance_batch)) with
+    /// per-lane exit decisions and retire-and-refill compaction (the
+    /// default).
+    LaneGroups,
 }
 
 /// Result of one streamed classification.
@@ -201,6 +250,9 @@ pub struct StreamingEngine<'e> {
     /// σ(t) = cmos_sigma_factor/√t (unused on AQFP, which plugs the
     /// running estimates into the exact Bernoulli bound).
     cmos_sigma_factor: f64,
+    mode: BatchMode,
+    /// Max lanes per word group in [`BatchMode::LaneGroups`] (1..=64).
+    lane_limit: usize,
 }
 
 impl<'e> StreamingEngine<'e> {
@@ -221,7 +273,26 @@ impl<'e> StreamingEngine<'e> {
             policy: ExitPolicy::Disabled,
             min_cycles: 0,
             cmos_sigma_factor,
+            mode: BatchMode::LaneGroups,
+            lane_limit: WORD_BITS,
         }
+    }
+
+    /// Sets how the batch front-ends advance images (default:
+    /// [`BatchMode::LaneGroups`]). Never changes results — only
+    /// wall-clock.
+    pub fn with_batch_mode(mut self, mode: BatchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Caps the lane-group size used by [`BatchMode::LaneGroups`]
+    /// (clamped to 1..=64; default 64). Never changes results — the knob
+    /// exists for break-even experiments and for the group-size
+    /// equivalence proptests.
+    pub fn with_lane_group(mut self, limit: usize) -> Self {
+        self.lane_limit = limit.clamp(1, WORD_BITS);
+        self
     }
 
     /// Sets the exit policy (default: [`ExitPolicy::Disabled`]).
@@ -262,6 +333,11 @@ impl<'e> StreamingEngine<'e> {
         self.policy
     }
 
+    /// The configured batch mode.
+    pub fn batch_mode(&self) -> BatchMode {
+        self.mode
+    }
+
     /// The wrapped engine.
     pub fn engine(&self) -> &InferenceEngine {
         self.engine
@@ -279,8 +355,20 @@ impl<'e> StreamingEngine<'e> {
     /// run with the policy disabled reproduces
     /// [`InferenceEngine::classify_batch`] bit for bit.
     pub fn classify_batch(&self, images: &[Tensor], base_seed: u64) -> Vec<StreamingOutcome> {
+        self.classify_batch_with_stats(images, base_seed).0
+    }
+
+    /// [`StreamingEngine::classify_batch`] plus the word-occupancy
+    /// accounting of the run: how many kernel advance steps were taken and
+    /// how full the lane word was on average (all zeros in
+    /// [`BatchMode::Scalar`], which never enters the lane path).
+    pub fn classify_batch_with_stats(
+        &self,
+        images: &[Tensor],
+        base_seed: u64,
+    ) -> (Vec<StreamingOutcome>, GroupStats) {
         let refs: Vec<&Tensor> = images.iter().collect();
-        self.run_batch(&refs, base_seed)
+        self.run_batch_with_stats(&refs, base_seed)
     }
 
     /// Accuracy and cycle statistics over a labelled set, or `None` for an
@@ -290,9 +378,27 @@ impl<'e> StreamingEngine<'e> {
         samples: &[(Tensor, usize)],
         base_seed: u64,
     ) -> Option<StreamingEvaluation> {
+        self.evaluate_with_stats(samples, base_seed).0
+    }
+
+    /// [`StreamingEngine::evaluate`] plus the word-occupancy accounting of
+    /// the run (all zeros in [`BatchMode::Scalar`], which never enters the
+    /// lane path).
+    pub fn evaluate_with_stats(
+        &self,
+        samples: &[(Tensor, usize)],
+        base_seed: u64,
+    ) -> (Option<StreamingEvaluation>, GroupStats) {
         let images: Vec<&Tensor> = samples.iter().map(|(x, _)| x).collect();
-        let outcomes = self.run_batch(&images, base_seed);
-        let accuracy = accuracy(&outcomes, samples, |o| o.class)?;
+        let (outcomes, stats) = self.run_batch_with_stats(&images, base_seed);
+        (Self::summarise(&outcomes, samples), stats)
+    }
+
+    fn summarise(
+        outcomes: &[StreamingOutcome],
+        samples: &[(Tensor, usize)],
+    ) -> Option<StreamingEvaluation> {
+        let accuracy = accuracy(outcomes, samples, |o| o.class)?;
         // Per-image cycle counts come straight from each run's ExecState
         // cycle counter (carried on the outcome) — nothing is recomputed.
         let total_cycles: u64 = outcomes.iter().map(|o| o.cycles as u64).sum();
@@ -306,30 +412,81 @@ impl<'e> StreamingEngine<'e> {
     }
 
     /// Static-partition batch driver mirroring the engine's: contiguous
-    /// image chunks per worker, per-image seeds independent of scheduling,
-    /// one reused `ExecState` per worker.
-    fn run_batch(&self, images: &[&Tensor], base_seed: u64) -> Vec<StreamingOutcome> {
+    /// image chunks per worker, per-image seeds derived from the *global*
+    /// index so results never depend on scheduling. Each worker drives its
+    /// slice per the configured [`BatchMode`] — the scalar per-image chunk
+    /// loop, or the lane-group scheduler with per-lane exit decisions and
+    /// retire-and-refill compaction — and sums its lane-occupancy
+    /// accounting.
+    fn run_batch_with_stats(
+        &self,
+        images: &[&Tensor],
+        base_seed: u64,
+    ) -> (Vec<StreamingOutcome>, GroupStats) {
         if images.is_empty() {
-            return Vec::new();
+            return (Vec::new(), GroupStats::default());
         }
         let threads = self.engine.threads().min(images.len());
         let chunk = images.len().div_ceil(threads);
         let mut out: Vec<Option<StreamingOutcome>> = Vec::new();
         out.resize_with(images.len(), || None);
+        let workers = images.len().div_ceil(chunk);
+        let mut worker_stats: Vec<GroupStats> = vec![GroupStats::default(); workers];
         std::thread::scope(|scope| {
-            for (ci, (imgs, slots)) in
-                images.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+            for ((ci, (imgs, slots)), stats) in images
+                .chunks(chunk)
+                .zip(out.chunks_mut(chunk))
+                .enumerate()
+                .zip(worker_stats.iter_mut())
             {
-                scope.spawn(move || {
-                    let mut state = self.engine.plan().new_state();
-                    for (j, (img, slot)) in imgs.iter().zip(slots).enumerate() {
-                        let seed = InferenceEngine::image_seed(base_seed, ci * chunk + j);
-                        *slot = Some(self.classify_with_state(img, seed, &mut state));
+                scope.spawn(move || match self.mode {
+                    BatchMode::Scalar => {
+                        let mut state = self.engine.plan().new_state();
+                        for (j, (img, slot)) in imgs.iter().zip(slots).enumerate() {
+                            let seed = InferenceEngine::image_seed(base_seed, ci * chunk + j);
+                            *slot = Some(self.classify_with_state(img, seed, &mut state));
+                        }
+                    }
+                    BatchMode::LaneGroups => {
+                        let seeds: Vec<u64> = (0..imgs.len())
+                            .map(|j| InferenceEngine::image_seed(base_seed, ci * chunk + j))
+                            .collect();
+                        let check = PolicyCheck {
+                            policy: self.policy,
+                            min_cycles: self.min_cycles,
+                            cmos_sigma_factor: self.cmos_sigma_factor,
+                        };
+                        let outcomes = drive_lane_groups(
+                            self.engine.plan(),
+                            imgs,
+                            &seeds,
+                            self.schedule,
+                            &check,
+                            self.lane_limit,
+                            lane_min(self.engine.plan().platform()).min(self.lane_limit),
+                            stats,
+                        );
+                        for (slot, o) in slots.iter_mut().zip(outcomes) {
+                            *slot = Some(StreamingOutcome {
+                                class: argmax(&o.scores),
+                                scores: o.scores,
+                                cycles: o.cycles,
+                                chunks: o.chunks,
+                                early_exit: o.early_exit,
+                            });
+                        }
                     }
                 });
             }
         });
-        out.into_iter().map(|s| s.expect("every slot filled")).collect()
+        let mut stats = GroupStats::default();
+        for ws in worker_stats {
+            stats.merge(ws);
+        }
+        (
+            out.into_iter().map(|s| s.expect("every slot filled")).collect(),
+            stats,
+        )
     }
 
     /// The chunk loop for one image: schedule-driven `advance` calls with a
@@ -404,6 +561,64 @@ impl<'e> StreamingEngine<'e> {
     }
 }
 
+/// Per-lane bookkeeping of [`PolicyCheck`], reset whenever a lane is
+/// (re)filled — exactly the locals the scalar chunk loop keeps per image.
+#[derive(Default)]
+struct PolicyBook {
+    last_argmax: Option<usize>,
+    stable_chunks: usize,
+}
+
+/// The [`ExitPolicy`] evaluated as a [`LanePolicy`]: byte-for-byte the
+/// scalar loop's checkpoint logic (same score reads, same float ops in the
+/// same order), so batched and scalar runs retire every image at the same
+/// cycle.
+struct PolicyCheck {
+    policy: ExitPolicy,
+    min_cycles: usize,
+    cmos_sigma_factor: f64,
+}
+
+impl LanePolicy for PolicyCheck {
+    type Book = PolicyBook;
+
+    fn exit(&self, plan: &ExecPlan, state: &ExecState, book: &mut PolicyBook) -> bool {
+        let consumed = state.cycles();
+        match self.policy {
+            ExitPolicy::Disabled => false,
+            ExitPolicy::Margin { z } => {
+                if consumed < self.min_cycles {
+                    return false;
+                }
+                let scores = plan.scores(state);
+                let (best, second) = top_two(&scores);
+                let sigma = match plan.platform() {
+                    // Exact Bernoulli variance of the two running bipolar
+                    // estimates.
+                    Platform::Aqfp => (((1.0 - best * best).max(0.0)
+                        + (1.0 - second * second).max(0.0))
+                        / consumed as f64)
+                        .sqrt(),
+                    Platform::Cmos => self.cmos_sigma_factor / (consumed as f64).sqrt(),
+                };
+                best - second >= z * sigma
+            }
+            ExitPolicy::StableArgmax { k } => {
+                // The streak advances at *every* checkpoint (even below
+                // the min-cycles floor), matching the scalar loop.
+                let winner = argmax(&plan.scores(state));
+                book.stable_chunks = if book.last_argmax == Some(winner) {
+                    book.stable_chunks + 1
+                } else {
+                    1
+                };
+                book.last_argmax = Some(winner);
+                consumed >= self.min_cycles && book.stable_chunks >= k
+            }
+        }
+    }
+}
+
 /// The largest and second-largest scores (the second defaults to the best
 /// for fewer than two classes, making the margin 0).
 fn top_two(scores: &[f64]) -> (f64, f64) {
@@ -421,5 +636,57 @@ fn top_two(scores: &[f64]) -> (f64, f64) {
         (best, best)
     } else {
         (best, second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ChunkSchedule;
+
+    #[test]
+    fn geometric_len_at_saturates_at_extreme_index() {
+        // factor 2 overflows f64 into +inf long before i32::MAX chunks;
+        // the saturating cast lands on usize::MAX and the clamp on cap.
+        let s = ChunkSchedule::geometric(16, 2.0, 4096);
+        assert_eq!(s.len_at(10_000), 4096);
+        assert_eq!(s.len_at(i32::MAX as usize), 4096);
+        assert_eq!(s.len_at(usize::MAX), 4096);
+    }
+
+    #[test]
+    fn geometric_len_at_saturates_at_extreme_factor() {
+        // One step of a huge factor is already past usize::MAX.
+        let s = ChunkSchedule::geometric(3, 1e300, 1024);
+        assert_eq!(s.len_at(0), 3);
+        assert_eq!(s.len_at(1), 1024);
+        // Two steps make an infinite intermediate — still cap, no panic.
+        assert_eq!(s.len_at(2), 1024);
+        // Huge factor AND huge index together.
+        assert_eq!(s.len_at(usize::MAX), 1024);
+    }
+
+    #[test]
+    fn geometric_len_at_extreme_cap_saturates_to_usize_max() {
+        let s = ChunkSchedule::geometric(1, 2.0, usize::MAX);
+        assert_eq!(s.len_at(10_000), usize::MAX);
+    }
+
+    #[test]
+    fn len_at_never_returns_zero_for_degenerate_fields() {
+        // The public enum fields allow degenerate values the constructors
+        // reject; len_at still honours its ≥ 1 contract.
+        assert_eq!(ChunkSchedule::Fixed { len: 0 }.len_at(7), 1);
+        let nan = ChunkSchedule::Geometric { first: 5, factor: f64::NAN, cap: 64 };
+        // NaN casts to 0, which the clamp floors at 1.
+        assert_eq!(nan.len_at(3), 1);
+        let zero_cap = ChunkSchedule::Geometric { first: 1, factor: 1.0, cap: 0 };
+        assert_eq!(zero_cap.len_at(0), 1);
+    }
+
+    #[test]
+    fn geometric_len_at_unit_factor_stays_first_at_any_index() {
+        let s = ChunkSchedule::geometric(37, 1.0, 1 << 20);
+        assert_eq!(s.len_at(0), 37);
+        assert_eq!(s.len_at(usize::MAX), 37);
     }
 }

@@ -1,7 +1,7 @@
 //! Reproduction harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--quick|--full] [--threads N]
+//! repro <experiment> [--quick|--full] [--threads N] [--batched]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
 //!              table9 fig7b fig11 fig13 ablation streaming artifact all
@@ -10,8 +10,12 @@
 //! `repro artifact` additionally accepts `--save PATH` / `--verify PATH`
 //! for the cross-process model-artifact round trip (see `tables::artifact`).
 //! `--threads N` sets the inference-engine worker-pool size in the
-//! batched-vs-serial ablation segment (default: available parallelism);
-//! the worker count never changes results, only wall-clock.
+//! batched-vs-serial ablation segment and in `repro streaming` (default:
+//! available parallelism); `--batched` switches `repro streaming` from the
+//! scalar reference loop to the lane-group scheduler and reports the
+//! word-occupancy it sustained. Neither flag ever changes results — only
+//! wall-clock — so the streaming table prints identical numbers either
+//! way.
 //!
 //! Every experiment prints the paper's reported values next to the
 //! measured ones; `EXPERIMENTS.md` records a full run.
@@ -52,7 +56,7 @@ fn main() {
         "fig11" => tables::fig11(),
         "fig13" => tables::fig13(mode),
         "ablation" => tables::ablation(mode, threads),
-        "streaming" => tables::streaming(mode),
+        "streaming" => tables::streaming(mode, threads, args.iter().any(|a| a == "--batched")),
         "artifact" => tables::artifact(mode, &args),
         "all" => {
             tables::table1(mode);
@@ -67,13 +71,13 @@ fn main() {
             tables::fig11();
             tables::fig13(mode);
             tables::ablation(mode, threads);
-            tables::streaming(mode);
+            tables::streaming(mode, threads, args.iter().any(|a| a == "--batched"));
             tables::artifact(mode, &args);
             tables::table9(mode);
         }
         _ => {
             eprintln!(
-                "usage: repro <table1..table9|fig7b|fig11|fig13|ablation|streaming|artifact|all> [--quick|--full] [--threads N]\n       repro artifact [--save PATH|--verify PATH]"
+                "usage: repro <table1..table9|fig7b|fig11|fig13|ablation|streaming|artifact|all> [--quick|--full] [--threads N] [--batched]\n       repro artifact [--save PATH|--verify PATH]"
             );
             std::process::exit(2);
         }

@@ -9,9 +9,9 @@ use aqfp_sc_core::accuracy::{
 use aqfp_sc_core::baseline;
 use aqfp_sc_core::{MajorityChain, SngBlock};
 use aqfp_sc_network::{
-    build_model, network_cost, run_table9, ActivationStyle, ChunkSchedule, CompiledNetwork,
-    ExecPlan, ExitPolicy, InferenceEngine, ModelRegistry, NetworkSpec, Platform, StreamingEngine,
-    Table9Config, ARTIFACT_VERSION,
+    build_model, network_cost, run_table9, ActivationStyle, BatchMode, ChunkSchedule,
+    CompiledNetwork, ExecPlan, ExitPolicy, InferenceEngine, ModelRegistry, NetworkSpec, Platform,
+    StreamingEngine, Table9Config, ARTIFACT_VERSION,
 };
 use aqfp_sc_nn::Tensor;
 use aqfp_sc_sorting::{Direction, SortingNetwork};
@@ -272,8 +272,11 @@ pub fn table9(mode: Mode) {
 
 /// Streaming chunked-N early-exit inference: the paper's accuracy-vs-N
 /// tradeoff (§V) with progressive precision — every image consumes only as
-/// many cycles as its decision needs.
-pub fn streaming(mode: Mode) {
+/// many cycles as its decision needs. `batched` switches the evaluation
+/// from the scalar reference loop to the lane-group scheduler (identical
+/// numbers — the batched path is bit-identical per image — plus the
+/// word-occupancy it sustained); `threads` sizes the worker pool.
+pub fn streaming(mode: Mode, threads: Option<usize>, batched: bool) {
     header("Streaming early-exit inference: accuracy vs average cycles consumed");
     let samples_n = trials(mode, 60);
     let train_n = trials(mode, 240);
@@ -303,20 +306,38 @@ pub fn streaming(mode: Mode) {
         .map(|(img, l)| (crop(img), *l))
         .collect();
     let z = 2.5;
+    let bmode = if batched { BatchMode::LaneGroups } else { BatchMode::Scalar };
+    let mk_engine = |n: usize| {
+        let engine = InferenceEngine::new(&compiled, n, Platform::Aqfp);
+        match threads {
+            Some(t) => engine.with_threads(t),
+            None => engine,
+        }
+    };
     println!("policy: margin z={z} (exit when top-2 margin ≥ z·σ(t)), chunk = N/8, floor N/8");
-    println!("   N   | fixed-N acc | stream acc | avg cycles | savings | early-exit");
+    println!(
+        "batch mode: {} (bit-identical either way)",
+        if batched { "lane groups (batch-transposed kernel, retire-and-refill)" } else { "scalar reference loop" },
+    );
+    println!("   N   | fixed-N acc | stream acc | avg cycles | savings | early-exit | avg lanes");
     let mut headline: Option<(f64, f64)> = None;
     for n in [256usize, 512, 1024] {
-        let engine = InferenceEngine::new(&compiled, n, Platform::Aqfp);
+        let engine = mk_engine(n);
         let fixed = engine.evaluate(&samples, SEED).expect("non-empty sample set");
         let chunk = n / 8;
         let streaming = StreamingEngine::new(&engine, chunk)
             .with_policy(ExitPolicy::Margin { z })
-            .with_min_cycles(chunk);
-        let eval = streaming.evaluate(&samples, SEED).expect("non-empty sample set");
+            .with_min_cycles(chunk)
+            .with_batch_mode(bmode);
+        let (eval, stats) = streaming.evaluate_with_stats(&samples, SEED);
+        let eval = eval.expect("non-empty sample set");
         let savings = eval.cycle_savings(n);
+        // Mean live lanes per kernel advance step: how dense
+        // retire-and-refill kept the machine word (scalar mode never
+        // enters the lane path, so it has no occupancy to report).
+        let lanes = if batched { format!("{:9.1}", stats.avg_lanes()) } else { "        -".into() };
         println!(
-            "{n:6} | {:10.2}% | {:9.2}% | {:10.1} | {:6.1}% | {:9.1}%",
+            "{n:6} | {:10.2}% | {:9.2}% | {:10.1} | {:6.1}% | {:9.1}% | {lanes}",
             fixed * 100.0,
             eval.accuracy * 100.0,
             eval.avg_cycles,
@@ -343,7 +364,7 @@ pub fn streaming(mode: Mode) {
     // overheads.
     {
         let n = 1024usize;
-        let engine = InferenceEngine::new(&compiled, n, Platform::Aqfp);
+        let engine = mk_engine(n);
         println!("chunk-schedule comparison (N={n}, margin z={z}, floor {}):", n / 16);
         println!("  schedule               | stream acc | avg cycles | savings | chunks/img");
         let schedules = [
@@ -356,7 +377,8 @@ pub fn streaming(mode: Mode) {
             let streaming = StreamingEngine::new(&engine, n / 16)
                 .with_schedule(schedule)
                 .with_policy(ExitPolicy::Margin { z })
-                .with_min_cycles(n / 16);
+                .with_min_cycles(n / 16)
+                .with_batch_mode(bmode);
             // One batch sweep per schedule; every stat derives from it.
             let outcomes = streaming.classify_batch(&images, SEED);
             let correct = outcomes
@@ -379,7 +401,7 @@ pub fn streaming(mode: Mode) {
     // Bit-identity spot check: the full-N streaming run with the policy
     // disabled must reproduce the one-shot engine exactly.
     let n = 512;
-    let engine = InferenceEngine::new(&compiled, n, Platform::Aqfp);
+    let engine = mk_engine(n);
     let streaming = StreamingEngine::new(&engine, 67); // deliberately odd chunks
     let img = &samples[0].0;
     let seed = InferenceEngine::image_seed(SEED, 0);

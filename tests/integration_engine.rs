@@ -144,8 +144,10 @@ fn empty_batch_is_fine_and_has_no_accuracy() {
 #[test]
 fn batches_crossing_the_lane_threshold_match_per_image_scores() {
     // 70 images on one worker: the first 64 run through the batch-transposed
-    // lane kernels, the remaining 6 through the scalar path. Both must agree
-    // bit for bit with one-image batches (which never engage lane mode).
+    // lane kernels, then retire together at full N and the scheduler refills
+    // the remaining 6 — a group below the lane break-even, so it finishes on
+    // the scalar fallback. Both must agree bit for bit with one-image
+    // batches (which never engage lane mode).
     let compiled = compiled_tiny();
     let images = probe_images(70);
     for platform in [Platform::Aqfp, Platform::Cmos] {

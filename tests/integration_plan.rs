@@ -126,6 +126,49 @@ proptest! {
     }
 
     #[test]
+    fn mixed_offset_lane_groups_match_scalar(
+        offsets in prop::collection::vec(0usize..80, 2..9),
+        step in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // After retire-and-refill, lanes sharing a machine word sit at
+        // different absolute cycles, so advance_batch must gather each
+        // lane's own weight/bias/neutral window instead of broadcasting
+        // one slice. Stagger lanes via the scalar path, drive the mixed
+        // group in batch steps until the earliest-finishing lane drains
+        // the shared budget, then finish stragglers scalar — every lane
+        // must still match its one-shot reference bit for bit.
+        let n = 97usize;
+        let compiled = compiled_probe();
+        for platform in [Platform::Aqfp, Platform::Cmos] {
+            let plan = ExecPlan::new(compiled, n, platform);
+            let want: Vec<Vec<f64>> = offsets
+                .iter()
+                .enumerate()
+                .map(|(g, _)| {
+                    let mut st = plan.new_state();
+                    plan.run_one_shot(&mut st, &probe_image(g % 4), seed + g as u64)
+                })
+                .collect();
+            let mut states: Vec<_> = offsets.iter().map(|_| plan.new_state()).collect();
+            for (g, st) in states.iter_mut().enumerate() {
+                plan.begin(st, &probe_image(g % 4), seed + g as u64);
+                plan.advance(st, offsets[g].min(n));
+            }
+            while plan.advance_batch(&mut states, step) > 0 {}
+            for st in states.iter_mut() {
+                plan.advance(st, n);
+            }
+            let got: Vec<Vec<f64>> = states.iter().map(|st| plan.scores(st)).collect();
+            prop_assert_eq!(
+                &got, &want,
+                "{:?}: mixed-offset group diverged (offsets {:?}, step {})",
+                platform, &offsets, step
+            );
+        }
+    }
+
+    #[test]
     fn oversized_and_zero_advances_are_clamped_not_drifting(
         head in 1usize..96,
         variant in 0usize..4,

@@ -1,12 +1,17 @@
 //! Cross-crate integration of the chunked streaming engine: bit-exact
 //! equivalence with the one-shot engine at full N, odd-tail chunk
-//! handling, early-exit behaviour, and batch/thread invariance.
+//! handling, early-exit behaviour, batch/thread invariance, and the
+//! lane-group scheduler's per-image equivalence with the scalar path
+//! (retire-and-refill compaction must never change bits).
+
+use std::sync::OnceLock;
 
 use aqfp_sc_dnn::network::{
-    build_model, ActivationStyle, CompiledNetwork, ExitPolicy, InferenceEngine, LayerSpec,
-    NetworkSpec, Platform, StreamingEngine,
+    build_model, ActivationStyle, BatchMode, ChunkSchedule, CompiledNetwork, ExitPolicy,
+    InferenceEngine, LayerSpec, NetworkSpec, Platform, StreamingEngine,
 };
 use aqfp_sc_dnn::nn::{Padding, Tensor};
+use proptest::prelude::*;
 
 const STREAM_LEN: usize = 256;
 const BASE_SEED: u64 = 0x57E3_A21C;
@@ -26,6 +31,161 @@ fn probe_images(n: usize) -> Vec<Tensor> {
             )
         })
         .collect()
+}
+
+/// Conv(Same) + Pool + Dense + Output(even fan-in): the spec that drives
+/// every parity-sensitive streaming arm. Shared across proptest cases.
+fn compiled_probe() -> &'static CompiledNetwork {
+    static COMPILED: OnceLock<CompiledNetwork> = OnceLock::new();
+    COMPILED.get_or_init(|| {
+        let spec = NetworkSpec {
+            name: "probe",
+            input_side: 6,
+            layers: vec![
+                LayerSpec::Conv { k: 3, out_c: 2, padding: Padding::Same },
+                LayerSpec::AvgPool { k: 2 },
+                LayerSpec::Dense { out: 5 },
+                LayerSpec::Output { classes: 3 },
+            ],
+        };
+        let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 23);
+        CompiledNetwork::from_model(&spec, &mut model, 8)
+    })
+}
+
+/// Conv(Valid) + Pool + Output(odd fan-in): the complementary topology
+/// (no Dense, no padding taps, no majority-chain pad).
+fn compiled_tiny_static() -> &'static CompiledNetwork {
+    static COMPILED: OnceLock<CompiledNetwork> = OnceLock::new();
+    COMPILED.get_or_init(compiled_tiny)
+}
+
+fn probe_spec_image(variant: usize) -> Tensor {
+    Tensor::from_vec(
+        vec![1, 6, 6],
+        (0..36).map(|p| ((p * 5 + 2 + variant) % 9) as f32 / 9.0).collect(),
+    )
+}
+
+proptest! {
+    // Each case streams `count` images twice (scalar + batched) per
+    // platform; a modest case count keeps the suite quick while the
+    // schedule/policy/group-size/refill-order space is densely sampled.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The tentpole invariant: batched lane-group streaming reports the
+    // SAME outcome per image — label, scores, exit cycle count, chunk
+    // count, early-exit flag — as the scalar reference path, for random
+    // specs, stream lengths, schedules (fixed + geometric), policies,
+    // lane-group sizes, thread counts, and refill orders, on both
+    // platforms. Shuffling the image list permutes which images share a
+    // word and in what order retired lanes are refilled; per-position
+    // seeds keep each (image, seed) pair fixed so outcomes stay
+    // comparable position by position.
+    #[test]
+    fn batched_streaming_is_bit_identical_to_scalar_streaming(
+        spec_kind in 0usize..2,
+        n in 65usize..260,
+        count in 1usize..18,
+        lane_limit in 2usize..=64,
+        threads in 1usize..4,
+        sched_kind in 0usize..4,
+        policy_kind in 0usize..4,
+        order_seed in any::<u64>(),
+    ) {
+        let compiled = if spec_kind == 0 { compiled_probe() } else { compiled_tiny_static() };
+        let schedule = match sched_kind {
+            0 => ChunkSchedule::fixed(64),
+            1 => ChunkSchedule::fixed(17),
+            2 => ChunkSchedule::geometric(8, 2.0, 64),
+            _ => ChunkSchedule::geometric(5, 1.5, 48),
+        };
+        let policy = match policy_kind {
+            0 => ExitPolicy::Disabled,
+            1 => ExitPolicy::Margin { z: 2.0 },
+            2 => ExitPolicy::Margin { z: 3.0 },
+            _ => ExitPolicy::StableArgmax { k: 2 },
+        };
+        let make_image: fn(usize) -> Tensor =
+            if spec_kind == 0 { probe_spec_image } else { |v| probe_images(v + 1).pop().unwrap() };
+        let mut images: Vec<Tensor> = (0..count).map(make_image).collect();
+        // Deterministic Fisher-Yates on order_seed: a different refill
+        // order per case.
+        let mut x = order_seed | 1;
+        for i in (1..images.len()).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            images.swap(i, (x >> 33) as usize % (i + 1));
+        }
+        for platform in [Platform::Aqfp, Platform::Cmos] {
+            let engine = InferenceEngine::new(compiled, n, platform).with_threads(threads);
+            let scalar = StreamingEngine::new(&engine, 64)
+                .with_schedule(schedule)
+                .with_policy(policy)
+                .with_batch_mode(BatchMode::Scalar)
+                .classify_batch(&images, BASE_SEED);
+            let batched = StreamingEngine::new(&engine, 64)
+                .with_schedule(schedule)
+                .with_policy(policy)
+                .with_batch_mode(BatchMode::LaneGroups)
+                .with_lane_group(lane_limit)
+                .classify_batch(&images, BASE_SEED);
+            prop_assert_eq!(
+                &batched, &scalar,
+                "{:?} n={} lanes={} threads={} {:?} {:?}: batched streaming diverged",
+                platform, n, lane_limit, threads, schedule, policy
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_streaming_with_min_cycles_floor_matches_scalar() {
+    // The min-cycles floor interacts with both policies' consult logic;
+    // drive it through the lane path explicitly.
+    let compiled = compiled_tiny();
+    let images = probe_images(20);
+    for platform in [Platform::Aqfp, Platform::Cmos] {
+        let engine = InferenceEngine::new(&compiled, STREAM_LEN, platform);
+        for policy in
+            [ExitPolicy::Margin { z: 2.0 }, ExitPolicy::StableArgmax { k: 1 }]
+        {
+            let scalar = StreamingEngine::new(&engine, 32)
+                .with_policy(policy)
+                .with_min_cycles(96)
+                .with_batch_mode(BatchMode::Scalar)
+                .classify_batch(&images, BASE_SEED);
+            let batched = StreamingEngine::new(&engine, 32)
+                .with_policy(policy)
+                .with_min_cycles(96)
+                .classify_batch(&images, BASE_SEED);
+            assert_eq!(batched, scalar, "{platform:?} {policy:?} with floor diverged");
+            assert!(scalar.iter().all(|o| o.cycles >= 96));
+        }
+    }
+}
+
+#[test]
+fn lane_occupancy_stats_track_retire_and_refill() {
+    let compiled = compiled_tiny();
+    let images = probe_images(70);
+    let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp).with_threads(1);
+    let (outcomes, stats) = StreamingEngine::new(&engine, 32)
+        .with_policy(ExitPolicy::Margin { z: 2.0 })
+        .classify_batch_with_stats(&images, BASE_SEED);
+    assert_eq!(outcomes.len(), images.len());
+    assert!(stats.steps > 0, "lane mode must take kernel steps");
+    let avg = stats.avg_lanes();
+    assert!(
+        avg > 1.0 && avg <= 64.0,
+        "avg occupancy {avg} outside (1, 64]"
+    );
+    // Scalar mode never enters the lane path: stats stay zero.
+    let (_, scalar_stats) = StreamingEngine::new(&engine, 32)
+        .with_policy(ExitPolicy::Margin { z: 2.0 })
+        .with_batch_mode(BatchMode::Scalar)
+        .classify_batch_with_stats(&images, BASE_SEED);
+    assert_eq!(scalar_stats.steps, 0);
+    assert_eq!(scalar_stats.avg_lanes(), 0.0);
 }
 
 #[test]
@@ -114,19 +274,19 @@ fn streaming_batch_matches_one_shot_batch_and_is_thread_invariant() {
 #[test]
 fn margin_policy_exits_early_and_keeps_the_confident_class() {
     let compiled = compiled_tiny();
-    let images = probe_images(8);
+    let images = probe_images(16);
     let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);
     let fixed = engine.classify_batch(&images, BASE_SEED);
     let streaming = StreamingEngine::new(&engine, 32)
-        .with_policy(ExitPolicy::Margin { z: 2.0 });
+        .with_policy(ExitPolicy::Margin { z: 1.0 });
     let outcomes = streaming.classify_batch(&images, BASE_SEED);
     let saved: usize = outcomes.iter().map(|o| STREAM_LEN - o.cycles).sum();
     assert!(
         outcomes.iter().any(|o| o.early_exit) && saved > 0,
-        "a loose margin at z=2 should exit early on some probe image"
+        "a loose margin at z=1 should exit early on some probe image"
     );
     // Early exits must still mostly agree with the fixed-N decision (the
-    // margin bound makes a flip a >2-sigma event per image).
+    // margin bound makes a flip a >1-sigma event per image).
     let agree = outcomes.iter().zip(&fixed).filter(|(o, f)| o.class == **f).count();
     assert!(agree * 10 >= images.len() * 7, "only {agree}/{} agree", images.len());
 }
