@@ -1,22 +1,27 @@
 //! `kernel_column_counts`: one neuron-column workload (9 XNOR taps + a
-//! bias row over N = 512 cycles, 64 independent images) through the three
-//! column-counting paths of the execution plan:
+//! bias row over N = 512 cycles) through the column-counting paths of the
+//! execution plan:
 //!
 //! - `scalar` — the pre-kernel per-bit column walk (`BitStream::get` per
-//!   row per cycle);
+//!   row per cycle), 64 images;
 //! - `word_parallel` — the fused XNOR + carry-save word kernel
-//!   (`column_counts_into`);
+//!   (`column_counts_into`), 64 images;
 //! - `batch_transposed` — the lane kernel: the same cycle of all 64 images
-//!   packed into one word (`lane_column_planes`), including the lane
-//!   pack/transpose/extract overhead the plan pays per layer.
+//!   packed into one word (`lane_column_planes` at stripe width 1),
+//!   including the lane pack/transpose/extract overhead the plan pays per
+//!   layer;
+//! - `simd_stripe` — the same lane kernel at full stripe width
+//!   (`Stripe<4>`, 256 images per group advance); per-image cost is the
+//!   headline of the stripe path, so compare `simd_stripe / 4` against
+//!   `batch_transposed`.
 //!
-//! All three produce identical counts for the same total work (64 columns
-//! × 10 rows × 512 cycles). `BENCH_JSON=BENCH_kernel.json cargo bench
+//! All paths produce identical counts for the same per-image work (10 rows
+//! × 512 cycles per image). `BENCH_JSON=BENCH_kernel.json cargo bench
 //! --bench kernel` refreshes the committed baseline.
 
 use aqfp_sc_bitstream::{
     column_counts_into, extract_plane_counts, lane_column_planes, pack_lanes_into, transpose64,
-    BitStream, KernelRow, LaneRow, SplitMix64, MAX_PLANES,
+    BitStream, KernelRow, LaneRow, SplitMix64, Stripe, MAX_PLANES,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -24,9 +29,64 @@ use std::hint::black_box;
 const LEN: usize = 512;
 const TAPS: usize = 9;
 const IMAGES: usize = 64;
+const STRIPE_W: usize = 4;
 
 fn stream(rng: &mut SplitMix64) -> BitStream {
     BitStream::from_bits((0..LEN).map(|_| rng.next_u64() >> 63 == 1))
+}
+
+/// The full batch-transposed round trip at stripe width `W`: pack every
+/// image's taps into lane stripes, count all `64·W` columns at once, then
+/// unpack per-image counts. Returns a checksum so the work can't be
+/// dead-code-eliminated.
+fn lane_round_trip<const W: usize>(
+    acts: &[Vec<BitStream>],
+    weights: &[BitStream],
+    bias: &BitStream,
+    lanes: &mut [Vec<Stripe<W>>],
+    planes: &mut Vec<Vec<Stripe<W>>>,
+    counts: &mut [u32],
+) -> u64 {
+    let images = acts.len();
+    for (tap, lane) in lanes.iter_mut().enumerate() {
+        pack_lanes_into(acts.iter().map(|taps| &taps[tap]), LEN, lane)
+            .expect("group fits the stripe");
+    }
+    let mut rows: Vec<LaneRow<'_, W>> = lanes
+        .iter()
+        .zip(weights)
+        .map(|(lane, w)| LaneRow::Xnor(lane, w.words()))
+        .collect();
+    rows.push(LaneRow::Broadcast(bias.words()));
+    let used = lane_column_planes(&rows, LEN, planes);
+    // Cycle-major stripes → lane-major 64-cycle blocks per stripe element,
+    // then per image per block.
+    let mut planes_t: Vec<Vec<u64>> = vec![vec![0u64; LEN * W]; used];
+    for (src, dst) in planes.iter().zip(planes_t.iter_mut()) {
+        for e in 0..W {
+            for (bi, block) in dst[e * LEN..(e + 1) * LEN].chunks_mut(64).enumerate() {
+                let mut mat = [0u64; 64];
+                for (r, s) in src[bi * 64..(bi + 1) * 64].iter().enumerate() {
+                    mat[r] = s.0[e];
+                }
+                transpose64(&mut mat);
+                block.copy_from_slice(&mat);
+            }
+        }
+    }
+    let mut sum = 0u64;
+    let mut pw = [0u64; MAX_PLANES];
+    for g in 0..images {
+        let base = (g / 64) * LEN + g % 64;
+        for (t0, chunk) in (0..LEN).step_by(64).zip(counts.chunks_mut(64)) {
+            for (p, plane) in planes_t.iter().enumerate() {
+                pw[p] = plane[base + t0];
+            }
+            extract_plane_counts(&pw[..used], 64, chunk);
+        }
+        sum += u64::from(counts[LEN - 1]);
+    }
+    sum
 }
 
 fn bench_kernel_column_counts(c: &mut Criterion) {
@@ -39,6 +99,9 @@ fn bench_kernel_column_counts(c: &mut Criterion) {
     let bias = stream(&mut rng);
     let acts: Vec<Vec<BitStream>> =
         (0..IMAGES).map(|_| (0..TAPS).map(|_| stream(&mut rng)).collect()).collect();
+    let acts_wide: Vec<Vec<BitStream>> = (0..IMAGES * STRIPE_W)
+        .map(|_| (0..TAPS).map(|_| stream(&mut rng)).collect())
+        .collect();
 
     group.bench_function("scalar", |b| {
         let mut counts = vec![0u32; LEN];
@@ -77,46 +140,34 @@ fn bench_kernel_column_counts(c: &mut Criterion) {
     });
 
     group.bench_function("batch_transposed", |b| {
-        let mut lanes: Vec<Vec<u64>> = vec![Vec::new(); TAPS];
-        let mut planes: Vec<Vec<u64>> = Vec::new();
+        let mut lanes: Vec<Vec<Stripe<1>>> = vec![Vec::new(); TAPS];
+        let mut planes: Vec<Vec<Stripe<1>>> = Vec::new();
         let mut counts = vec![0u32; LEN];
         b.iter(|| {
-            // Pack the same tap of every image into lane words, count all
-            // 64 columns at once, then unpack per-image counts — the full
-            // round trip the plan's batch path pays.
-            for (tap, lane) in lanes.iter_mut().enumerate() {
-                pack_lanes_into(acts.iter().map(|taps| &taps[tap]), LEN, lane);
-            }
-            let mut rows: Vec<LaneRow<'_>> = lanes
-                .iter()
-                .zip(&weights)
-                .map(|(lane, w)| LaneRow::Xnor(lane, w.words()))
-                .collect();
-            rows.push(LaneRow::Broadcast(bias.words()));
-            let used = lane_column_planes(&rows, LEN, &mut planes);
-            // Cycle-major planes → lane-major 64-cycle blocks, then per
-            // image per block.
-            let mut planes_t: Vec<Vec<u64>> = vec![vec![0u64; LEN]; used];
-            for (src, dst) in planes.iter().zip(planes_t.iter_mut()) {
-                for (bi, block) in dst.chunks_mut(64).enumerate() {
-                    let mut mat = [0u64; 64];
-                    mat.copy_from_slice(&src[bi * 64..(bi + 1) * 64]);
-                    transpose64(&mut mat);
-                    block.copy_from_slice(&mat);
-                }
-            }
-            let mut sum = 0u64;
-            let mut pw = [0u64; MAX_PLANES];
-            for g in 0..IMAGES {
-                for (t0, chunk) in (0..LEN).step_by(64).zip(counts.chunks_mut(64)) {
-                    for (p, plane) in planes_t.iter().enumerate() {
-                        pw[p] = plane[t0 + g];
-                    }
-                    extract_plane_counts(&pw[..used], 64, chunk);
-                }
-                sum += u64::from(counts[LEN - 1]);
-            }
-            black_box(sum)
+            black_box(lane_round_trip(
+                &acts,
+                &weights,
+                &bias,
+                &mut lanes,
+                &mut planes,
+                &mut counts,
+            ))
+        })
+    });
+
+    group.bench_function("simd_stripe", |b| {
+        let mut lanes: Vec<Vec<Stripe<STRIPE_W>>> = vec![Vec::new(); TAPS];
+        let mut planes: Vec<Vec<Stripe<STRIPE_W>>> = Vec::new();
+        let mut counts = vec![0u32; LEN];
+        b.iter(|| {
+            black_box(lane_round_trip(
+                &acts_wide,
+                &weights,
+                &bias,
+                &mut lanes,
+                &mut planes,
+                &mut counts,
+            ))
         })
     });
 

@@ -103,6 +103,23 @@ fn bench_streaming_inference(c: &mut Criterion) {
             b.iter(|| black_box(streaming.classify_batch(imgs, SEED)))
         });
     }
+    // Same discipline on the CMOS baseline at full stripe occupancy
+    // (256 images = one W=4 lane group): APC counting and lane-parallel
+    // mux pooling against the per-image scalar core. CI gates
+    // cmos_batched/256 normalised by cmos_scalar/256.
+    let cmos = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Cmos).with_threads(1);
+    let imgs = images(256);
+    for (name, mode) in
+        [("cmos_scalar", BatchMode::Scalar), ("cmos_batched", BatchMode::LaneGroups)]
+    {
+        group.bench_with_input(BenchmarkId::new(name, 256), &imgs, |b, imgs| {
+            let streaming = StreamingEngine::new(&cmos, CHUNK)
+                .with_policy(ExitPolicy::Margin { z: 2.5 })
+                .with_min_cycles(CHUNK)
+                .with_batch_mode(mode);
+            b.iter(|| black_box(streaming.classify_batch(imgs, SEED)))
+        });
+    }
     group.finish();
 }
 

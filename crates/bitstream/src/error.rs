@@ -30,6 +30,13 @@ pub enum BitstreamError {
     },
     /// An operation that needs at least one stream received none.
     Empty,
+    /// A lane-group operation received more streams than its stripe holds.
+    LaneCapacity {
+        /// Streams/lanes requested.
+        lanes: usize,
+        /// Lane capacity of the stripe (`64·W`).
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for BitstreamError {
@@ -45,6 +52,9 @@ impl fmt::Display for BitstreamError {
                 write!(f, "bit index {index} out of bounds for stream of length {len}")
             }
             BitstreamError::Empty => write!(f, "operation requires at least one stream"),
+            BitstreamError::LaneCapacity { lanes, capacity } => {
+                write!(f, "lane group of {lanes} exceeds stripe capacity of {capacity} lanes")
+            }
         }
     }
 }
@@ -62,6 +72,7 @@ mod tests {
             BitstreamError::ValueOutOfRange { value: 2.0, min: -1.0, max: 1.0 },
             BitstreamError::IndexOutOfBounds { index: 9, len: 4 },
             BitstreamError::Empty,
+            BitstreamError::LaneCapacity { lanes: 65, capacity: 64 },
         ];
         for v in variants {
             let s = v.to_string();

@@ -12,15 +12,22 @@
 //! * **Word-parallel** ([`column_counts_into`]): rows are ordinary
 //!   [`BitStream`] word slices for a single image. Each 64-bit word holds 64
 //!   consecutive cycles of one row.
-//! * **Batch-transposed** ([`lane_column_planes`] and friends): each 64-bit
-//!   word holds the *same* cycle of up to 64 images ("lanes"). Weight
-//!   streams are image-independent, so one sweep of the weight words serves
-//!   the entire batch; [`pack_lanes_into`] / [`unpack_lanes_into`] convert
-//!   between the layouts with 64x64 bit-matrix transposes.
+//! * **Batch-transposed** ([`lane_column_planes`] and friends): each lane
+//!   word holds the *same* cycle of up to `64·W` images ("lanes") in a
+//!   [`Stripe<W>`] of `W` machine words. Weight streams are
+//!   image-independent, so one sweep of the weight words serves the entire
+//!   batch; [`pack_lanes_into`] / [`unpack_lanes_into`] convert between the
+//!   layouts with 64x64 bit-matrix transposes per 64-lane subgroup.
+//!
+//! All stripe arithmetic is written as straight-line per-element loops over
+//! `[u64; W]`, which LLVM auto-vectorises to the platform's SIMD width
+//! (SSE2/AVX2/NEON) with no unstable features; `W = 1` compiles to exactly
+//! the pre-stripe scalar-word code and remains the zero-regression fallback.
 //!
 //! All kernels are bit-identical to the scalar per-bit path; the proptest
 //! suites in `tests/` and `crates/network` pin this on both platforms.
 
+use crate::error::BitstreamError;
 use crate::stream::BitStream;
 use crate::WORD_BITS;
 
@@ -34,6 +41,93 @@ pub const MAX_PLANES: usize = 16;
 
 /// Maximum rows a fixed-plane kernel accepts (`2^MAX_PLANES - 1`).
 pub const MAX_KERNEL_ROWS: usize = (1 << MAX_PLANES) - 1;
+
+/// Widest lane stripe the kernels support, in `u64` elements.
+pub const MAX_STRIPE_WORDS: usize = 4;
+
+/// Maximum lanes one stripe-generalised lane group can hold
+/// (`64 · MAX_STRIPE_WORDS`).
+pub const MAX_LANES: usize = WORD_BITS * MAX_STRIPE_WORDS;
+
+/// A stripe of `W` machine words treated as one `64·W`-lane bit vector.
+///
+/// Lane `g` lives in bit `g % 64` of element `g / 64`. Every bitwise
+/// operator acts element-wise as a straight-line loop over the fixed-size
+/// array so LLVM can auto-vectorise it; `Stripe<1>` is exactly the old
+/// single-`u64` lane word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(transparent)]
+pub struct Stripe<const W: usize>(pub [u64; W]);
+
+impl<const W: usize> Stripe<W> {
+    /// The all-zeros stripe.
+    pub const ZERO: Self = Stripe([0; W]);
+
+    /// Broadcasts one word to every element (e.g. a per-cycle scalar weight
+    /// bit expanded to a full-stripe mask).
+    #[inline(always)]
+    pub fn splat(word: u64) -> Self {
+        Stripe([word; W])
+    }
+
+    /// Bit `g` of the stripe (`g < 64·W`) as 0 or 1.
+    #[inline(always)]
+    pub fn get(&self, g: usize) -> u64 {
+        (self.0[g / WORD_BITS] >> (g % WORD_BITS)) & 1
+    }
+
+    /// True when every element is zero — the carry chains branch on this.
+    #[inline(always)]
+    pub fn is_zero(&self) -> bool {
+        let mut acc = 0u64;
+        for &e in &self.0 {
+            acc |= e;
+        }
+        acc == 0
+    }
+}
+
+impl<const W: usize> Default for Stripe<W> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+macro_rules! stripe_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $assign_op:tt) => {
+        impl<const W: usize> core::ops::$trait for Stripe<W> {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(mut self, rhs: Self) -> Self {
+                core::ops::$assign_trait::$assign_method(&mut self, rhs);
+                self
+            }
+        }
+        impl<const W: usize> core::ops::$assign_trait for Stripe<W> {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: Self) {
+                for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+                    *a $assign_op *b;
+                }
+            }
+        }
+    };
+}
+
+stripe_binop!(BitAnd, bitand, BitAndAssign, bitand_assign, &=);
+stripe_binop!(BitOr, bitor, BitOrAssign, bitor_assign, |=);
+stripe_binop!(BitXor, bitxor, BitXorAssign, bitxor_assign, ^=);
+
+impl<const W: usize> core::ops::Not for Stripe<W> {
+    type Output = Self;
+    #[inline(always)]
+    fn not(mut self) -> Self {
+        for a in self.0.iter_mut() {
+            *a = !*a;
+        }
+        self
+    }
+}
 
 /// One input row for the word-parallel kernel (single-image layout).
 #[derive(Clone, Copy)]
@@ -71,6 +165,19 @@ impl KernelRow<'_> {
 #[inline]
 fn words_for(len: usize) -> usize {
     len.div_ceil(WORD_BITS)
+}
+
+/// Checks a lane-group size against the `64·W` stripe capacity, the shared
+/// guard of every pack/unpack entry point.
+#[inline]
+fn check_lane_capacity<const W: usize>(lanes: usize) -> Result<(), BitstreamError> {
+    if lanes == 0 {
+        return Err(BitstreamError::Empty);
+    }
+    if lanes > WORD_BITS * W {
+        return Err(BitstreamError::LaneCapacity { lanes, capacity: WORD_BITS * W });
+    }
+    Ok(())
 }
 
 /// Transpose a u64 viewed as an 8x8 bit matrix in LSB-first order:
@@ -205,17 +312,17 @@ pub fn column_counts_into(rows: &[KernelRow<'_>], len: usize, counts: &mut Vec<u
     }
 }
 
-/// One input row for the batch-transposed (lane) kernel. Lane words hold
-/// the same cycle of up to 64 images; weight streams are per-cycle scalars
-/// broadcast across lanes.
+/// One input row for the batch-transposed (lane) kernel. Lane stripes hold
+/// the same cycle of up to `64·W` images; weight streams are per-cycle
+/// scalars broadcast across lanes.
 #[derive(Clone, Copy)]
-pub enum LaneRow<'a> {
+pub enum LaneRow<'a, const W: usize> {
     /// Lane-packed activations XNORed with a scalar weight stream: for
-    /// cycle `t`, the lane word is `lanes[t] ^ (wbit - 1)` (XNOR with a
-    /// broadcast bit: weight bit 1 keeps the lanes, 0 inverts them).
-    Xnor(&'a [u64], &'a [u64]),
+    /// cycle `t`, the lane stripe is `lanes[t] ^ splat(wbit - 1)` (XNOR
+    /// with a broadcast bit: weight bit 1 keeps the lanes, 0 inverts them).
+    Xnor(&'a [Stripe<W>], &'a [u64]),
     /// Lane-packed bits contributing themselves.
-    Lanes(&'a [u64]),
+    Lanes(&'a [Stripe<W>]),
     /// A scalar stream broadcast to every lane (e.g. a bias stream).
     Broadcast(&'a [u64]),
     /// XNOR of two scalar streams broadcast to every lane (e.g. a padding
@@ -226,10 +333,10 @@ pub enum LaneRow<'a> {
     /// group sit at *different* absolute cycles, the weight stream is no
     /// longer a per-cycle scalar and must itself be lane-packed (see
     /// [`pack_offset_windows_into`]).
-    XnorLanes(&'a [u64], &'a [u64]),
+    XnorLanes(&'a [Stripe<W>], &'a [Stripe<W>]),
     /// Lane-packed bits contributing themselves, already aligned per lane
     /// (e.g. a bias or neutral stream packed at per-lane offsets).
-    PackedLanes(&'a [u64]),
+    PackedLanes(&'a [Stripe<W>]),
 }
 
 #[inline]
@@ -237,7 +344,7 @@ fn scalar_bit(words: &[u64], t: usize) -> u64 {
     (words[t / WORD_BITS] >> (t % WORD_BITS)) & 1
 }
 
-impl LaneRow<'_> {
+impl<const W: usize> LaneRow<'_, W> {
     fn check(&self, clen: usize) {
         let scalar_need = words_for(clen);
         match self {
@@ -270,14 +377,62 @@ impl LaneRow<'_> {
     }
 }
 
+/// Row-count ceiling for the per-cycle compressor-tree fast path of
+/// [`lane_column_planes`] and for [`lane_counts_stream`]. Kernels up to
+/// this many rows (every conv window and pool window in practice) count
+/// each cycle in registers with a branchless 3:2 full-adder tree; wider
+/// kernels fall back to streaming carry-save inserts through the plane
+/// arrays.
+pub const TREE_ROWS: usize = 16;
+
+/// Count bit-planes needed for [`TREE_ROWS`] rows.
+const TREE_PLANES: usize = usize::BITS as usize - TREE_ROWS.leading_zeros() as usize;
+
+/// Row-count floor for the tree path: below this the streaming carry-save
+/// insert wins (its two-level branchless insert is cheaper than the tree's
+/// per-cycle gather when there are only a handful of rows).
+const MIN_TREE_ROWS: usize = 6;
+
+/// 3:2 compressor: the bit-sliced full adder `(a + b + c) = sum + 2·carry`.
+#[inline(always)]
+fn csa<const W: usize>(a: Stripe<W>, b: Stripe<W>, c: Stripe<W>) -> (Stripe<W>, Stripe<W>) {
+    (a ^ b ^ c, (a & b) | (a & c) | (b & c))
+}
+
+/// The per-cycle word each [`LaneRow`] variant contributes at cycle `t`.
+#[inline(always)]
+fn row_word<const W: usize>(row: &LaneRow<'_, W>, t: usize) -> Stripe<W> {
+    match row {
+        LaneRow::Xnor(lanes, w) => lanes[t] ^ Stripe::splat(scalar_bit(w, t).wrapping_sub(1)),
+        LaneRow::Lanes(lanes) | LaneRow::PackedLanes(lanes) => lanes[t],
+        LaneRow::Broadcast(sw) => Stripe::splat(0u64.wrapping_sub(scalar_bit(sw, t))),
+        LaneRow::BroadcastXnor(a, b) => {
+            Stripe::splat(0u64.wrapping_sub(1 ^ (scalar_bit(a, t) ^ scalar_bit(b, t))))
+        }
+        LaneRow::XnorLanes(a, b) => !(a[t] ^ b[t]),
+    }
+}
+
 /// Batch-transposed column counting. For each of `clen` cycles, accumulate
 /// per-lane counts across `rows` in carry-save form: after the call,
 /// `planes[p][t]` holds bit `p` of each lane's count for cycle `t`
-/// (LSB-first lane order). Returns the number of planes used.
+/// (LSB-first lane order within each stripe element). Returns the number of
+/// planes used.
+///
+/// Kernels with at most [`TREE_ROWS`] rows take a register-resident path:
+/// each cycle's row bits are gathered once and reduced weight-by-weight
+/// with a 3:2 full-adder tree (Dadda-style, `⌈(n−1)/2⌉` adders at weight
+/// 0), so no plane word is loaded or stored more than once per cycle and
+/// the reduction has no data-dependent branches. The binary count per lane
+/// is unique, so both paths produce bit-identical planes.
 ///
 /// `planes` is grown/reused like a scratch arena; its contents on entry are
 /// ignored.
-pub fn lane_column_planes(rows: &[LaneRow<'_>], clen: usize, planes: &mut Vec<Vec<u64>>) -> usize {
+pub fn lane_column_planes<const W: usize>(
+    rows: &[LaneRow<'_, W>],
+    clen: usize,
+    planes: &mut Vec<Vec<Stripe<W>>>,
+) -> usize {
     assert!(rows.len() <= MAX_KERNEL_ROWS, "lane_column_planes: too many rows");
     for r in rows {
         r.check(clen);
@@ -288,14 +443,22 @@ pub fn lane_column_planes(rows: &[LaneRow<'_>], clen: usize, planes: &mut Vec<Ve
     }
     for p in planes.iter_mut().take(max_planes) {
         p.clear();
-        p.resize(clen, 0);
+        p.resize(clen, Stripe::ZERO);
+    }
+    if (MIN_TREE_ROWS..=TREE_ROWS).contains(&rows.len()) {
+        lane_counts_stream(rows, clen, |t, counts| {
+            for (p, &c) in counts.iter().enumerate() {
+                planes[p][t] = c;
+            }
+        });
+        return max_planes;
     }
     // Per-variant inner loops: the enum dispatch happens once per row per
     // block instead of once per (row, cycle), monomorphising six tight
     // carry-save loops.
     #[inline(always)]
-    fn accum<F: FnMut(usize) -> u64>(
-        planes: &mut [Vec<u64>],
+    fn accum<const W: usize, F: FnMut(usize) -> Stripe<W>>(
+        planes: &mut [Vec<Stripe<W>>],
         t0: usize,
         bw: usize,
         used: &mut usize,
@@ -321,9 +484,9 @@ pub fn lane_column_planes(rows: &[LaneRow<'_>], clen: usize, planes: &mut Vec<Ve
             let s = *w1;
             *w1 = s ^ carry;
             carry &= s;
-            if carry != 0 {
+            if !carry.is_zero() {
                 let mut p = 0usize;
-                while carry != 0 {
+                while !carry.is_zero() {
                     let s = deep[p][t];
                     deep[p][t] = s ^ carry;
                     carry &= s;
@@ -342,16 +505,16 @@ pub fn lane_column_planes(rows: &[LaneRow<'_>], clen: usize, planes: &mut Vec<Ve
         for row in rows {
             match row {
                 LaneRow::Xnor(lanes, w) => accum(planes, t0, bw, &mut used, |t| {
-                    lanes[t] ^ scalar_bit(w, t).wrapping_sub(1)
+                    lanes[t] ^ Stripe::splat(scalar_bit(w, t).wrapping_sub(1))
                 }),
                 LaneRow::Lanes(lanes) | LaneRow::PackedLanes(lanes) => {
                     accum(planes, t0, bw, &mut used, |t| lanes[t])
                 }
-                LaneRow::Broadcast(sw) => {
-                    accum(planes, t0, bw, &mut used, |t| 0u64.wrapping_sub(scalar_bit(sw, t)))
-                }
+                LaneRow::Broadcast(sw) => accum(planes, t0, bw, &mut used, |t| {
+                    Stripe::splat(0u64.wrapping_sub(scalar_bit(sw, t)))
+                }),
                 LaneRow::BroadcastXnor(a, b) => accum(planes, t0, bw, &mut used, |t| {
-                    0u64.wrapping_sub(1 ^ (scalar_bit(a, t) ^ scalar_bit(b, t)))
+                    Stripe::splat(0u64.wrapping_sub(1 ^ (scalar_bit(a, t) ^ scalar_bit(b, t))))
                 }),
                 LaneRow::XnorLanes(a, b) => {
                     accum(planes, t0, bw, &mut used, |t| !(a[t] ^ b[t]))
@@ -363,33 +526,98 @@ pub fn lane_column_planes(rows: &[LaneRow<'_>], clen: usize, planes: &mut Vec<Ve
     used
 }
 
+/// Streams per-cycle lane counts to `sink` without materialising plane
+/// arrays: for each cycle `t` in `0..clen`, `sink(t, counts)` receives the
+/// cycle's per-lane count bit-planes (LSB first, `bit_width(rows.len())`
+/// entries) while they are still in registers. This is the fusion point
+/// for lane FSM sweeps — the consumer folds the counts into its recurrence
+/// directly instead of round-tripping them through [`lane_column_planes`]
+/// plane arrays.
+///
+/// Each cycle is gathered once and reduced weight-by-weight with a 3:2
+/// full-adder tree: every full adder retires two values at its weight and
+/// promotes one carry to the next weight's array (the two work arrays
+/// ping-pong, so nothing is copied between weights). Every work slot is
+/// written before it is read (the gather fills `v[..n]`, the reduction
+/// reads only `v[..cnt]` / `carries[..nc]`), so stale tails never leak and
+/// the arrays are zeroed once per call, not once per cycle.
+///
+/// # Panics
+///
+/// Panics when `rows` exceeds [`TREE_ROWS`] or a row is shorter than
+/// `clen`.
+#[inline]
+pub fn lane_counts_stream<const W: usize, F: FnMut(usize, &[Stripe<W>])>(
+    rows: &[LaneRow<'_, W>],
+    clen: usize,
+    mut sink: F,
+) {
+    assert!(rows.len() <= TREE_ROWS, "lane_counts_stream: too many rows");
+    for r in rows {
+        r.check(clen);
+    }
+    let n = rows.len();
+    let max_planes = usize::BITS as usize - n.leading_zeros() as usize;
+    let mut a = [Stripe::<W>::ZERO; TREE_ROWS];
+    let mut b = [Stripe::<W>::ZERO; TREE_ROWS];
+    let mut counts = [Stripe::<W>::ZERO; TREE_PLANES];
+    let (mut v, mut carries) = (&mut a[..], &mut b[..]);
+    for t in 0..clen {
+        for (slot, row) in v.iter_mut().zip(rows.iter()) {
+            *slot = row_word(row, t);
+        }
+        let mut cnt = n;
+        for c_out in counts.iter_mut().take(max_planes) {
+            let mut nc = 0usize;
+            while cnt >= 3 {
+                let (s, c) = csa(v[cnt - 1], v[cnt - 2], v[cnt - 3]);
+                cnt -= 2;
+                v[cnt - 1] = s;
+                carries[nc] = c;
+                nc += 1;
+            }
+            if cnt == 2 {
+                let (s, c) = (v[0] ^ v[1], v[0] & v[1]);
+                v[0] = s;
+                carries[nc] = c;
+                nc += 1;
+                cnt = 1;
+            }
+            *c_out = if cnt == 1 { v[0] } else { Stripe::ZERO };
+            std::mem::swap(&mut v, &mut carries);
+            cnt = nc;
+        }
+        sink(t, &counts[..max_planes]);
+    }
+}
+
 /// Per-lane popcount accumulator for lane-packed streams: counts, for each
-/// of the 64 lanes, how many cycles had that lane's bit set. Carry-save
-/// over up to [`MAX_KERNEL_ROWS`] added words.
-pub struct LanePopcount {
-    planes: [u64; MAX_PLANES],
+/// of the `64·W` lanes, how many cycles had that lane's bit set. Carry-save
+/// over up to [`MAX_KERNEL_ROWS`] added stripes.
+pub struct LanePopcount<const W: usize = 1> {
+    planes: [Stripe<W>; MAX_PLANES],
     added: usize,
 }
 
-impl Default for LanePopcount {
+impl<const W: usize> Default for LanePopcount<W> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl LanePopcount {
+impl<const W: usize> LanePopcount<W> {
     /// A fresh accumulator with all lane totals at zero.
     pub fn new() -> Self {
-        Self { planes: [0; MAX_PLANES], added: 0 }
+        Self { planes: [Stripe::ZERO; MAX_PLANES], added: 0 }
     }
 
-    /// Add one lane word (one cycle across 64 lanes).
+    /// Add one lane stripe (one cycle across `64·W` lanes).
     #[inline]
-    pub fn add(&mut self, mut carry: u64) {
+    pub fn add(&mut self, mut carry: Stripe<W>) {
         assert!(self.added < MAX_KERNEL_ROWS, "LanePopcount: too many words");
         self.added += 1;
         let mut p = 0usize;
-        while carry != 0 {
+        while !carry.is_zero() {
             let s = self.planes[p];
             self.planes[p] = s ^ carry;
             carry &= s;
@@ -397,46 +625,63 @@ impl LanePopcount {
         }
     }
 
-    /// Total count for `lane` (0..64).
+    /// Total count for `lane` (0..`64·W`).
     pub fn total(&self, lane: usize) -> u32 {
-        assert!(lane < WORD_BITS);
+        assert!(lane < WORD_BITS * W);
         let mut t = 0u32;
         for (p, plane) in self.planes.iter().enumerate() {
-            t += (((plane >> lane) & 1) as u32) << p;
+            t += (plane.get(lane) as u32) << p;
         }
         t
     }
 }
 
-/// Pack up to 64 equal-length bit streams into lane layout: `out[t]` holds
-/// bit `t` of every member stream, member `g` in bit `g` (LSB-first). `out`
-/// is resized to `len` words.
-pub fn pack_lanes_into<'a, I>(members: I, len: usize, out: &mut Vec<u64>)
+/// Pack up to `64·W` equal-length bit streams into lane layout: `out[t]`
+/// holds bit `t` of every member stream, member `g` in lane `g` (bit
+/// `g % 64` of element `g / 64`, LSB-first). `out` is resized to `len`
+/// stripes; lanes past the member count read as 0.
+///
+/// # Errors
+///
+/// [`BitstreamError::Empty`] with no members;
+/// [`BitstreamError::LaneCapacity`] with more members than the stripe
+/// holds — the typed form of the old 64-stream assertion so retire-and-
+/// refill callers can surface oversized groups instead of panicking.
+pub fn pack_lanes_into<'a, const W: usize, I>(
+    members: I,
+    len: usize,
+    out: &mut Vec<Stripe<W>>,
+) -> Result<(), BitstreamError>
 where
     I: IntoIterator<Item = &'a BitStream>,
 {
     let members: Vec<&BitStream> = members.into_iter().collect();
-    assert!(!members.is_empty() && members.len() <= WORD_BITS, "pack_lanes_into: need 1..=64 streams");
+    check_lane_capacity::<W>(members.len())?;
     for m in &members {
         assert_eq!(m.len(), len, "pack_lanes_into: length mismatch");
     }
     out.clear();
-    out.resize(len, 0);
+    out.resize(len, Stripe::ZERO);
     if len == 0 {
-        return;
+        return Ok(());
     }
     let nw = words_for(len);
     let mut mat = [0u64; 64];
-    for w in 0..nw {
-        mat.fill(0);
-        for (g, m) in members.iter().enumerate() {
-            mat[g] = m.words()[w];
+    for (e, sub) in members.chunks(WORD_BITS).enumerate() {
+        for w in 0..nw {
+            mat.fill(0);
+            for (g, m) in sub.iter().enumerate() {
+                mat[g] = m.words()[w];
+            }
+            transpose64(&mut mat);
+            let cyc0 = w * WORD_BITS;
+            let valid = (len - cyc0).min(WORD_BITS);
+            for (r, &row) in mat[..valid].iter().enumerate() {
+                out[cyc0 + r].0[e] = row;
+            }
         }
-        transpose64(&mut mat);
-        let cyc0 = w * WORD_BITS;
-        let valid = (len - cyc0).min(WORD_BITS);
-        out[cyc0..cyc0 + valid].copy_from_slice(&mat[..valid]);
     }
+    Ok(())
 }
 
 /// 64 bits of a word-packed scalar stream starting at bit `pos`. Bits
@@ -460,31 +705,32 @@ fn window64(words: &[u64], pos: usize) -> u64 {
 /// Pack per-lane *windows* of one scalar stream into lane layout: lane `g`
 /// (for `g < offsets.len()`) receives bits
 /// `offsets[g] .. offsets[g] + clen` of `words`, so `out[t]` holds bit
-/// `offsets[g] + t` of the stream in bit `g`. Unused lanes read as 0.
+/// `offsets[g] + t` of the stream in lane `g`. Unused lanes read as 0.
 ///
 /// This is what lets a retire-and-refill lane group keep *mixed* absolute
-/// cycle offsets inside one machine word: an image-independent stream
-/// (weights, bias, the 0101… neutral pad) stops being a per-cycle
-/// broadcast the moment two lanes disagree on their absolute cycle, and
-/// must instead be gathered per lane at each lane's own offset.
-/// `bit_len` is the scalar stream's length in bits; every window must fit
-/// (`offsets[g] + clen <= bit_len`). `out` is resized to `clen` words.
+/// cycle offsets inside one stripe: an image-independent stream (weights,
+/// bias, the 0101… neutral pad) stops being a per-cycle broadcast the
+/// moment two lanes disagree on their absolute cycle, and must instead be
+/// gathered per lane at each lane's own offset. `bit_len` is the scalar
+/// stream's length in bits; every window must fit
+/// (`offsets[g] + clen <= bit_len`). `out` is resized to `clen` stripes.
+///
+/// # Errors
+///
+/// [`BitstreamError::Empty`] with no offsets;
+/// [`BitstreamError::LaneCapacity`] with more lanes than the stripe holds.
 ///
 /// # Panics
 ///
-/// Panics when `offsets` is empty or holds more than 64 lanes, or when any
-/// window runs past `bit_len`.
-pub fn pack_offset_windows_into(
+/// Panics when any window runs past `bit_len`.
+pub fn pack_offset_windows_into<const W: usize>(
     words: &[u64],
     bit_len: usize,
     offsets: &[usize],
     clen: usize,
-    out: &mut Vec<u64>,
-) {
-    assert!(
-        !offsets.is_empty() && offsets.len() <= WORD_BITS,
-        "pack_offset_windows_into: need 1..=64 lanes"
-    );
+    out: &mut Vec<Stripe<W>>,
+) -> Result<(), BitstreamError> {
+    check_lane_capacity::<W>(offsets.len())?;
     assert!(words.len() * WORD_BITS >= bit_len, "pack_offset_windows_into: too few words");
     for &o in offsets {
         assert!(
@@ -493,38 +739,59 @@ pub fn pack_offset_windows_into(
         );
     }
     out.clear();
-    out.resize(clen, 0);
+    out.resize(clen, Stripe::ZERO);
     let mut mat = [0u64; 64];
-    let mut t0 = 0usize;
-    while t0 < clen {
-        mat.fill(0);
-        for (g, &o) in offsets.iter().enumerate() {
-            mat[g] = window64(words, o + t0);
+    for (e, sub) in offsets.chunks(WORD_BITS).enumerate() {
+        let mut t0 = 0usize;
+        while t0 < clen {
+            mat.fill(0);
+            for (g, &o) in sub.iter().enumerate() {
+                mat[g] = window64(words, o + t0);
+            }
+            transpose64(&mut mat);
+            let valid = (clen - t0).min(WORD_BITS);
+            for (r, &row) in mat[..valid].iter().enumerate() {
+                out[t0 + r].0[e] = row;
+            }
+            t0 += WORD_BITS;
         }
-        transpose64(&mut mat);
-        let valid = (clen - t0).min(WORD_BITS);
-        out[t0..t0 + valid].copy_from_slice(&mat[..valid]);
-        t0 += WORD_BITS;
     }
+    Ok(())
 }
 
 /// Unpack lane layout back into per-image [`BitStream`]s: stream `g`
-/// receives bit `g` of every lane word. Each stream in `outs` is
-/// overwritten with a `len`-bit stream.
-pub fn unpack_lanes_into(lanes: &[u64], len: usize, outs: &mut [BitStream]) {
-    assert!(!outs.is_empty() && outs.len() <= WORD_BITS, "unpack_lanes_into: need 1..=64 streams");
+/// receives lane `g` of every stripe. Each stream in `outs` is overwritten
+/// with a `len`-bit stream.
+///
+/// # Errors
+///
+/// [`BitstreamError::Empty`] with no output streams;
+/// [`BitstreamError::LaneCapacity`] with more streams than the stripe
+/// holds.
+pub fn unpack_lanes_into<const W: usize>(
+    lanes: &[Stripe<W>],
+    len: usize,
+    outs: &mut [BitStream],
+) -> Result<(), BitstreamError> {
+    check_lane_capacity::<W>(outs.len())?;
     assert!(lanes.len() >= len, "unpack_lanes_into: too few lane words");
     let nw = words_for(len);
     let mut mats: Vec<[u64; 64]> = vec![[0u64; 64]; nw];
-    for (w, mat) in mats.iter_mut().enumerate() {
-        let cyc0 = w * WORD_BITS;
-        let valid = (len - cyc0).min(WORD_BITS);
-        mat[..valid].copy_from_slice(&lanes[cyc0..cyc0 + valid]);
-        transpose64(mat);
+    for (e, sub) in outs.chunks_mut(WORD_BITS).enumerate() {
+        for (w, mat) in mats.iter_mut().enumerate() {
+            let cyc0 = w * WORD_BITS;
+            let valid = (len - cyc0).min(WORD_BITS);
+            for (r, m) in mat[..valid].iter_mut().enumerate() {
+                *m = lanes[cyc0 + r].0[e];
+            }
+            mat[valid..].fill(0);
+            transpose64(mat);
+        }
+        for (g, out) in sub.iter_mut().enumerate() {
+            out.fill_words_with(len, |w, _| mats[w][g]);
+        }
     }
-    for (g, out) in outs.iter_mut().enumerate() {
-        out.fill_words_with(len, |w, _| mats[w][g]);
-    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -585,6 +852,22 @@ mod tests {
     }
 
     #[test]
+    fn stripe_ops_are_elementwise() {
+        let a = Stripe([0b1100u64, u64::MAX, 0, 7]);
+        let b = Stripe([0b1010u64, 1, u64::MAX, 0]);
+        assert_eq!((a & b).0, [0b1000, 1, 0, 0]);
+        assert_eq!((a | b).0, [0b1110, u64::MAX, u64::MAX, 7]);
+        assert_eq!((a ^ b).0, [0b0110, u64::MAX - 1, u64::MAX, 7]);
+        assert_eq!((!Stripe::<4>::ZERO).0, [u64::MAX; 4]);
+        assert_eq!(Stripe::<4>::splat(5).0, [5; 4]);
+        assert!(Stripe::<4>::ZERO.is_zero());
+        assert!(!a.is_zero());
+        let mask = Stripe([0, 0, 1u64 << 5, 0]);
+        assert_eq!(mask.get(2 * 64 + 5), 1);
+        assert_eq!(mask.get(5), 0);
+    }
+
+    #[test]
     fn column_counts_match_naive_ragged() {
         for &len in &[1usize, 63, 64, 65, 130, 511, 512, 700] {
             let streams: Vec<BitStream> = (0..9).map(|i| rand_stream(i, len)).collect();
@@ -637,18 +920,67 @@ mod tests {
         for &(n, len) in &[(1usize, 64usize), (5, 100), (64, 512), (64, 130), (17, 65)] {
             let streams: Vec<BitStream> =
                 (0..n as u64).map(|i| rand_stream(i * 31 + 1, len)).collect();
-            let mut lanes = Vec::new();
-            pack_lanes_into(&streams, len, &mut lanes);
+            let mut lanes: Vec<Stripe<1>> = Vec::new();
+            pack_lanes_into(&streams, len, &mut lanes).unwrap();
             // Lane word t bit g == stream g bit t.
             for t in (0..len).step_by(17) {
                 for (g, s) in streams.iter().enumerate() {
-                    assert_eq!((lanes[t] >> g) & 1 == 1, s.get(t).unwrap(), "({g},{t})");
+                    assert_eq!(lanes[t].get(g) == 1, s.get(t).unwrap(), "({g},{t})");
                 }
             }
             let mut outs: Vec<BitStream> = (0..n).map(|_| BitStream::zeros(0)).collect();
-            unpack_lanes_into(&lanes, len, &mut outs);
+            unpack_lanes_into(&lanes, len, &mut outs).unwrap();
             assert_eq!(outs, streams, "n {n} len {len}");
         }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_wide_stripes() {
+        // Ragged last stripes: member counts that straddle element
+        // boundaries of a W=4 stripe.
+        for &(n, len) in &[(65usize, 100usize), (130, 65), (192, 130), (256, 70), (70, 1)] {
+            let streams: Vec<BitStream> =
+                (0..n as u64).map(|i| rand_stream(i * 17 + 3, len)).collect();
+            let mut lanes: Vec<Stripe<4>> = Vec::new();
+            pack_lanes_into(&streams, len, &mut lanes).unwrap();
+            for t in (0..len).step_by(13) {
+                for (g, s) in streams.iter().enumerate() {
+                    assert_eq!(lanes[t].get(g) == 1, s.get(t).unwrap(), "({g},{t})");
+                }
+                // Lanes past the member count stay zero.
+                for g in n..MAX_LANES {
+                    assert_eq!(lanes[t].get(g), 0, "unused lane {g} cycle {t}");
+                }
+            }
+            let mut outs: Vec<BitStream> = (0..n).map(|_| BitStream::zeros(0)).collect();
+            unpack_lanes_into(&lanes, len, &mut outs).unwrap();
+            assert_eq!(outs, streams, "n {n} len {len}");
+        }
+    }
+
+    #[test]
+    fn pack_and_unpack_report_capacity_errors() {
+        let streams: Vec<BitStream> = (0..65u64).map(|i| rand_stream(i, 32)).collect();
+        let mut lanes: Vec<Stripe<1>> = Vec::new();
+        assert_eq!(
+            pack_lanes_into(&streams, 32, &mut lanes),
+            Err(BitstreamError::LaneCapacity { lanes: 65, capacity: 64 })
+        );
+        assert_eq!(
+            pack_lanes_into::<1, _>(std::iter::empty(), 32, &mut lanes),
+            Err(BitstreamError::Empty)
+        );
+        let packed = vec![Stripe::<1>::ZERO; 32];
+        let mut outs: Vec<BitStream> = (0..65).map(|_| BitStream::zeros(0)).collect();
+        assert_eq!(
+            unpack_lanes_into(&packed, 32, &mut outs),
+            Err(BitstreamError::LaneCapacity { lanes: 65, capacity: 64 })
+        );
+        let mut out = Vec::new();
+        assert_eq!(
+            pack_offset_windows_into::<2>(&[0u64; 8], 512, &[0; 129], 4, &mut out),
+            Err(BitstreamError::LaneCapacity { lanes: 129, capacity: 128 })
+        );
     }
 
     #[test]
@@ -666,9 +998,9 @@ mod tests {
         let bias = rand_stream(9000, clen);
         let neutral = rand_stream(9001, clen);
 
-        let mut lanes: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        let mut lanes: Vec<Vec<Stripe<1>>> = vec![Vec::new(); 3];
         for (j, a) in acts.iter().enumerate() {
-            pack_lanes_into(a, clen, &mut lanes[j]);
+            pack_lanes_into(a, clen, &mut lanes[j]).unwrap();
         }
         let rows = [
             LaneRow::Xnor(&lanes[0], w[0].words()),
@@ -692,9 +1024,45 @@ mod tests {
                 expect += u32::from(!(neutral.get(t).unwrap() ^ w[0].get(t).unwrap()));
                 let mut got = 0u32;
                 for (p, plane) in planes.iter().take(used).enumerate() {
-                    got += (((plane[t] >> g) & 1) as u32) << p;
+                    got += (plane[t].get(g) as u32) << p;
                 }
                 assert_eq!(got, expect, "lane {g} cycle {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_planes_wide_stripe_matches_w1_per_subgroup() {
+        // A W=4 group must produce, in stripe element e, exactly the planes
+        // a W=1 run over lanes 64e..64e+64 produces — stripes are pure
+        // lane-parallel width, never arithmetic.
+        let n_lanes = 200usize; // ragged: 3 full elements + 8 lanes
+        let clen = 97usize;
+        let acts: Vec<BitStream> =
+            (0..n_lanes as u64).map(|g| rand_stream(40_000 + g, clen)).collect();
+        let w = rand_stream(41_000, clen);
+        let bias = rand_stream(41_001, clen);
+
+        let mut wide: Vec<Stripe<4>> = Vec::new();
+        pack_lanes_into(&acts, clen, &mut wide).unwrap();
+        let rows4 = [LaneRow::Xnor(&wide, w.words()), LaneRow::Broadcast(bias.words())];
+        let mut planes4 = Vec::new();
+        let used4 = lane_column_planes(&rows4, clen, &mut planes4);
+
+        for (e, sub) in acts.chunks(WORD_BITS).enumerate() {
+            let mut narrow: Vec<Stripe<1>> = Vec::new();
+            pack_lanes_into(sub, clen, &mut narrow).unwrap();
+            let rows1 = [LaneRow::Xnor(&narrow, w.words()), LaneRow::Broadcast(bias.words())];
+            let mut planes1 = Vec::new();
+            let used1 = lane_column_planes(&rows1, clen, &mut planes1);
+            assert_eq!(used4, used1);
+            for p in 0..used4 {
+                for t in 0..clen {
+                    assert_eq!(
+                        planes4[p][t].0[e], planes1[p][t].0[0],
+                        "element {e} plane {p} cycle {t}"
+                    );
+                }
             }
         }
     }
@@ -704,13 +1072,13 @@ mod tests {
         let stream = rand_stream(31, 700);
         for &(n, clen) in &[(1usize, 64usize), (3, 100), (64, 65), (17, 130), (40, 1)] {
             let offsets: Vec<usize> = (0..n).map(|g| (g * 37 + 5) % (700 - clen + 1)).collect();
-            let mut out = Vec::new();
-            pack_offset_windows_into(stream.words(), 700, &offsets, clen, &mut out);
+            let mut out: Vec<Stripe<1>> = Vec::new();
+            pack_offset_windows_into(stream.words(), 700, &offsets, clen, &mut out).unwrap();
             assert_eq!(out.len(), clen);
             for (g, &o) in offsets.iter().enumerate() {
                 for (t, &w) in out.iter().enumerate().take(clen) {
                     assert_eq!(
-                        (w >> g) & 1 == 1,
+                        w.get(g) == 1,
                         stream.get(o + t).unwrap(),
                         "lane {g} offset {o} cycle {t}"
                     );
@@ -719,7 +1087,31 @@ mod tests {
             // Unused lanes read as zero.
             if n < 64 {
                 for (t, &w) in out.iter().enumerate().take(clen) {
-                    assert_eq!(w >> n, 0, "unused lanes must be zero at cycle {t}");
+                    assert_eq!(w.0[0] >> n, 0, "unused lanes must be zero at cycle {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offset_windows_wide_stripe_matches_per_bit_gather() {
+        let stream = rand_stream(77, 900);
+        for &(n, clen) in &[(65usize, 64usize), (128, 100), (200, 65), (256, 33)] {
+            let offsets: Vec<usize> = (0..n).map(|g| (g * 29 + 3) % (900 - clen + 1)).collect();
+            let mut out: Vec<Stripe<4>> = Vec::new();
+            pack_offset_windows_into(stream.words(), 900, &offsets, clen, &mut out).unwrap();
+            for (g, &o) in offsets.iter().enumerate() {
+                for (t, &w) in out.iter().enumerate().take(clen) {
+                    assert_eq!(
+                        w.get(g) == 1,
+                        stream.get(o + t).unwrap(),
+                        "lane {g} offset {o} cycle {t}"
+                    );
+                }
+            }
+            for g in n..MAX_LANES {
+                for (t, &w) in out.iter().enumerate().take(clen) {
+                    assert_eq!(w.get(g), 0, "unused lane {g} cycle {t}");
                 }
             }
         }
@@ -729,8 +1121,8 @@ mod tests {
     #[should_panic(expected = "window runs past the stream")]
     fn offset_windows_reject_out_of_range_windows() {
         let stream = rand_stream(3, 100);
-        let mut out = Vec::new();
-        pack_offset_windows_into(stream.words(), 100, &[50], 51, &mut out);
+        let mut out: Vec<Stripe<1>> = Vec::new();
+        let _ = pack_offset_windows_into(stream.words(), 100, &[50], 51, &mut out);
     }
 
     #[test]
@@ -738,12 +1130,12 @@ mod tests {
         let clen = 130usize;
         let a = rand_stream(1, clen);
         let b = rand_stream(2, clen);
-        let mut a_lanes = Vec::new();
-        let mut b_lanes = Vec::new();
+        let mut a_lanes: Vec<Stripe<1>> = Vec::new();
+        let mut b_lanes: Vec<Stripe<1>> = Vec::new();
         // Same stream in every lane keeps the reference simple; per-lane
         // independence is pinned by the ragged proptests in tests/.
-        pack_lanes_into(std::iter::repeat_n(&a, 5), clen, &mut a_lanes);
-        pack_lanes_into(std::iter::repeat_n(&b, 5), clen, &mut b_lanes);
+        pack_lanes_into(std::iter::repeat_n(&a, 5), clen, &mut a_lanes).unwrap();
+        pack_lanes_into(std::iter::repeat_n(&b, 5), clen, &mut b_lanes).unwrap();
         let rows = [LaneRow::XnorLanes(&a_lanes, &b_lanes), LaneRow::PackedLanes(&b_lanes)];
         let mut planes = Vec::new();
         let used = lane_column_planes(&rows, clen, &mut planes);
@@ -753,7 +1145,7 @@ mod tests {
                     + u32::from(b.get(t).unwrap());
                 let mut got = 0u32;
                 for (p, plane) in planes.iter().take(used).enumerate() {
-                    got += (((plane[t] >> g) & 1) as u32) << p;
+                    got += (plane[t].get(g) as u32) << p;
                 }
                 assert_eq!(got, expect, "lane {g} cycle {t}");
             }
@@ -766,10 +1158,28 @@ mod tests {
         let mut rng = SplitMix64::new(42);
         let words: Vec<u64> = (0..300).map(|_| rng.next_u64()).collect();
         for &w in &words {
-            lp.add(w);
+            lp.add(Stripe([w]));
         }
         for lane in [0usize, 1, 31, 63] {
             let expect: u32 = words.iter().map(|w| ((w >> lane) & 1) as u32).sum();
+            assert_eq!(lp.total(lane), expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn lane_popcount_wide_stripe_totals() {
+        let mut lp = LanePopcount::<4>::new();
+        let mut rng = SplitMix64::new(43);
+        let stripes: Vec<Stripe<4>> = (0..300)
+            .map(|_| {
+                Stripe([rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()])
+            })
+            .collect();
+        for &s in &stripes {
+            lp.add(s);
+        }
+        for lane in [0usize, 63, 64, 127, 128, 200, 255] {
+            let expect: u32 = stripes.iter().map(|s| s.get(lane) as u32).sum();
             assert_eq!(lp.total(lane), expect, "lane {lane}");
         }
     }

@@ -52,9 +52,10 @@ mod value;
 pub use counter::{column_counts, ColumnCounter};
 pub use corr::{pearson_correlation, scc, uniformity_chi_square};
 pub use kernel::{
-    column_counts_into, extract_plane_counts, lane_column_planes, pack_lanes_into,
-    pack_offset_windows_into, transpose64, transpose8, unpack_lanes_into, xnor_popcount,
-    KernelRow, LanePopcount, LaneRow, BLOCK_WORDS, MAX_KERNEL_ROWS, MAX_PLANES,
+    column_counts_into, extract_plane_counts, lane_column_planes, lane_counts_stream,
+    pack_lanes_into, pack_offset_windows_into, transpose64, transpose8, unpack_lanes_into,
+    xnor_popcount, KernelRow, LanePopcount, LaneRow, Stripe, BLOCK_WORDS, MAX_KERNEL_ROWS,
+    MAX_LANES, MAX_PLANES, MAX_STRIPE_WORDS, TREE_ROWS,
 };
 pub use error::BitstreamError;
 pub use ops::{maj3_streams, mux_add, weighted_inner_product_value};

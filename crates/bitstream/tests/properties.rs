@@ -3,7 +3,7 @@
 use aqfp_sc_bitstream::{
     column_counts, column_counts_into, lane_column_planes, maj3_streams, pack_lanes_into,
     pack_offset_windows_into, scc, unpack_lanes_into, Bipolar, BitStream, ColumnCounter,
-    KernelRow, LaneRow, Lfsr, Sng, SplitMix64, ThermalRng,
+    KernelRow, LaneRow, Lfsr, Sng, SplitMix64, Stripe, ThermalRng,
 };
 use proptest::prelude::*;
 
@@ -259,12 +259,13 @@ proptest! {
     fn lane_kernels_match_scalar_counts_on_sliced_chunks(
         len in 1usize..200,
         start_frac in 0usize..100,
-        members in 1usize..=64,
+        members in 1usize..=256,
         seed in any::<u64>(),
     ) {
         // Lane-packed column counting over an arbitrary (odd-offset) chunk
         // slice of each member stream must agree with the scalar counter on
-        // the same slice, for every occupied lane.
+        // the same slice, for every occupied lane — including ragged last
+        // stripes (member counts crossing 64-lane subgroup boundaries).
         let mut rng = SplitMix64::new(seed);
         let full = 256usize;
         let offset = (start_frac * (full - len)) / 100;
@@ -274,8 +275,8 @@ proptest! {
         let chunks: Vec<BitStream> =
             streams.iter().map(|s| s.slice(offset, len)).collect();
         let wchunk = weight.slice(offset, len);
-        let mut lanes = Vec::new();
-        pack_lanes_into(chunks.iter(), len, &mut lanes);
+        let mut lanes: Vec<Stripe<4>> = Vec::new();
+        pack_lanes_into(chunks.iter(), len, &mut lanes).unwrap();
         let rows = [LaneRow::Xnor(&lanes, wchunk.words()), LaneRow::Broadcast(wchunk.words())];
         let mut planes = Vec::new();
         let used = lane_column_planes(&rows, len, &mut planes);
@@ -284,7 +285,7 @@ proptest! {
                 column_counts(&[chunk.xnor(&wchunk).unwrap(), wchunk.clone()]).unwrap();
             for (t, &w) in want.iter().enumerate() {
                 let got: u32 = (0..used)
-                    .map(|p| (((planes[p][t] >> g) & 1) as u32) << p)
+                    .map(|p| (planes[p][t].get(g) as u32) << p)
                     .sum();
                 prop_assert_eq!(got, w, "lane {} cycle {}", g, t);
             }
@@ -294,23 +295,23 @@ proptest! {
     #[test]
     fn lane_pack_unpack_round_trips_any_width(
         len in 1usize..200,
-        members in 1usize..=64,
+        members in 1usize..=256,
         seed in any::<u64>(),
     ) {
         let mut rng = SplitMix64::new(seed);
         let streams: Vec<BitStream> =
             (0..members).map(|_| random_stream(&mut rng, len)).collect();
-        let mut lanes = Vec::new();
-        pack_lanes_into(streams.iter(), len, &mut lanes);
+        let mut lanes: Vec<Stripe<4>> = Vec::new();
+        pack_lanes_into(streams.iter(), len, &mut lanes).unwrap();
         let mut back = vec![BitStream::zeros(0); members];
-        unpack_lanes_into(&lanes, len, &mut back);
+        unpack_lanes_into(&lanes, len, &mut back).unwrap();
         prop_assert_eq!(back, streams);
     }
 
     #[test]
     fn offset_window_pack_matches_per_bit_gather_for_ragged_lane_sets(
         bit_len in 65usize..600,
-        raw_offsets in prop::collection::vec(0usize..600, 1..=64),
+        raw_offsets in prop::collection::vec(0usize..600, 1..=128),
         clen_frac in 1usize..=100,
         seed in any::<u64>(),
     ) {
@@ -325,20 +326,21 @@ proptest! {
         let clen = 1 + (clen_frac * (bit_len - max_off - 1)) / 100;
         let offsets: Vec<usize> =
             raw_offsets.iter().map(|&o| o.min(bit_len - clen)).collect();
-        let mut packed = Vec::new();
-        pack_offset_windows_into(stream.words(), bit_len, &offsets, clen, &mut packed);
+        let mut packed: Vec<Stripe<2>> = Vec::new();
+        pack_offset_windows_into(stream.words(), bit_len, &offsets, clen, &mut packed)
+            .unwrap();
         prop_assert_eq!(packed.len(), clen);
         for (t, &word) in packed.iter().enumerate() {
             for (g, &off) in offsets.iter().enumerate() {
                 let want = u64::from(stream.get(off + t).unwrap());
                 prop_assert_eq!(
-                    (word >> g) & 1, want,
+                    word.get(g), want,
                     "lane {} offset {} cycle {}", g, off, t
                 );
             }
             // Lanes beyond the ragged set carry no garbage.
-            if offsets.len() < 64 {
-                prop_assert_eq!(word >> offsets.len(), 0, "unused lanes at cycle {}", t);
+            for g in offsets.len()..128 {
+                prop_assert_eq!(word.get(g), 0, "unused lane {} at cycle {}", g, t);
             }
         }
     }
@@ -346,7 +348,7 @@ proptest! {
     #[test]
     fn mixed_offset_lane_rows_match_per_bit_reference_on_ragged_sets(
         bit_len in 80usize..400,
-        lane_count in 1usize..=64,
+        lane_count in 1usize..=256,
         clen in 1usize..=64,
         seed in any::<u64>(),
     ) {
@@ -362,10 +364,11 @@ proptest! {
             .collect();
         let acts: Vec<BitStream> =
             (0..lane_count).map(|_| random_stream(&mut rng, clen)).collect();
-        let mut act_lanes = Vec::new();
-        pack_lanes_into(acts.iter(), clen, &mut act_lanes);
-        let mut w_lanes = Vec::new();
-        pack_offset_windows_into(weight.words(), bit_len, &offsets, clen, &mut w_lanes);
+        let mut act_lanes: Vec<Stripe<4>> = Vec::new();
+        pack_lanes_into(acts.iter(), clen, &mut act_lanes).unwrap();
+        let mut w_lanes: Vec<Stripe<4>> = Vec::new();
+        pack_offset_windows_into(weight.words(), bit_len, &offsets, clen, &mut w_lanes)
+            .unwrap();
         let rows =
             [LaneRow::XnorLanes(&act_lanes, &w_lanes), LaneRow::PackedLanes(&w_lanes)];
         let mut planes = Vec::new();
@@ -377,7 +380,7 @@ proptest! {
                 let xnor = u32::from(act.get(t).unwrap() == wbit);
                 let want = xnor + u32::from(wbit);
                 let got: u32 = (0..used)
-                    .map(|p| (((planes[p][t] >> g) & 1) as u32) << p)
+                    .map(|p| (planes[p][t].get(g) as u32) << p)
                     .sum();
                 prop_assert_eq!(got, want, "lane {} offset {} cycle {}", g, off, t);
             }

@@ -18,7 +18,7 @@ use aqfp_sc_bitstream::WORD_BITS;
 
 use crate::compile::CompiledNetwork;
 use crate::plan::{argmax, derive, ExecPlan, Platform, TAG_IMAGE};
-use crate::scheduler::{drive_lane_groups, lane_min, GroupStats, NoExit};
+use crate::scheduler::{drive_lane_groups, lane_min, stripe_width, GroupStats, NoExit};
 use crate::streaming::ChunkSchedule;
 
 /// Reusable, thread-safe stochastic inference engine over a
@@ -200,7 +200,7 @@ impl InferenceEngine {
                         &seeds,
                         schedule,
                         &NoExit,
-                        WORD_BITS,
+                        WORD_BITS * stripe_width(self.plan.platform()),
                         lane_min(self.plan.platform()),
                         &mut GroupStats::default(),
                     );

@@ -56,18 +56,20 @@ use std::sync::Arc;
 
 use aqfp_sc_bitstream::{
     column_counts_into, lane_column_planes, mux_add, pack_lanes_into,
-    pack_offset_windows_into, unpack_lanes_into, xnor_popcount, Bipolar, BitStream,
-    BitsAsWords, KernelRow,
-    LanePopcount, LaneRow, SplitMix64, Sng, ThermalRng, MAX_KERNEL_ROWS, WORD_BITS,
+    pack_offset_windows_into, xnor_popcount, Bipolar, BitStream,
+    BitsAsWords, KernelRow, LanePopcount, LaneRow, SplitMix64, Sng, Stripe, ThermalRng,
+    MAX_KERNEL_ROWS, MAX_LANES, TREE_ROWS, WORD_BITS,
 };
 use aqfp_sc_core::baseline::Btanh;
 use aqfp_sc_core::{AveragePooling, FeatureExtraction};
 use aqfp_sc_nn::{Padding, Tensor};
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 
 use crate::artifact::ModelFingerprint;
 use crate::compile::{CompiledLayer, CompiledNetwork};
+
 
 /// Which hardware executes the stochastic pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -717,12 +719,15 @@ impl ExecPlan {
         self.scores(state)
     }
 
-    /// Advances up to 64 bound states together through one chunk of at most
-    /// `max_cycles` cycles using the batch-transposed (lane) kernels: the
-    /// same packed cycle slot of every image goes into one 64-bit word and
+    /// Advances up to [`MAX_LANES`] bound states together through one chunk
+    /// of at most `max_cycles` cycles using the batch-transposed (lane)
+    /// kernels: the same packed cycle slot of every image goes into one
+    /// [`Stripe`] (lane `g` in bit `g % 64` of stripe element `g / 64`) and
     /// the per-image FSM state (sorter feedback, `Btanh`, selector RNGs)
-    /// stays scalar. Bit-identical to advancing each state with
-    /// [`ExecPlan::advance`] over the same cycles.
+    /// stays scalar. The stripe width `W ∈ {1, 2, 4}` is picked from the
+    /// group size — bit-identity across widths makes the choice invisible.
+    /// Bit-identical to advancing each state with [`ExecPlan::advance`]
+    /// over the same cycles.
     ///
     /// The states may sit at **different** absolute cycle offsets (a
     /// retire-and-refill streaming group mixes half-done survivors with
@@ -742,28 +747,48 @@ impl ExecPlan {
     ///
     /// # Panics
     ///
-    /// Panics when `states` is empty or holds more than 64 states, or when
-    /// any state is not bound to this plan.
+    /// Panics when `states` is empty or holds more than [`MAX_LANES`]
+    /// states, or when any state is not bound to this plan.
     pub fn advance_batch(&self, states: &mut [ExecState], max_cycles: usize) -> usize {
-        let mut arena = BatchArena::default();
+        let mut arenas = StripeArenas::default();
         let mut refs: Vec<&mut ExecState> = states.iter_mut().collect();
-        self.advance_batch_in(&mut refs, max_cycles, &mut arena)
+        self.advance_batch_striped(&mut refs, max_cycles, &mut arenas)
     }
 
-    /// [`ExecPlan::advance_batch`] with caller-owned scratch: the
-    /// [`BatchArena`] keeps the lane-packed buffers alive across chunks,
-    /// so a steady-state streaming driver allocates nothing per chunk.
-    /// Takes `&mut ExecState` references so a scheduler can advance lanes
-    /// that live inside its own bookkeeping structures.
-    pub fn advance_batch_in(
+    /// [`ExecPlan::advance_batch`] with caller-owned scratch and automatic
+    /// stripe-width selection: the narrowest `W ∈ {1, 2, 4}` covering the
+    /// group runs the chunk, so a draining group keeps its vector lanes
+    /// full. The [`StripeArenas`] keep each width's lane buffers alive
+    /// across chunks, so a steady-state streaming driver allocates nothing
+    /// per chunk.
+    pub fn advance_batch_striped(
         &self,
         states: &mut [&mut ExecState],
         max_cycles: usize,
-        arena: &mut BatchArena,
+        arenas: &mut StripeArenas,
+    ) -> usize {
+        match states.len().div_ceil(WORD_BITS) {
+            0 | 1 => self.advance_batch_in(states, max_cycles, &mut arenas.w1),
+            2 => self.advance_batch_in(states, max_cycles, &mut arenas.w2),
+            _ => self.advance_batch_in(states, max_cycles, &mut arenas.w4),
+        }
+    }
+
+    /// [`ExecPlan::advance_batch`] at one fixed stripe width with
+    /// caller-owned scratch: the [`BatchArena`] keeps the lane-packed
+    /// buffers alive across chunks, so a steady-state streaming driver
+    /// allocates nothing per chunk. Takes `&mut ExecState` references so a
+    /// scheduler can advance lanes that live inside its own bookkeeping
+    /// structures. `W = 1` is the zero-regression 64-lane baseline.
+    pub fn advance_batch_in<const W: usize>(
+        &self,
+        states: &mut [&mut ExecState],
+        max_cycles: usize,
+        arena: &mut BatchArena<W>,
     ) -> usize {
         assert!(
-            !states.is_empty() && states.len() <= WORD_BITS,
-            "advance_batch takes 1..=64 states"
+            !states.is_empty() && states.len() <= WORD_BITS * W && states.len() <= MAX_LANES,
+            "advance_batch takes 1..=64*W states"
         );
         let fp = self.fingerprint();
         for st in states.iter() {
@@ -773,7 +798,6 @@ impl ExecPlan {
             cur,
             next,
             planes,
-            img_out,
             r_scratch,
             w_chunks,
             b_chunks,
@@ -813,7 +837,8 @@ impl ExecPlan {
                 offsets,
                 clen,
                 neutral_lanes,
-            );
+            )
+            .expect("lane group within stripe capacity");
         }
         // Generate this chunk of every image's pixel streams, then pack
         // them into lane layout: cur[p][t] holds packed cycle slot t of
@@ -828,14 +853,12 @@ impl ExecPlan {
             cur.resize_with(np, Vec::new);
         }
         for (p, lane) in cur.iter_mut().enumerate().take(np) {
-            pack_lanes_into(states.iter().map(|s| &s.pixel_chunks[p]), clen, lane);
+            pack_lanes_into(states.iter().map(|s| &s.pixel_chunks[p]), clen, lane)
+                .expect("lane group within stripe capacity");
         }
         for (li, layer) in self.layers.iter().enumerate() {
             let (layer_in_c, h, w_dim) = self.shapes[li];
             let mut produced = true;
-            if img_out.len() < n {
-                img_out.resize_with(n, || BitStream::zeros(0));
-            }
             match layer {
                 CachedLayer::Conv { k, in_c, out_c, padding, w, b } => {
                     let (oh, ow) = conv_out_dims(h, w_dim, *k, *padding);
@@ -859,7 +882,7 @@ impl ExecPlan {
                     if next.len() < out_c * oh * ow {
                         next.resize_with(out_c * oh * ow, Vec::new);
                     }
-                    let mut rows: Vec<LaneRow<'_>> = Vec::with_capacity(m + 1);
+                    let mut rows: Vec<LaneRow<'_, W>> = Vec::with_capacity(m + 1);
                     let mut idx = 0usize;
                     for oc in 0..*out_c {
                         for oy in 0..oh {
@@ -914,15 +937,14 @@ impl ExecPlan {
                                         LaneRow::Broadcast(neutral.words())
                                     });
                                 }
-                                let used = lane_column_planes(&rows, clen, planes);
                                 lane_neuron_chunk(
                                     platform,
                                     states,
                                     li,
                                     idx,
                                     m + 1,
+                                    &rows,
                                     planes,
-                                    used,
                                     clen,
                                     r_scratch,
                                     &mut next[idx],
@@ -939,7 +961,7 @@ impl ExecPlan {
                     }
                     match platform {
                         Platform::Aqfp => {
-                            let mut rows: Vec<LaneRow<'_>> = Vec::with_capacity(k * k);
+                            let mut rows: Vec<LaneRow<'_, W>> = Vec::with_capacity(k * k);
                             let mut idx = 0usize;
                             for c in 0..layer_in_c {
                                 for oy in 0..oh {
@@ -952,14 +974,13 @@ impl ExecPlan {
                                                     + i % k],
                                             ));
                                         }
-                                        let used = lane_column_planes(&rows, clen, planes);
                                         lane_pool_chunk(
                                             states,
                                             li,
                                             idx,
                                             k * k,
+                                            &rows,
                                             planes,
-                                            used,
                                             clen,
                                             r_scratch,
                                             &mut next[idx],
@@ -970,54 +991,57 @@ impl ExecPlan {
                             }
                         }
                         Platform::Cmos => {
-                            // Mux pooling draws per-image selector bits, so
-                            // the windows are unpacked back to per-image
-                            // streams and run through the scalar mux — the
-                            // per-channel selector discipline (each window
-                            // advances a clone, the canonical cursor steps
-                            // once per chunk) is preserved per image.
-                            let mut elem: Vec<Vec<BitStream>> = (0..k * k)
-                                .map(|_| (0..n).map(|_| BitStream::zeros(0)).collect())
-                                .collect();
+                            // Every window of a channel sees the same
+                            // per-image selector sequence (each would clone
+                            // the canonical cursor, which steps once per
+                            // chunk), so draw it once per channel and expand
+                            // it into per-cycle lane masks: mask[j][t] has
+                            // lane g set when image g's selector at cycle t
+                            // picks window element j — `mux_add` for all
+                            // lanes becomes k·k masked ORs over the packed
+                            // element streams, with no per-image unpacking.
+                            let kk = k * k;
+                            if planes.len() < kk {
+                                planes.resize_with(kk, Vec::new);
+                            }
                             let mut idx = 0usize;
                             for c in 0..layer_in_c {
-                                let mut advanced: Vec<Option<StdRng>> =
-                                    (0..n).map(|_| None).collect();
-                                for oy in 0..oh {
-                                    for ox in 0..ow {
-                                        for (i, e) in elem.iter_mut().enumerate() {
-                                            unpack_lanes_into(
-                                                &cur[(c * h + oy * k + i / k) * w_dim
-                                                    + ox * k
-                                                    + i % k],
-                                                clen,
-                                                e,
-                                            );
-                                        }
-                                        for (g, st) in states.iter().enumerate() {
-                                            let mut rng = match &st.layers[li] {
-                                                LayerState::PoolMux { rngs } => rngs[c].clone(),
-                                                _ => unreachable!("pool state matches platform"),
-                                            };
-                                            let window: Vec<BitStream> =
-                                                elem.iter().map(|e| e[g].clone()).collect();
-                                            img_out[g] = mux_add(&window, &mut rng)
-                                                .expect("well-formed window");
-                                            advanced[g] = Some(rng);
-                                        }
-                                        pack_lanes_into(
-                                            img_out.iter().take(n),
-                                            clen,
-                                            &mut next[idx],
-                                        );
-                                        idx += 1;
+                                for mask in planes.iter_mut().take(kk) {
+                                    mask.clear();
+                                    mask.resize(clen, Stripe::ZERO);
+                                }
+                                for (g, st) in states.iter_mut().enumerate() {
+                                    let rng = match &mut st.layers[li] {
+                                        LayerState::PoolMux { rngs } => &mut rngs[c],
+                                        _ => unreachable!("pool state matches platform"),
+                                    };
+                                    let (e, bit) = (g / WORD_BITS, g % WORD_BITS);
+                                    #[allow(clippy::needless_range_loop)] // which mask t lands in is drawn per cycle
+                                    for t in 0..clen {
+                                        let pick = rng.gen_range(0..kk);
+                                        planes[pick][t].0[e] |= 1u64 << bit;
                                     }
                                 }
-                                for (st, rng) in states.iter_mut().zip(advanced.iter_mut()) {
-                                    if let (LayerState::PoolMux { rngs }, Some(rng)) =
-                                        (&mut st.layers[li], rng.take())
-                                    {
-                                        rngs[c] = rng;
+                                for oy in 0..oh {
+                                    for ox in 0..ow {
+                                        let out = &mut next[idx];
+                                        out.clear();
+                                        out.resize(clen, Stripe::ZERO);
+                                        for (i, mask) in
+                                            planes.iter().enumerate().take(kk)
+                                        {
+                                            let elem = &cur[(c * h + oy * k + i / k)
+                                                * w_dim
+                                                + ox * k
+                                                + i % k];
+                                            for (o, (m, x)) in out
+                                                .iter_mut()
+                                                .zip(mask.iter().zip(elem.iter()))
+                                            {
+                                                *o |= *m & *x;
+                                            }
+                                        }
+                                        idx += 1;
                                     }
                                 }
                             }
@@ -1036,7 +1060,7 @@ impl ExecPlan {
                     if next.len() < *out_f {
                         next.resize_with(*out_f, Vec::new);
                     }
-                    let mut rows: Vec<LaneRow<'_>> = Vec::with_capacity(in_f + 1);
+                    let mut rows: Vec<LaneRow<'_, W>> = Vec::with_capacity(in_f + 1);
                     for o in 0..*out_f {
                         rows.clear();
                         for (j, x) in cur.iter().enumerate().take(*in_f) {
@@ -1058,15 +1082,14 @@ impl ExecPlan {
                                 LaneRow::Broadcast(neutral.words())
                             });
                         }
-                        let used = lane_column_planes(&rows, clen, planes);
                         lane_neuron_chunk(
                             platform,
                             states,
                             li,
                             o,
                             in_f + 1,
+                            &rows,
                             planes,
-                            used,
                             clen,
                             r_scratch,
                             &mut next[o],
@@ -1090,49 +1113,59 @@ impl ExecPlan {
                                 // absolute-parity neutral pad. Uniform
                                 // groups broadcast the scalar bit to every
                                 // lane; mixed groups read the per-lane
-                                // gathered windows. One popcount lane per
-                                // image either way.
+                                // gathered windows. The chain inputs are
+                                // prebuilt row descriptors (the same forms
+                                // the lane kernel consumes), so the cycle
+                                // loop dispatches on a fixed short pattern
+                                // instead of re-deriving each operand. One
+                                // popcount lane per image either way.
                                 let width = if (in_f + 1).is_multiple_of(2) {
                                     in_f + 2
                                 } else {
                                     in_f + 1
                                 };
-                                let neutral_words = neutral.words();
-                                let mut lp = LanePopcount::new();
-                                #[allow(clippy::needless_range_loop)] // t indexes many lanes
-                                for t in 0..clen {
-                                    let input = |i: usize| -> u64 {
-                                        if i < *in_f {
-                                            let j = class_order[i];
-                                            if mixed {
-                                                !(cur[j][t] ^ w_lanes[cl * in_f + j][t])
-                                            } else {
-                                                cur[j][t]
-                                                    ^ sbit(w_run[cl * in_f + j].words(), t)
-                                                        .wrapping_sub(1)
-                                            }
-                                        } else if i == *in_f {
-                                            if mixed {
-                                                b_lanes[cl][t]
-                                            } else {
-                                                0u64.wrapping_sub(sbit(b_run[cl].words(), t))
-                                            }
-                                        } else if mixed {
-                                            neutral_lanes[t]
-                                        } else {
-                                            0u64.wrapping_sub(sbit(neutral_words, t))
-                                        }
-                                    };
-                                    let mut y = if width == 1 {
-                                        input(0)
+                                let mut rows: Vec<LaneRow<'_, W>> =
+                                    Vec::with_capacity(width);
+                                for &j in class_order.iter().take(*in_f) {
+                                    rows.push(if mixed {
+                                        LaneRow::XnorLanes(&cur[j], &w_lanes[cl * in_f + j])
                                     } else {
-                                        maj_word(input(0), input(1), input(2))
+                                        LaneRow::Xnor(&cur[j], w_run[cl * in_f + j].words())
+                                    });
+                                }
+                                if width > *in_f {
+                                    rows.push(if mixed {
+                                        LaneRow::PackedLanes(b_lanes[cl].as_slice())
+                                    } else {
+                                        LaneRow::Broadcast(b_run[cl].words())
+                                    });
+                                }
+                                if width > in_f + 1 {
+                                    rows.push(if mixed {
+                                        LaneRow::PackedLanes(neutral_lanes.as_slice())
+                                    } else {
+                                        LaneRow::Broadcast(neutral.words())
+                                    });
+                                }
+                                let mut lp = LanePopcount::<W>::new();
+                                for t in 0..clen {
+                                    let y = if width == 1 {
+                                        lane_row_word(&rows[0], t)
+                                    } else {
+                                        let mut y = maj_stripe(
+                                            lane_row_word(&rows[0], t),
+                                            lane_row_word(&rows[1], t),
+                                            lane_row_word(&rows[2], t),
+                                        );
+                                        for pair in rows[3..].chunks_exact(2) {
+                                            y = maj_stripe(
+                                                lane_row_word(&pair[0], t),
+                                                lane_row_word(&pair[1], t),
+                                                y,
+                                            );
+                                        }
+                                        y
                                     };
-                                    let mut i = 3;
-                                    while i + 1 < width {
-                                        y = maj_word(y, input(i), input(i + 1));
-                                        i += 2;
-                                    }
                                     lp.add(y);
                                 }
                                 for (g, st) in states.iter_mut().enumerate() {
@@ -1145,9 +1178,9 @@ impl ExecPlan {
                                 // ones — image-independent when the offsets
                                 // agree, counted per lane when they differ
                                 // (each lane reads its own bias window).
-                                let mut bias_ones = [0u64; WORD_BITS];
+                                let mut bias_ones = [0u64; MAX_LANES];
                                 if mixed {
-                                    let mut lp = LanePopcount::new();
+                                    let mut lp = LanePopcount::<W>::new();
                                     for &w in b_lanes[cl].iter().take(clen) {
                                         lp.add(w);
                                     }
@@ -1162,9 +1195,9 @@ impl ExecPlan {
                                         *bo = ones;
                                     }
                                 }
-                                let mut totals = [0u64; WORD_BITS];
+                                let mut totals = [0u64; MAX_LANES];
                                 for (j, x) in cur.iter().enumerate().take(*in_f) {
-                                    let mut lp = LanePopcount::new();
+                                    let mut lp = LanePopcount::<W>::new();
                                     if mixed {
                                         let wl = &w_lanes[cl * in_f + j];
                                         for (t, &xw) in x.iter().enumerate().take(clen) {
@@ -1173,7 +1206,11 @@ impl ExecPlan {
                                     } else {
                                         let wsw = w_run[cl * in_f + j].words();
                                         for (t, &xw) in x.iter().enumerate().take(clen) {
-                                            lp.add(xw ^ sbit(wsw, t).wrapping_sub(1));
+                                            lp.add(
+                                                xw ^ Stripe::splat(
+                                                    sbit(wsw, t).wrapping_sub(1),
+                                                ),
+                                            );
                                         }
                                     }
                                     for (g, tot) in totals.iter_mut().enumerate().take(n) {
@@ -1200,21 +1237,21 @@ impl ExecPlan {
 }
 
 /// Reusable scratch for the batch-transposed path
-/// ([`ExecPlan::advance_batch_in`]): the lane-packed activation ping-pong
-/// arenas, the carry-save planes, gathered per-lane FSM residuals,
-/// per-image output chunk streams, and the uniform-offset (chunk slice) and
-/// mixed-offset (per-lane gathered window) forms of the weight / bias /
-/// neutral streams. Every buffer grows to its high-water mark and is then
-/// reused, so a steady-state chunk driver allocates nothing per chunk.
-pub struct BatchArena {
+/// ([`ExecPlan::advance_batch_in`]) at stripe width `W`: the lane-packed
+/// activation ping-pong arenas, the carry-save planes, gathered per-lane
+/// FSM residuals, per-image output chunk streams, and the uniform-offset
+/// (chunk slice) and mixed-offset (per-lane gathered window) forms of the
+/// weight / bias / neutral streams. Every buffer grows to its high-water
+/// mark and is then reused, so a steady-state chunk driver allocates
+/// nothing per chunk.
+pub struct BatchArena<const W: usize = 1> {
     /// Lane-packed activations the layer under evaluation reads.
-    cur: Vec<Vec<u64>>,
+    cur: Vec<Vec<Stripe<W>>>,
     /// Lane-packed activations the layer under evaluation writes.
-    next: Vec<Vec<u64>>,
+    next: Vec<Vec<Stripe<W>>>,
     /// Carry-save column planes.
-    planes: Vec<Vec<u64>>,
+    planes: Vec<Vec<Stripe<W>>>,
     /// Per-image neuron output chunk streams (CMOS mux pooling only).
-    img_out: Vec<BitStream>,
     /// Gathered per-lane FSM residuals for the lane-parallel runners.
     r_scratch: Vec<i64>,
     /// Uniform-offset weight chunk slices of the layer under evaluation.
@@ -1222,24 +1259,23 @@ pub struct BatchArena {
     /// Uniform-offset bias chunk slices of the layer under evaluation.
     b_chunks: Vec<BitStream>,
     /// Mixed-offset per-lane weight windows of the layer under evaluation.
-    w_lanes: Vec<Vec<u64>>,
+    w_lanes: Vec<Vec<Stripe<W>>>,
     /// Mixed-offset per-lane bias windows of the layer under evaluation.
-    b_lanes: Vec<Vec<u64>>,
+    b_lanes: Vec<Vec<Stripe<W>>>,
     /// Uniform-offset neutral-pad chunk slice.
     neutral_buf: BitStream,
     /// Mixed-offset per-lane neutral-pad windows.
-    neutral_lanes: Vec<u64>,
+    neutral_lanes: Vec<Stripe<W>>,
     /// Per-lane absolute cycle offsets of the group under evaluation.
     offsets: Vec<usize>,
 }
 
-impl Default for BatchArena {
+impl<const W: usize> Default for BatchArena<W> {
     fn default() -> Self {
         Self {
             cur: Vec::new(),
             next: Vec::new(),
             planes: Vec::new(),
-            img_out: Vec::new(),
             r_scratch: Vec::new(),
             w_chunks: Vec::new(),
             b_chunks: Vec::new(),
@@ -1252,16 +1288,30 @@ impl Default for BatchArena {
     }
 }
 
+/// One [`BatchArena`] per supported stripe width, so a driver that picks
+/// the narrowest width covering each chunk's live lane count
+/// ([`ExecPlan::advance_batch_striped`]) keeps every width's high-water
+/// buffers alive across chunks. Idle widths cost only empty `Vec`s.
+#[derive(Default)]
+pub struct StripeArenas {
+    /// 64-lane scratch.
+    w1: BatchArena<1>,
+    /// 128-lane scratch.
+    w2: BatchArena<2>,
+    /// 256-lane scratch.
+    w4: BatchArena<4>,
+}
+
 /// Gathers the per-lane windows of every weight and bias stream of one
 /// layer at the lanes' own absolute offsets (the mixed-offset counterpart
 /// of [`chunk_streams`]), reusing the arena buffers.
-fn pack_windows_all(
+fn pack_windows_all<const W: usize>(
     w: &[BitStream],
     b: &[BitStream],
     offsets: &[usize],
     clen: usize,
-    w_lanes: &mut Vec<Vec<u64>>,
-    b_lanes: &mut Vec<Vec<u64>>,
+    w_lanes: &mut Vec<Vec<Stripe<W>>>,
+    b_lanes: &mut Vec<Vec<Stripe<W>>>,
 ) {
     if w_lanes.len() < w.len() {
         w_lanes.resize_with(w.len(), Vec::new);
@@ -1270,10 +1320,12 @@ fn pack_windows_all(
         b_lanes.resize_with(b.len(), Vec::new);
     }
     for (s, out) in w.iter().zip(w_lanes.iter_mut()) {
-        pack_offset_windows_into(s.words(), s.len(), offsets, clen, out);
+        pack_offset_windows_into(s.words(), s.len(), offsets, clen, out)
+            .expect("lane group within stripe capacity");
     }
     for (s, out) in b.iter().zip(b_lanes.iter_mut()) {
-        pack_offset_windows_into(s.words(), s.len(), offsets, clen, out);
+        pack_offset_windows_into(s.words(), s.len(), offsets, clen, out)
+            .expect("lane group within stripe capacity");
     }
 }
 
@@ -1422,40 +1474,72 @@ fn maj_word(a: u64, b: u64, c: u64) -> u64 {
     (a & b) | (a & c) | (b & c)
 }
 
+/// [`maj_word`] across a whole lane stripe (`64·W` lanes per call).
+#[inline]
+fn maj_stripe<const W: usize>(a: Stripe<W>, b: Stripe<W>, c: Stripe<W>) -> Stripe<W> {
+    (a & b) | (a & c) | (b & c)
+}
+
+/// The stripe a [`LaneRow`] contributes at cycle `t` — the output head's
+/// majority chain consumes the same row forms the lane kernel counts.
+#[inline(always)]
+fn lane_row_word<const W: usize>(row: &LaneRow<'_, W>, t: usize) -> Stripe<W> {
+    match row {
+        LaneRow::Xnor(lanes, w) => lanes[t] ^ Stripe::splat(sbit(w, t).wrapping_sub(1)),
+        LaneRow::Lanes(lanes) | LaneRow::PackedLanes(lanes) => lanes[t],
+        LaneRow::Broadcast(sw) => Stripe::splat(0u64.wrapping_sub(sbit(sw, t))),
+        LaneRow::BroadcastXnor(a, b) => {
+            Stripe::splat(0u64.wrapping_sub(1 ^ (sbit(a, t) ^ sbit(b, t))))
+        }
+        LaneRow::XnorLanes(a, b) => !(a[t] ^ b[t]),
+    }
+}
+
 /// One neuron slot's chunk output for a whole lane group, straight from
-/// the carry-save column planes ([`lane_column_planes`] layout): the three
-/// activation recurrences are evaluated bit-sliced across lanes, and the
-/// per-cycle fire-mask words written to `out` ARE the next layer's
-/// lane-packed activation — no per-image transpose, count extraction or
-/// repacking. Bits of `out` above the lane count are unspecified; nothing
-/// downstream reads them. Cross-chunk state lives in each lane's
-/// `ExecState` slot `idx` and is gathered/scattered around the run.
+/// the kernel row descriptors: when the kernel fits the compressor tree
+/// (`≤ TREE_ROWS` rows) the per-cycle column counts are folded directly
+/// into the activation recurrence in registers (the fused
+/// `run_rows_resume_into` paths — count planes never touch memory); wider
+/// kernels materialise carry-save column planes first
+/// ([`lane_column_planes`] layout) and run the plane-array recurrence. In
+/// both cases the per-cycle fire-mask words written to `out` ARE the next
+/// layer's lane-packed activation — no per-image transpose, count
+/// extraction or repacking. Bits of `out` above the lane count are
+/// unspecified; nothing downstream reads them. Cross-chunk state lives in
+/// each lane's `ExecState` slot `idx` and is gathered/scattered around the
+/// run.
 #[allow(clippy::too_many_arguments)]
-fn lane_neuron_chunk(
+fn lane_neuron_chunk<const W: usize>(
     platform: Platform,
     states: &mut [&mut ExecState],
     li: usize,
     idx: usize,
     rows: usize,
-    planes: &[Vec<u64>],
-    used: usize,
+    row_descs: &[LaneRow<'_, W>],
+    planes: &mut Vec<Vec<Stripe<W>>>,
     clen: usize,
     r_scratch: &mut Vec<i64>,
-    out: &mut Vec<u64>,
+    out: &mut Vec<Stripe<W>>,
 ) {
     out.clear();
-    out.resize(clen, 0);
+    out.resize(clen, Stripe::ZERO);
+    let fused = row_descs.len() <= TREE_ROWS;
+    let used = if fused { 0 } else { lane_column_planes(row_descs, clen, planes) };
     match platform {
         Platform::Aqfp => {
-            // Any even-width sorter pad was already folded into the count
-            // planes as an extra kernel row, so the counts are final here.
+            // Any even-width sorter pad was already folded in as an extra
+            // kernel row, so the counts are final here.
             let fe = FeatureExtraction::new(rows);
             r_scratch.clear();
             r_scratch.extend(states.iter().map(|st| match &st.layers[li] {
                 LayerState::Feature { r } => r[idx],
                 _ => unreachable!("neuron state matches platform"),
             }));
-            fe.run_planes_resume_into(planes, used, clen, r_scratch, out);
+            if fused {
+                fe.run_rows_resume_into(row_descs, clen, r_scratch, out);
+            } else {
+                fe.run_planes_resume_into(planes, used, clen, r_scratch, out);
+            }
             for (st, &r) in states.iter_mut().zip(r_scratch.iter()) {
                 match &mut st.layers[li] {
                     LayerState::Feature { r: rs } => rs[idx] = r,
@@ -1471,7 +1555,11 @@ fn lane_neuron_chunk(
                     _ => unreachable!("neuron state matches platform"),
                 })
                 .collect();
-            Btanh::run_planes_resume_into(&mut fsms, planes, used, clen, out);
+            if fused {
+                Btanh::run_rows_resume_into(&mut fsms, row_descs, clen, out);
+            } else {
+                Btanh::run_planes_resume_into(&mut fsms, planes, used, clen, out);
+            }
         }
     }
 }
@@ -1479,27 +1567,34 @@ fn lane_neuron_chunk(
 /// AQFP pooling counterpart of [`lane_neuron_chunk`]: one pool window's
 /// chunk output for a whole lane group, bit-sliced across lanes, with the
 /// sorter-feedback residual resumed from each lane's `PoolSorter` slot.
+/// Windows that fit the compressor tree take the fused rows path; wider
+/// windows materialise count planes first.
 #[allow(clippy::too_many_arguments)]
-fn lane_pool_chunk(
+fn lane_pool_chunk<const W: usize>(
     states: &mut [&mut ExecState],
     li: usize,
     idx: usize,
     window: usize,
-    planes: &[Vec<u64>],
-    used: usize,
+    row_descs: &[LaneRow<'_, W>],
+    planes: &mut Vec<Vec<Stripe<W>>>,
     clen: usize,
     r_scratch: &mut Vec<i64>,
-    out: &mut Vec<u64>,
+    out: &mut Vec<Stripe<W>>,
 ) {
     out.clear();
-    out.resize(clen, 0);
+    out.resize(clen, Stripe::ZERO);
     let ap = AveragePooling::new(window);
     r_scratch.clear();
     r_scratch.extend(states.iter().map(|st| match &st.layers[li] {
         LayerState::PoolSorter { r } => r[idx],
         _ => unreachable!("pool state matches platform"),
     }));
-    ap.run_planes_resume_into(planes, used, clen, r_scratch, out);
+    if row_descs.len() <= TREE_ROWS {
+        ap.run_rows_resume_into(row_descs, clen, r_scratch, out);
+    } else {
+        let used = lane_column_planes(row_descs, clen, planes);
+        ap.run_planes_resume_into(planes, used, clen, r_scratch, out);
+    }
     for (st, &r) in states.iter_mut().zip(r_scratch.iter()) {
         match &mut st.layers[li] {
             LayerState::PoolSorter { r: rs } => rs[idx] = r,

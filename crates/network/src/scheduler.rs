@@ -1,8 +1,9 @@
 //! The shared lane-group scheduler: both batched front-ends — the
 //! one-shot [`InferenceEngine`](crate::InferenceEngine) and the
 //! early-exit [`StreamingEngine`](crate::StreamingEngine) — drive images
-//! through the batch-transposed kernel path in words of up to 64 lanes,
-//! with per-lane schedule checkpoints and retire-and-refill compaction.
+//! through the batch-transposed kernel path in stripes of up to
+//! [`MAX_LANES`] lanes (`64·W` for stripe width `W ∈ {1, 2, 4}`), with
+//! per-lane schedule checkpoints and retire-and-refill compaction.
 //!
 //! # Lane ownership
 //!
@@ -22,33 +23,64 @@
 //! loop keeps — so a batched run retires every image at the same cycle,
 //! with the same scores, as the scalar path. A retired lane's `ExecState`
 //! goes to a free pool and is immediately re-`begin`-ed on the next queued
-//! image, keeping the word dense instead of dragging finished images to
+//! image, keeping the stripe dense instead of dragging finished images to
 //! full N. Refilled lanes start at absolute cycle 0 while survivors sit
 //! mid-stream; [`ExecPlan::advance_batch_in`] gathers the
 //! image-independent streams per lane at each lane's own offset, which is
-//! what makes compaction bit-drift-free.
+//! what makes compaction bit-drift-free. Each group advance runs at the
+//! narrowest stripe width covering the live lane count
+//! ([`ExecPlan::advance_batch_striped`]) — stripe-width independence of
+//! the kernels makes the per-step choice invisible in the bits.
 
-use aqfp_sc_bitstream::WORD_BITS;
+use aqfp_sc_bitstream::MAX_LANES;
 use aqfp_sc_nn::Tensor;
 
-use crate::plan::{BatchArena, ExecPlan, ExecState, Platform};
+use crate::plan::{ExecPlan, ExecState, Platform, StripeArenas};
 use crate::streaming::ChunkSchedule;
 
 /// Smallest lane group the batch-transposed kernel path is worth engaging
 /// for; smaller groups run the scalar core, which is bit-identical — the
 /// threshold is purely a throughput knob.
 ///
-/// Break-even note (trained tiny net, N=512, one thread, one-shot
-/// full-length schedule): on AQFP the lane path is ~1.6× the scalar core
-/// at 16 lanes, ~2× at 24, ~3× at 32, and ~5.5× at 64 — the per-chunk
-/// pack and SNG-broadcast overhead is amortised over the lane count. On
-/// CMOS the bit-parallel scalar core is much faster to begin with, so the
-/// crossover sits higher: 16 lanes is a ~0.8× *regression* and the lane
-/// path only pulls ahead from ~24 lanes (~1.1×, climbing to ~1.7× at 64).
+/// Measured break-even (the `calibrate` bench in `crates/bench`: trained
+/// tiny net, N=512, one thread, one-shot full-length schedule — re-run it
+/// when retuning for a new host; numbers below from the reference
+/// container, see ROADMAP): with the fused count→FSM sweeps the AQFP lane
+/// path is already ~1.7× the scalar core at 8 lanes (~3.2× at 16, ~6× at
+/// 32, ~9× at 64, ~11× at 256), so every group the scheduler can form is
+/// worth batching. On CMOS the bit-parallel scalar core is much faster to
+/// begin with: 8 lanes is exact break-even (1.0×, inside host noise), and
+/// the lane path pulls clearly ahead from 16 lanes (~2×, climbing to
+/// ~5.7× at 64 and ~6.3× at 256 with full stripes).
 pub fn lane_min(platform: Platform) -> usize {
     match platform {
-        Platform::Aqfp => 16,
-        Platform::Cmos => 24,
+        Platform::Aqfp => 8,
+        Platform::Cmos => 16,
+    }
+}
+
+/// Stripe width `W` (64-bit words per [`Stripe`](aqfp_sc_bitstream::Stripe),
+/// i.e. `64·W` lanes per group) the batch-transposed path targets on this
+/// platform — the lane-group capacity the front-ends request. `W = 1` is
+/// the zero-regression 64-lane baseline; the scheduler still drops to the
+/// narrowest width covering the live lanes per step, so a wide target
+/// never penalises a draining group.
+///
+/// Measured break-even (same `calibrate` bench as [`lane_min`]): on both
+/// platforms the per-chunk cost of a group advance is dominated by work
+/// proportional to the stripe width only while lanes are live, and the
+/// auto-vectorised `[u64; W]` plane ops amortise pack/broadcast overhead
+/// further with every doubling — W=4 is the widest supported stripe and
+/// measures fastest per image on both platforms at full occupancy
+/// (AQFP ~10.9× scalar, CMOS ~6.3× scalar at 256 lanes), so both pick
+/// it. The 128-lane row trails 64 slightly on both platforms (a W=2
+/// stripe pays two words per op over lanes a single full word already
+/// covers), which is why the scheduler drops to the narrowest covering
+/// width as a group drains instead of staying wide.
+pub fn stripe_width(platform: Platform) -> usize {
+    match platform {
+        Platform::Aqfp => 4,
+        Platform::Cmos => 4,
     }
 }
 
@@ -156,13 +188,13 @@ pub(crate) fn drive_lane_groups<P: LanePolicy>(
 ) -> Vec<LaneOutcome> {
     assert_eq!(images.len(), seeds.len(), "one seed per image");
     let n = plan.stream_len();
-    let lane_limit = lane_limit.clamp(1, WORD_BITS);
+    let lane_limit = lane_limit.clamp(1, MAX_LANES);
     let mut results: Vec<Option<LaneOutcome>> = Vec::new();
     results.resize_with(images.len(), || None);
     let mut free: Vec<ExecState> = Vec::new();
     let mut lanes: Vec<Lane<P::Book>> = Vec::new();
     let mut pending = 0usize;
-    let mut arena = BatchArena::default();
+    let mut arenas = StripeArenas::default();
     loop {
         // Refill (and the initial fill): recycled states re-`begin` on
         // queued images until the word is at capacity.
@@ -203,7 +235,7 @@ pub(crate) fn drive_lane_groups<P: LanePolicy>(
             while advanced < d {
                 let mut refs: Vec<&mut ExecState> =
                     lanes.iter_mut().map(|l| &mut l.state).collect();
-                let got = plan.advance_batch_in(&mut refs, d - advanced, &mut arena);
+                let got = plan.advance_batch_striped(&mut refs, d - advanced, &mut arenas);
                 debug_assert!(got > 0, "live lanes always have cycles remaining");
                 advanced += got;
                 stats.steps += 1;

@@ -36,12 +36,12 @@
 //! [`ExecPlan::advance_batch`](crate::ExecPlan::advance_batch) keeps
 //! mixed-offset words bit-exact after compaction.
 
-use aqfp_sc_bitstream::WORD_BITS;
+use aqfp_sc_bitstream::{MAX_LANES, WORD_BITS};
 use aqfp_sc_nn::Tensor;
 
 use crate::engine::{accuracy, InferenceEngine};
 use crate::plan::{argmax, ExecPlan, ExecState, Platform};
-use crate::scheduler::{drive_lane_groups, lane_min, GroupStats, LanePolicy};
+use crate::scheduler::{drive_lane_groups, lane_min, stripe_width, GroupStats, LanePolicy};
 
 /// When a streaming run is allowed to stop consuming cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -274,7 +274,7 @@ impl<'e> StreamingEngine<'e> {
             min_cycles: 0,
             cmos_sigma_factor,
             mode: BatchMode::LaneGroups,
-            lane_limit: WORD_BITS,
+            lane_limit: WORD_BITS * stripe_width(engine.plan().platform()),
         }
     }
 
@@ -287,11 +287,12 @@ impl<'e> StreamingEngine<'e> {
     }
 
     /// Caps the lane-group size used by [`BatchMode::LaneGroups`]
-    /// (clamped to 1..=64; default 64). Never changes results — the knob
-    /// exists for break-even experiments and for the group-size
-    /// equivalence proptests.
+    /// (clamped to `1..=MAX_LANES`; default `64 ·`
+    /// [`stripe_width`](crate::stripe_width) of the platform). Never
+    /// changes results — the knob exists for break-even experiments and
+    /// for the group-size equivalence proptests.
     pub fn with_lane_group(mut self, limit: usize) -> Self {
-        self.lane_limit = limit.clamp(1, WORD_BITS);
+        self.lane_limit = limit.clamp(1, MAX_LANES);
         self
     }
 

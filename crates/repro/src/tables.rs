@@ -319,7 +319,10 @@ pub fn streaming(mode: Mode, threads: Option<usize>, batched: bool) {
         "batch mode: {} (bit-identical either way)",
         if batched { "lane groups (batch-transposed kernel, retire-and-refill)" } else { "scalar reference loop" },
     );
-    println!("   N   | fixed-N acc | stream acc | avg cycles | savings | early-exit | avg lanes");
+    // Lane-occupancy capacity: the scheduler targets `64·W` lanes per
+    // group at the platform's stripe width.
+    let cap = 64 * aqfp_sc_network::stripe_width(Platform::Aqfp);
+    println!("   N   | fixed-N acc | stream acc | avg cycles | savings | early-exit | avg lanes/{cap}");
     let mut headline: Option<(f64, f64)> = None;
     for n in [256usize, 512, 1024] {
         let engine = mk_engine(n);
@@ -332,10 +335,16 @@ pub fn streaming(mode: Mode, threads: Option<usize>, batched: bool) {
         let (eval, stats) = streaming.evaluate_with_stats(&samples, SEED);
         let eval = eval.expect("non-empty sample set");
         let savings = eval.cycle_savings(n);
-        // Mean live lanes per kernel advance step: how dense
-        // retire-and-refill kept the machine word (scalar mode never
-        // enters the lane path, so it has no occupancy to report).
-        let lanes = if batched { format!("{:9.1}", stats.avg_lanes()) } else { "        -".into() };
+        // Mean live lanes per kernel advance step against the `64·W`
+        // stripe capacity: how dense retire-and-refill kept the stripe
+        // (scalar mode never enters the lane path, so it has no
+        // occupancy to report). A batch smaller than the capacity caps
+        // the reachable occupancy at the batch size.
+        let lanes = if batched {
+            format!("{:5.1} ({:3.0}%)", stats.avg_lanes(), stats.avg_lanes() * 100.0 / cap as f64)
+        } else {
+            "          -".into()
+        };
         println!(
             "{n:6} | {:10.2}% | {:9.2}% | {:10.1} | {:6.1}% | {:9.1}% | {lanes}",
             fixed * 100.0,
