@@ -1,5 +1,5 @@
 //! `engine_batch_inference`: the batched, cached-weight-stream inference
-//! engine against the per-image serial path, at batch sizes 1 / 8 / 32.
+//! engine against the per-image serial path, at batch sizes from 1 to 128.
 //!
 //! The serial path rebuilds its weight streams for every image (one
 //! throwaway engine per call, as `classify_aqfp` does); the batched path
@@ -34,11 +34,10 @@ fn bench_engine_batch_inference(c: &mut Criterion) {
     let spec = NetworkSpec::tiny(8);
     let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 21);
     let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
-    // 64 crosses the lane threshold: one full batch-transposed group.
+    // The pre-refactor shape: one full weight-stream generation per
+    // image (what a classify_aqfp loop costs).
     for batch in [1usize, 8, 32, 64] {
         let imgs = images(batch);
-        // The pre-refactor shape: one full weight-stream generation per
-        // image (what a classify_aqfp loop costs).
         group.bench_with_input(
             BenchmarkId::new("serial_per_image", batch),
             &imgs,
@@ -59,7 +58,12 @@ fn bench_engine_batch_inference(c: &mut Criterion) {
                 })
             },
         );
-        // Engine construction + batch fan-out, amortising the cache.
+    }
+    // Engine construction + batch fan-out, amortising the cache. 16 is the
+    // CMOS lane threshold, 64 one full batch-transposed group, 128 two
+    // groups back to back (the coalescing server's saturation regime).
+    for batch in [1usize, 8, 16, 32, 64, 128] {
+        let imgs = images(batch);
         group.bench_with_input(BenchmarkId::new("batched", batch), &imgs, |b, imgs| {
             b.iter(|| {
                 let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);

@@ -1,0 +1,110 @@
+//! `serve_throughput`: the dynamic-batching TCP server under saturation
+//! against the offline batched engine it dispatches onto.
+//!
+//! `offline/64` is the reference rung: one pre-built engine classifying a
+//! 64-image batch (one full lane group) with no sockets, queues, or
+//! framing. `saturated/256` pushes 256 in-flight requests through the
+//! loopback server across four pipelined connections — the acceptance bar
+//! is served throughput ≥ 60% of the offline path per image, which CI
+//! checks by normalising the committed baseline against the same-run
+//! reference (`bench_gate … serve_throughput/offline/64`).
+//! `BENCH_JSON=BENCH_serve.json cargo bench --bench serve` refreshes the
+//! committed baseline.
+
+use std::sync::Arc;
+
+use aqfp_sc_network::{
+    build_model, ActivationStyle, CompiledNetwork, InferenceEngine, ModelRegistry, NetworkSpec,
+    Platform,
+};
+use aqfp_sc_nn::Tensor;
+use aqfp_sc_serve::{ClassifyRequest, Client, Response, ServeConfig, Server};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const STREAM_LEN: usize = 512;
+const SEED: u64 = 0x15CA_2019;
+const SATURATION: usize = 256;
+const CONNECTIONS: usize = 4;
+
+fn images(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            Tensor::from_vec(
+                vec![1, 8, 8],
+                (0..64).map(|p| ((p * (2 * i + 3) + i) % 13) as f32 / 13.0).collect(),
+            )
+        })
+        .collect()
+}
+
+fn compiled() -> CompiledNetwork {
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 21);
+    CompiledNetwork::from_model(&spec, &mut model, 8)
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    let compiled = compiled();
+
+    // Reference rung: the offline batched path the server fans out onto,
+    // with engine construction already amortised (as a running server's
+    // is).
+    let engine = InferenceEngine::new(&compiled, STREAM_LEN, Platform::Aqfp);
+    let imgs = images(64);
+    group.bench_with_input(BenchmarkId::new("offline", 64), &imgs, |b, imgs| {
+        b.iter(|| black_box(engine.classify_batch(imgs, SEED)))
+    });
+
+    // Saturation rung: 256 in-flight requests, pipelined over four
+    // connections, measured send-first to recv-last — queueing, framing,
+    // and response demux included.
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install("tiny", &compiled, STREAM_LEN, Platform::Aqfp);
+    let config = ServeConfig { max_delay_us: 500, ..ServeConfig::default() };
+    let server = Server::start(registry, "127.0.0.1:0", config).expect("bind loopback");
+    let mut clients: Vec<Client> = (0..CONNECTIONS)
+        .map(|_| Client::connect(server.local_addr()).expect("connect"))
+        .collect();
+    let imgs = images(SATURATION);
+    group.bench_with_input(
+        BenchmarkId::new("saturated", SATURATION),
+        &imgs,
+        |b, imgs| {
+            b.iter(|| {
+                for (i, img) in imgs.iter().enumerate() {
+                    clients[i % CONNECTIONS]
+                        .classify_send(ClassifyRequest {
+                            request_id: i as u64,
+                            model: "tiny".to_string(),
+                            seed: SEED.wrapping_add(i as u64),
+                            deadline_us: 0,
+                            image: img.clone(),
+                        })
+                        .expect("send");
+                }
+                let mut served = 0usize;
+                let per_conn = SATURATION / CONNECTIONS;
+                for client in clients.iter_mut() {
+                    for _ in 0..per_conn {
+                        match client.recv().expect("response") {
+                            Response::Classify(resp) => {
+                                assert!(resp.status == aqfp_sc_serve::Status::Ok);
+                                served += 1;
+                            }
+                            Response::Stats(_) => panic!("unexpected stats response"),
+                        }
+                    }
+                }
+                black_box(served)
+            })
+        },
+    );
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

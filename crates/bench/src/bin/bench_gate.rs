@@ -1,7 +1,8 @@
 //! Regression gate over the `BENCH_JSON` criterion-shim reports.
 //!
 //! ```text
-//! bench_gate <current.json> <baseline.json> <benchmark-name> [max-regress] [reference-name]
+//! bench_gate <current.json> <baseline.json> <benchmark-name> \
+//!     [max-regress] [reference-name] [max-ratio]
 //! ```
 //!
 //! Compares the `mean_ns` of `benchmark-name` (e.g.
@@ -21,6 +22,14 @@
 //! reference benchmark inflates only the ratio — neither alone should
 //! fail the build.
 //!
+//! With a `max-ratio` as well, the gate *additionally* requires the
+//! current same-run ratio `mean_ns(name) / mean_ns(reference)` to stay at
+//! or below that absolute bound — an acceptance floor (e.g. "served
+//! throughput at 256 in-flight must be ≥60% of the offline 64-image
+//! batch": 256/64 images × 1/0.6 = a ratio bound of 6.667) that holds no
+//! matter how the committed baseline drifts. Unlike the either/or
+//! regression checks, this bound failing always fails the gate.
+//!
 //! The report format is the flat array the vendored criterion shim writes:
 //! `[{"name": "...", "mean_ns": 123.4, "iterations": 10}, …]`; parsing is
 //! hand-rolled so the gate needs no JSON dependency.
@@ -34,7 +43,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: bench_gate <current.json> <baseline.json> <benchmark-name> \
-                 [max-regress] [reference-name]"
+                 [max-regress] [reference-name] [max-ratio]"
             );
             return ExitCode::from(2);
         }
@@ -48,6 +57,18 @@ fn main() -> ExitCode {
         }
     };
     let reference = args.get(4);
+    let max_ratio: Option<f64> = match args.get(5).map(|s| s.parse()) {
+        None => None,
+        Some(Ok(v)) if v > 0.0 => Some(v),
+        _ => {
+            eprintln!("bench_gate: max-ratio must be a positive number");
+            return ExitCode::from(2);
+        }
+    };
+    if max_ratio.is_some() && reference.is_none() {
+        eprintln!("bench_gate: max-ratio requires a reference-name");
+        return ExitCode::from(2);
+    }
     // (label, current value, baseline value) per gated quantity.
     let mut checks: Vec<(&str, f64, f64)> = Vec::new();
     let read = |path: &str, bench: &str| -> Option<f64> {
@@ -64,12 +85,14 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     checks.push(("raw mean_ns", cur_raw, base_raw));
+    let mut cur_ratio = None;
     if let Some(r) = reference {
         let (Some(cur_ref), Some(base_ref)) =
             (read(current_path, r), read(baseline_path, r))
         else {
             return ExitCode::from(2);
         };
+        cur_ratio = Some(cur_raw / cur_ref);
         checks.push(("normalised by reference", cur_raw / cur_ref, base_raw / base_ref));
     }
     let mut any_ok = false;
@@ -90,6 +113,16 @@ fn main() -> ExitCode {
             max_regress * 100.0
         );
         return ExitCode::FAILURE;
+    }
+    if let (Some(bound), Some(ratio)) = (max_ratio, cur_ratio) {
+        println!(
+            "bench_gate: {name} [absolute same-run ratio]: {ratio:.4} vs bound {bound:.4} — {}",
+            if ratio <= bound { "within bound" } else { "over bound" }
+        );
+        if ratio > bound {
+            eprintln!("bench_gate: FAIL — same-run ratio exceeds the absolute acceptance bound");
+            return ExitCode::FAILURE;
+        }
     }
     println!("bench_gate: OK (budget {:.0}%)", max_regress * 100.0);
     ExitCode::SUCCESS

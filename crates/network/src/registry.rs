@@ -12,6 +12,7 @@
 //! the old plan refuses to be advanced by the new one.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::path::Path;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -19,6 +20,39 @@ use crate::artifact::ArtifactError;
 use crate::compile::CompiledNetwork;
 use crate::engine::InferenceEngine;
 use crate::plan::{ExecPlan, PlanFingerprint, Platform};
+
+/// Why a registry lookup failed — typed so a serving front-end can turn it
+/// into a structured error response (and tell a client asking for a
+/// misspelled model apart from one talking to a process that has loaded
+/// nothing at all).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The registry has no models at all — lookups cannot succeed until
+    /// something is [`insert`](ModelRegistry::insert)ed or
+    /// [`load`](ModelRegistry::load)ed.
+    Empty,
+    /// No model is registered under the requested name.
+    UnknownModel {
+        /// The name that was looked up.
+        name: String,
+        /// The names that *are* registered (sorted), for actionable error
+        /// messages.
+        registered: Vec<String>,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Empty => write!(f, "model registry is empty"),
+            RegistryError::UnknownModel { name, registered } => {
+                write!(f, "unknown model `{name}` (registered: {})", registered.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
 
 /// Thread-safe collection of named execution plans.
 ///
@@ -89,19 +123,31 @@ impl ModelRegistry {
         Ok(plan)
     }
 
-    /// The plan registered under `name`, if any (a cheap `Arc` clone).
-    pub fn get(&self, name: &str) -> Option<Arc<ExecPlan>> {
-        self.read().get(name).cloned()
+    /// The plan registered under `name` (a cheap `Arc` clone), or a typed
+    /// [`RegistryError`] saying *why* the lookup failed.
+    pub fn get(&self, name: &str) -> Result<Arc<ExecPlan>, RegistryError> {
+        let map = self.read();
+        match map.get(name) {
+            Some(plan) => Ok(Arc::clone(plan)),
+            None if map.is_empty() => Err(RegistryError::Empty),
+            None => {
+                let mut registered: Vec<String> = map.keys().cloned().collect();
+                registered.sort();
+                Err(RegistryError::UnknownModel { name: name.to_string(), registered })
+            }
+        }
     }
 
     /// A batch engine over the plan registered under `name` (default
     /// worker count; construction pays nothing — the cached streams are
     /// shared with the registry's handle).
-    pub fn engine(&self, name: &str) -> Option<InferenceEngine> {
+    pub fn engine(&self, name: &str) -> Result<InferenceEngine, RegistryError> {
         self.get(name).map(InferenceEngine::from_plan)
     }
 
-    /// Removes and returns the plan registered under `name`.
+    /// Removes and returns the plan registered under `name` (`None` when
+    /// nothing was registered — removal of an absent name is a no-op, not
+    /// an error).
     pub fn remove(&self, name: &str) -> Option<Arc<ExecPlan>> {
         self.write().remove(name)
     }
@@ -109,8 +155,8 @@ impl ModelRegistry {
     /// Fingerprint of the plan registered under `name` (model content +
     /// platform + stream length) — what two processes compare to agree
     /// they serve the same model.
-    pub fn fingerprint(&self, name: &str) -> Option<PlanFingerprint> {
-        self.read().get(name).map(|p| p.fingerprint())
+    pub fn fingerprint(&self, name: &str) -> Result<PlanFingerprint, RegistryError> {
+        self.get(name).map(|p| p.fingerprint())
     }
 
     /// Registered names, sorted (a point-in-time snapshot).
@@ -165,12 +211,21 @@ mod tests {
         let net = compiled();
         let registry = ModelRegistry::new();
         assert!(registry.is_empty());
-        assert!(registry.get("a").is_none());
-        assert!(registry.engine("a").is_none());
+        // Lookups on an empty registry are a distinct typed error …
+        assert_eq!(registry.get("a").err(), Some(RegistryError::Empty));
+        assert_eq!(registry.engine("a").err().map(|e| e == RegistryError::Empty), Some(true));
         registry.install("a", &net, 64, Platform::Aqfp);
         registry.install("b", &net, 64, Platform::Cmos);
         assert_eq!(registry.len(), 2);
         assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
+        // … and an unknown name on a populated one names the alternatives.
+        assert_eq!(
+            registry.get("z").err().expect("unknown name"),
+            RegistryError::UnknownModel {
+                name: "z".to_string(),
+                registered: vec!["a".to_string(), "b".to_string()],
+            }
+        );
         let a = registry.get("a").expect("registered");
         assert_eq!(a.platform(), Platform::Aqfp);
         assert_eq!(
@@ -178,7 +233,7 @@ mod tests {
             net.fingerprint()
         );
         assert!(registry.remove("a").is_some());
-        assert!(registry.get("a").is_none());
+        assert!(registry.get("a").is_err());
         assert_eq!(registry.len(), 1);
     }
 

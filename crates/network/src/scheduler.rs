@@ -31,6 +31,19 @@
 //! narrowest stripe width covering the live lane count
 //! ([`ExecPlan::advance_batch_striped`]) — stripe-width independence of
 //! the kernels makes the per-step choice invisible in the bits.
+//!
+//! # Live sources
+//!
+//! The core loop ([`drive_lane_source`]) pulls work from a [`JobSource`]
+//! rather than a pre-known slice: at every refill point it asks the source
+//! for the next job, so a serving front-end can feed requests that arrive
+//! *while a group is already in flight* straight into freshly retired
+//! lanes. The slice-based [`drive_lane_groups`] is a thin adapter over the
+//! same core; because lane composition never affects bits (each lane's
+//! streams are gathered at its own offset), a job's result is independent
+//! of when the source produced it.
+
+use std::borrow::Borrow;
 
 use aqfp_sc_bitstream::MAX_LANES;
 use aqfp_sc_nn::Tensor;
@@ -153,19 +166,77 @@ impl GroupStats {
     }
 }
 
+/// One unit of work pulled from a [`JobSource`]: an image, its stream
+/// seed, and an opaque tag the source uses to route the outcome back to
+/// whoever asked for it.
+pub(crate) struct SourcedJob<I> {
+    pub image: I,
+    pub seed: u64,
+    pub tag: u64,
+}
+
+/// A feed of classification jobs for the lane-group core. `next_job` is
+/// consulted at every refill point — including mid-run, after lanes
+/// retire — so the source may produce jobs that did not exist when the
+/// drive started (a live request queue). `deliver` receives each job's
+/// outcome as soon as its lane retires, in retirement order (not
+/// submission order).
+pub(crate) trait JobSource {
+    /// How the source hands over image data. `&Tensor` for slice-backed
+    /// sources (no copy), owned `Tensor` for queues that transfer
+    /// ownership; [`ExecPlan::begin`] copies what it needs, so the image
+    /// is dropped once the lane starts.
+    type Img: Borrow<Tensor>;
+
+    /// The next job ready *right now*, or `None` to leave the lane empty
+    /// this round (the core asks again at the next refill point while any
+    /// lane is live; once no lanes are live and `next_job` returns `None`,
+    /// the drive returns).
+    fn next_job(&mut self) -> Option<SourcedJob<Self::Img>>;
+
+    /// Outcome delivery for the job tagged `tag`.
+    fn deliver(&mut self, tag: u64, outcome: LaneOutcome);
+}
+
 /// One live lane: an in-flight image, its next checkpoint, and the
 /// policy's per-image bookkeeping.
 struct Lane<B> {
     state: ExecState,
-    /// Index into the caller's image slice (results keep input order no
-    /// matter when lanes retire).
-    img: usize,
+    /// The source's routing tag for this job (results are delivered under
+    /// it no matter when the lane retires).
+    tag: u64,
     /// Schedule checkpoints reached so far (= the schedule index of the
     /// chunk currently in flight).
     chunk_idx: usize,
     /// Absolute cycle of the next policy consult, capped at N.
     checkpoint: usize,
     book: B,
+}
+
+/// Slice adapter: feeds a pre-known image/seed slice to the core and
+/// collects outcomes back into input order.
+struct SliceFeed<'a> {
+    images: &'a [&'a Tensor],
+    seeds: &'a [u64],
+    next: usize,
+    results: Vec<Option<LaneOutcome>>,
+}
+
+impl<'a> JobSource for SliceFeed<'a> {
+    type Img = &'a Tensor;
+
+    fn next_job(&mut self) -> Option<SourcedJob<&'a Tensor>> {
+        let i = self.next;
+        if i >= self.images.len() {
+            return None;
+        }
+        self.next += 1;
+        Some(SourcedJob { image: self.images[i], seed: self.seeds[i], tag: i as u64 })
+    }
+
+    fn deliver(&mut self, tag: u64, outcome: LaneOutcome) {
+        self.results[tag as usize] = Some(outcome);
+    }
 }
 
 /// Drives `images` (with per-image `seeds`) to completion through the
@@ -187,38 +258,67 @@ pub(crate) fn drive_lane_groups<P: LanePolicy>(
     stats: &mut GroupStats,
 ) -> Vec<LaneOutcome> {
     assert_eq!(images.len(), seeds.len(), "one seed per image");
+    let mut feed = SliceFeed {
+        images,
+        seeds,
+        next: 0,
+        results: {
+            let mut r: Vec<Option<LaneOutcome>> = Vec::new();
+            r.resize_with(images.len(), || None);
+            r
+        },
+    };
+    drive_lane_source(plan, &mut feed, schedule, policy, lane_limit, min_batch_lanes, stats);
+    feed.results.into_iter().map(|r| r.expect("every image retired")).collect()
+}
+
+/// The lane-group core over a live [`JobSource`]: keeps up to `lane_limit`
+/// lanes in flight, refills from the source whenever lanes are free
+/// (including mid-run, after retirements), and consults `policy` at each
+/// lane's own schedule checkpoints. Returns once the source is drained and
+/// every lane has retired. Outcomes go back through
+/// [`JobSource::deliver`]; word-occupancy accounting accumulates into
+/// `stats`.
+#[allow(clippy::too_many_arguments)] // the scheduler knobs are all orthogonal
+pub(crate) fn drive_lane_source<P: LanePolicy, S: JobSource>(
+    plan: &ExecPlan,
+    source: &mut S,
+    schedule: ChunkSchedule,
+    policy: &P,
+    lane_limit: usize,
+    min_batch_lanes: usize,
+    stats: &mut GroupStats,
+) {
     let n = plan.stream_len();
     let lane_limit = lane_limit.clamp(1, MAX_LANES);
-    let mut results: Vec<Option<LaneOutcome>> = Vec::new();
-    results.resize_with(images.len(), || None);
     let mut free: Vec<ExecState> = Vec::new();
     let mut lanes: Vec<Lane<P::Book>> = Vec::new();
-    let mut pending = 0usize;
     let mut arenas = StripeArenas::default();
     loop {
         // Refill (and the initial fill): recycled states re-`begin` on
-        // queued images until the word is at capacity.
-        while lanes.len() < lane_limit && pending < images.len() {
-            let img = pending;
-            pending += 1;
+        // sourced jobs until the word is at capacity or the source has
+        // nothing ready.
+        while lanes.len() < lane_limit {
+            let Some(job) = source.next_job() else { break };
             let mut state = free.pop().unwrap_or_else(|| plan.new_state());
-            plan.begin(&mut state, images[img], seeds[img]);
+            plan.begin(&mut state, job.image.borrow(), job.seed);
             if n == 0 {
                 // Degenerate zero-length stream: the scalar loop never
                 // advances and never consults the policy.
-                results[img] = Some(LaneOutcome {
+                let outcome = LaneOutcome {
                     scores: plan.scores(&state),
                     cycles: 0,
                     chunks: 0,
                     early_exit: false,
-                });
+                };
+                source.deliver(job.tag, outcome);
                 free.push(state);
                 continue;
             }
             lanes.push(Lane {
                 checkpoint: schedule.len_at(0).min(n),
                 state,
-                img,
+                tag: job.tag,
                 chunk_idx: 0,
                 book: P::Book::default(),
             });
@@ -278,17 +378,17 @@ pub(crate) fn drive_lane_groups<P: LanePolicy>(
             match retire {
                 Some(early_exit) => {
                     let lane = lanes.swap_remove(i);
-                    results[lane.img] = Some(LaneOutcome {
+                    let outcome = LaneOutcome {
                         scores: plan.scores(&lane.state),
                         cycles: lane.state.cycles(),
                         chunks: lane.chunk_idx,
                         early_exit,
-                    });
+                    };
+                    source.deliver(lane.tag, outcome);
                     free.push(lane.state);
                 }
                 None => i += 1,
             }
         }
     }
-    results.into_iter().map(|r| r.expect("every image retired")).collect()
 }

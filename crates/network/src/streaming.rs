@@ -41,7 +41,10 @@ use aqfp_sc_nn::Tensor;
 
 use crate::engine::{accuracy, InferenceEngine};
 use crate::plan::{argmax, ExecPlan, ExecState, Platform};
-use crate::scheduler::{drive_lane_groups, lane_min, stripe_width, GroupStats, LanePolicy};
+use crate::scheduler::{
+    drive_lane_groups, drive_lane_source, lane_min, stripe_width, GroupStats, JobSource,
+    LanePolicy, SourcedJob,
+};
 
 /// When a streaming run is allowed to stop consuming cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -490,6 +493,43 @@ impl<'e> StreamingEngine<'e> {
         )
     }
 
+    /// Drives a live [`LaneSource`] to exhaustion through the lane-group
+    /// scheduler, on the calling thread, under this engine's configured
+    /// schedule, exit policy, and lane-group cap.
+    ///
+    /// This is the serving entry point: unlike the slice-based batch APIs,
+    /// the set of images is not known up front — the scheduler asks
+    /// `source` for more work at every refill point (including mid-run,
+    /// whenever lanes retire), so requests that arrive while a group is
+    /// already in flight ride freshly freed lanes instead of waiting for
+    /// the next dispatch. Outcomes are pushed back through
+    /// [`LaneSource::complete`] as each lane retires.
+    ///
+    /// Results are bit-identical to a per-image scalar run at the same
+    /// seed (the lane-group invariant): a job's scores, cycle count, and
+    /// chunk count never depend on when the source produced it, which
+    /// other jobs shared its group, or the lane it landed in. Returns the
+    /// word-occupancy accounting of the run.
+    pub fn drive_source(&self, source: &mut dyn LaneSource) -> GroupStats {
+        let check = PolicyCheck {
+            policy: self.policy,
+            min_cycles: self.min_cycles,
+            cmos_sigma_factor: self.cmos_sigma_factor,
+        };
+        let mut stats = GroupStats::default();
+        let mut feed = DynFeed { source };
+        drive_lane_source(
+            self.engine.plan(),
+            &mut feed,
+            self.schedule,
+            &check,
+            self.lane_limit,
+            lane_min(self.engine.plan().platform()).min(self.lane_limit),
+            &mut stats,
+        );
+        stats
+    }
+
     /// The chunk loop for one image: schedule-driven `advance` calls with a
     /// policy check at every chunk boundary.
     fn classify_with_state(
@@ -559,6 +599,68 @@ impl<'e> StreamingEngine<'e> {
             chunks,
             early_exit,
         }
+    }
+}
+
+/// One classification job handed to [`StreamingEngine::drive_source`]: an
+/// owned image (the plan copies what it needs at lane start, so the tensor
+/// is dropped as soon as the lane begins), the image-stream seed, and an
+/// opaque routing tag echoed back on [`LaneSource::complete`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneJob {
+    /// Image to classify (shape must match the compiled spec).
+    pub image: Tensor,
+    /// Image-stream seed — the same seed fed to
+    /// [`InferenceEngine::scores`] reproduces this job's scores bit for
+    /// bit.
+    pub seed: u64,
+    /// Caller-chosen tag identifying the job in
+    /// [`LaneSource::complete`].
+    pub tag: u64,
+}
+
+/// A live feed of classification jobs for
+/// [`StreamingEngine::drive_source`] — the "refill from a queue" face of
+/// the lane-group scheduler that a serving front-end implements over its
+/// request queue.
+pub trait LaneSource {
+    /// The next job ready *right now*, or `None` when nothing is pending
+    /// (the scheduler asks again at the next refill point while lanes are
+    /// live; once no lanes are live and `next` returns `None`, the drive
+    /// returns).
+    fn next(&mut self) -> Option<LaneJob>;
+
+    /// Delivery of one job's outcome, in retirement order (not submission
+    /// order) — tag is the [`LaneJob::tag`] the job carried.
+    fn complete(&mut self, tag: u64, outcome: StreamingOutcome);
+}
+
+/// Adapts the public object-safe [`LaneSource`] to the scheduler's
+/// internal generic feed.
+struct DynFeed<'a> {
+    source: &'a mut dyn LaneSource,
+}
+
+impl JobSource for DynFeed<'_> {
+    type Img = Tensor;
+
+    fn next_job(&mut self) -> Option<SourcedJob<Tensor>> {
+        self.source
+            .next()
+            .map(|j| SourcedJob { image: j.image, seed: j.seed, tag: j.tag })
+    }
+
+    fn deliver(&mut self, tag: u64, outcome: crate::scheduler::LaneOutcome) {
+        self.source.complete(
+            tag,
+            StreamingOutcome {
+                class: argmax(&outcome.scores),
+                scores: outcome.scores,
+                cycles: outcome.cycles,
+                chunks: outcome.chunks,
+                early_exit: outcome.early_exit,
+            },
+        );
     }
 }
 

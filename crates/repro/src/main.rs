@@ -4,7 +4,8 @@
 //! repro <experiment> [--quick|--full] [--threads N] [--batched]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
-//!              table9 fig7b fig11 fig13 ablation streaming artifact all
+//!              table9 fig7b fig11 fig13 ablation streaming serve
+//!              artifact all
 //! ```
 //!
 //! `repro artifact` additionally accepts `--save PATH` / `--verify PATH`
@@ -57,6 +58,7 @@ fn main() {
         "fig13" => tables::fig13(mode),
         "ablation" => tables::ablation(mode, threads),
         "streaming" => tables::streaming(mode, threads, args.iter().any(|a| a == "--batched")),
+        "serve" => tables::serve_demo(mode),
         "artifact" => tables::artifact(mode, &args),
         "all" => {
             tables::table1(mode);
@@ -72,12 +74,13 @@ fn main() {
             tables::fig13(mode);
             tables::ablation(mode, threads);
             tables::streaming(mode, threads, args.iter().any(|a| a == "--batched"));
+            tables::serve_demo(mode);
             tables::artifact(mode, &args);
             tables::table9(mode);
         }
         _ => {
             eprintln!(
-                "usage: repro <table1..table9|fig7b|fig11|fig13|ablation|streaming|artifact|all> [--quick|--full] [--threads N] [--batched]\n       repro artifact [--save PATH|--verify PATH]"
+                "usage: repro <table1..table9|fig7b|fig11|fig13|ablation|streaming|serve|artifact|all> [--quick|--full] [--threads N] [--batched]\n       repro artifact [--save PATH|--verify PATH]"
             );
             std::process::exit(2);
         }

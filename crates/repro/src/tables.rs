@@ -773,3 +773,104 @@ pub fn ablation(mode: Mode, threads: Option<usize>) {
     }
     let _ = BlockCost { energy_j: 0.0, latency_s: 0.0, stream_time_s: 0.0 };
 }
+
+/// Live-serving demo: a loopback dynamic-batching server over the stripe
+/// kernel, exercised with an exact burst (bit-identity verified against
+/// the direct engine) and a deadline burst (early-exit cycle savings),
+/// with the server's own stats printed at the end.
+pub fn serve_demo(mode: Mode) {
+    header("Dynamic-batching inference service: live requests on the stripe kernel");
+    use aqfp_sc_serve::{ClassifyRequest, Client, Response, ServeConfig, Server, Status};
+    use std::sync::Arc;
+    use std::time::Instant;
+    let stream_len = 512;
+    let burst = trials(mode, 96);
+    let train_n = trials(mode, 240);
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 5);
+    let crop = |img: &Tensor| {
+        let mut small = Tensor::zeros(vec![1, 8, 8]);
+        for y in 0..8 {
+            for x in 0..8 {
+                small.data_mut()[y * 8 + x] = img.at3(0, 2 + y * 3, 2 + x * 3);
+            }
+        }
+        small
+    };
+    let train: Vec<(Tensor, usize)> = aqfp_sc_data::synthetic_digits(train_n, 9)
+        .iter()
+        .map(|(img, l)| (crop(img), *l))
+        .collect();
+    for _ in 0..12 {
+        model.train_epoch(&train, 0.05, 0.9, 16);
+    }
+    let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+    let images: Vec<Tensor> = aqfp_sc_data::synthetic_digits(burst, 77)
+        .iter()
+        .map(|(img, _)| crop(img))
+        .collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install("tiny", &compiled, stream_len, Platform::Aqfp);
+    let engine = registry.engine("tiny").expect("registered");
+    let server = Server::start(Arc::clone(&registry), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    println!("server on {} | model tiny, N={stream_len}, burst {burst}", server.local_addr());
+
+    let mut run_burst = |deadline_us: u32| -> (f64, u64, u64, u64) {
+        let t0 = Instant::now();
+        for (i, img) in images.iter().enumerate() {
+            client
+                .classify_send(ClassifyRequest {
+                    request_id: i as u64,
+                    model: "tiny".to_string(),
+                    seed: SEED.wrapping_add(i as u64),
+                    deadline_us,
+                    image: img.clone(),
+                })
+                .expect("send");
+        }
+        let (mut identical, mut cycles, mut exits) = (0u64, 0u64, 0u64);
+        for _ in 0..burst {
+            let resp = match client.recv().expect("response") {
+                Response::Classify(resp) => resp,
+                Response::Stats(_) => unreachable!("no stats request in flight"),
+            };
+            assert_eq!(resp.status, Status::Ok);
+            let id = resp.request_id as usize;
+            if resp.scores == engine.scores(&images[id], SEED.wrapping_add(resp.request_id)) {
+                identical += 1;
+            }
+            cycles += u64::from(resp.cycles);
+            exits += u64::from(resp.early_exit);
+        }
+        (t0.elapsed().as_secs_f64(), identical, cycles, exits)
+    };
+
+    let (wall, identical, cycles, _) = run_burst(0);
+    println!(
+        "exact burst   : {burst} served in {:.1} ms ({:.0} img/s) | bit-identical to direct engine: {identical}/{burst} | avg cycles {:.0}",
+        wall * 1e3,
+        burst as f64 / wall,
+        cycles as f64 / burst as f64,
+    );
+    assert_eq!(identical as usize, burst, "serving broke the determinism contract");
+    let (wall, _, cycles, exits) = run_burst(5_000_000);
+    println!(
+        "deadline burst: {burst} served in {:.1} ms ({:.0} img/s) | early exits {exits}/{burst} | avg cycles {:.0}/{stream_len}",
+        wall * 1e3,
+        burst as f64 / wall,
+        cycles as f64 / burst as f64,
+    );
+    let snap = server.stats();
+    println!(
+        "server stats  : dispatches {} | avg batch {:.1} | avg lanes {:.1} | p50 {} us | p99 {} us",
+        snap.dispatches,
+        snap.avg_batch(),
+        snap.avg_lanes,
+        snap.latency_p50_us,
+        snap.latency_p99_us,
+    );
+    server.shutdown();
+}

@@ -1,0 +1,177 @@
+//! Loopback smoke test for the serving stack, run as a CI step.
+//!
+//! Phase 1 fires a mixed burst at a default-configured server — exact
+//! requests, generous-deadline requests, one already-expired request, an
+//! unknown model, and a malformed frame — and checks every typed status,
+//! bit-identity of the exact responses against the direct engine, and the
+//! stats counters. Phase 2 restarts with a capacity-4 queue and verifies
+//! admission control rejects exactly the overflow.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aqfp_sc_network::{
+    build_model, ActivationStyle, CompiledNetwork, ModelRegistry, NetworkSpec, Platform,
+};
+use aqfp_sc_nn::Tensor;
+use aqfp_sc_serve::{
+    stats_field, ClassifyRequest, ClassifyResponse, Client, Response, ServeConfig, Server, Status,
+};
+
+const STREAM_LEN: usize = 256;
+const EXACT: u64 = 24;
+const DEADLINE: u64 = 12;
+
+fn image(side: usize, tag: u64) -> Tensor {
+    let data = (0..side * side)
+        .map(|i| ((i as u64 * 37 + tag * 101) % 97) as f32 / 96.0)
+        .collect();
+    Tensor::from_vec(vec![1, side, side], data)
+}
+
+fn registry() -> Arc<ModelRegistry> {
+    let spec = NetworkSpec::tiny(8);
+    let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 1);
+    let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install("tiny", &compiled, STREAM_LEN, Platform::Aqfp);
+    registry
+}
+
+fn classify(id: u64, model: &str, deadline_us: u32) -> ClassifyRequest {
+    ClassifyRequest {
+        request_id: id,
+        model: model.to_string(),
+        seed: 1000 + id,
+        deadline_us,
+        image: image(8, id),
+    }
+}
+
+fn recv_classify(client: &mut Client) -> ClassifyResponse {
+    match client.recv().expect("response") {
+        Response::Classify(resp) => resp,
+        Response::Stats(_) => panic!("unexpected stats response"),
+    }
+}
+
+fn mixed_burst() {
+    let registry = registry();
+    let engine = registry.engine("tiny").expect("registered");
+    let server = Server::start(Arc::clone(&registry), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Pipelined burst: 24 exact, 12 generous-deadline, one whose 1 µs
+    // budget is gone long before any dispatch tick, one unknown model.
+    for id in 1..=EXACT {
+        client.classify_send(classify(id, "tiny", 0)).expect("send");
+    }
+    for id in EXACT + 1..=EXACT + DEADLINE {
+        client.classify_send(classify(id, "tiny", 200_000)).expect("send");
+    }
+    let expired_id = EXACT + DEADLINE + 1;
+    client.classify_send(classify(expired_id, "tiny", 1)).expect("send");
+    let unknown_id = expired_id + 1;
+    client.classify_send(classify(unknown_id, "nope", 0)).expect("send");
+    // And one malformed payload: an unknown opcode byte.
+    aqfp_sc_serve::write_frame(client.stream(), &[99]).expect("send raw");
+
+    let total = unknown_id + 1; // burst + the malformed-frame response
+    let mut responses: HashMap<u64, ClassifyResponse> = HashMap::new();
+    for _ in 0..total {
+        let resp = recv_classify(&mut client);
+        assert!(
+            responses.insert(resp.request_id, resp).is_none(),
+            "duplicate response id"
+        );
+    }
+
+    for id in 1..=EXACT {
+        let resp = &responses[&id];
+        assert_eq!(resp.status, Status::Ok, "exact request {id}");
+        assert!(!resp.deadline_mode && !resp.early_exit);
+        assert_eq!(resp.cycles as usize, STREAM_LEN);
+        // The determinism contract: served scores are bit-identical to a
+        // direct engine call with the same seed, whatever group this
+        // request landed in.
+        assert_eq!(
+            resp.scores,
+            engine.scores(&image(8, id), 1000 + id),
+            "exact request {id} not bit-identical"
+        );
+    }
+    for id in EXACT + 1..=EXACT + DEADLINE {
+        let resp = &responses[&id];
+        assert_eq!(resp.status, Status::Ok, "deadline request {id}");
+        assert!(resp.deadline_mode);
+        assert!(resp.cycles as usize <= STREAM_LEN);
+        assert_eq!(resp.scores.len(), 10);
+    }
+    assert_eq!(responses[&expired_id].status, Status::DeadlineExpired);
+    assert_eq!(responses[&unknown_id].status, Status::UnknownModel);
+    assert!(responses[&unknown_id].error.contains("nope"));
+    assert_eq!(responses[&0].status, Status::BadRequest, "malformed frame");
+
+    // Stats over a fresh connection, and via the handle.
+    let mut probe = Client::connect(server.local_addr()).expect("connect");
+    let json = probe.stats().expect("stats");
+    assert_eq!(stats_field(&json, "received"), Some((EXACT + DEADLINE + 2) as f64));
+    assert_eq!(stats_field(&json, "completed"), Some((EXACT + DEADLINE) as f64));
+    assert_eq!(stats_field(&json, "deadline_expired"), Some(1.0));
+    assert_eq!(stats_field(&json, "rejected_unknown_model"), Some(1.0));
+    assert_eq!(stats_field(&json, "rejected_bad_request"), Some(1.0));
+    assert_eq!(stats_field(&json, "exact_requests"), Some(EXACT as f64));
+    assert_eq!(stats_field(&json, "deadline_requests"), Some(DEADLINE as f64));
+    assert!(stats_field(&json, "dispatches").expect("field") >= 1.0);
+    assert!(stats_field(&json, "avg_lanes").expect("field") > 0.0);
+    assert!(stats_field(&json, "latency_p99_us").expect("field") > 0.0);
+    let snap = server.stats();
+    assert_eq!(snap.completed, EXACT + DEADLINE);
+    // Deadline-mode traffic must actually be cheaper than full N on
+    // average (the early-exit policy at work).
+    assert!(snap.deadline_avg_cycles <= STREAM_LEN as f64);
+    println!(
+        "smoke: mixed burst ok ({} responses, avg lanes {:.1}, deadline avg cycles {:.0}/{})",
+        total, snap.avg_lanes, snap.deadline_avg_cycles, STREAM_LEN
+    );
+    server.shutdown();
+}
+
+fn admission_control() {
+    let registry = registry();
+    let config = ServeConfig {
+        queue_capacity: 4,
+        // Long coalescing window + one worker: nothing dispatches while
+        // the pipelined burst lands, so overflow must be rejected.
+        max_delay_us: 500_000,
+        dispatch_workers: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, "127.0.0.1:0", config).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for id in 1..=12u64 {
+        client.classify_send(classify(id, "tiny", 0)).expect("send");
+    }
+    let mut ok = 0;
+    let mut overloaded = 0;
+    for _ in 0..12 {
+        match recv_classify(&mut client).status {
+            Status::Ok => ok += 1,
+            Status::Overloaded => overloaded += 1,
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+    assert_eq!((ok, overloaded), (4, 8), "admission bound");
+    assert_eq!(server.stats().rejected_overload, 8);
+    println!("smoke: admission control ok (4 served, 8 rejected)");
+    server.shutdown();
+}
+
+fn main() {
+    // Stats requests race nothing here: each phase reads stats only after
+    // every classify response has arrived.
+    mixed_burst();
+    admission_control();
+    println!("smoke: all checks passed");
+}

@@ -1,0 +1,81 @@
+//! Dynamic-batching inference service over the AQFP-SC lane-group engine.
+//!
+//! The offline batch path already rides a 256-lane bit-sliced kernel —
+//! this crate puts *live* traffic on the same kernel. A thread-per-core
+//! TCP front-end accepts classification requests over a length-prefixed
+//! binary protocol ([`protocol`]-module docs give the wire layout),
+//! coalesces them in a bounded batching queue under a latency budget
+//! (dispatch when a lane group fills or `max_delay_us` expires, whichever
+//! first), and fans each coalesced group over
+//! [`StreamingEngine::drive_source`](aqfp_sc_network::StreamingEngine::drive_source)
+//! — the scheduler's "refill from a live queue" entry point — so lanes
+//! that retire mid-run are immediately re-filled with newly arrived
+//! requests.
+//!
+//! Two dispatch modes share the kernel, selected per request by
+//! `deadline_us`:
+//!
+//! - **Exact** (`deadline_us == 0`): a full-length schedule with exits
+//!   disabled. Served scores are bit-identical to a direct
+//!   [`InferenceEngine::scores`](aqfp_sc_network::InferenceEngine::scores)
+//!   call with the same seed — regardless of arrival order, batch
+//!   composition, or dispatch timing.
+//! - **Deadline** (`deadline_us > 0`): chunked schedule with a margin
+//!   exit policy, so confident images stop streaming early; requests
+//!   whose budget is already gone when a dispatch slot opens are answered
+//!   [`Status::DeadlineExpired`] without spending cycles.
+//!
+//! Admission control is a hard queue bound ([`Status::Overloaded`]), and
+//! an `OP_STATS` request returns queue depth, batch-size and latency
+//! histograms, mean lane occupancy, and per-mode cycle averages as JSON.
+//!
+//! # Example (loopback)
+//!
+//! ```
+//! use std::sync::Arc;
+//! use aqfp_sc_network::{build_model, ActivationStyle, CompiledNetwork};
+//! use aqfp_sc_network::{ModelRegistry, NetworkSpec, Platform};
+//! use aqfp_sc_nn::Tensor;
+//! use aqfp_sc_serve::{ClassifyRequest, Client, ServeConfig, Server};
+//!
+//! let spec = NetworkSpec::tiny(8);
+//! let mut model = build_model(&spec, ActivationStyle::AqfpFeature, 1);
+//! let compiled = CompiledNetwork::from_model(&spec, &mut model, 8);
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.install("tiny", &compiled, 128, Platform::Aqfp);
+//!
+//! let config = ServeConfig { max_delay_us: 200, ..ServeConfig::default() };
+//! let server = Server::start(Arc::clone(&registry), "127.0.0.1:0", config).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let resp = client
+//!     .classify(ClassifyRequest {
+//!         request_id: 1,
+//!         model: "tiny".into(),
+//!         seed: 42,
+//!         deadline_us: 0,
+//!         image: Tensor::zeros(vec![1, 8, 8]),
+//!     })
+//!     .unwrap();
+//! // Bit-identical to the direct engine call with the same seed.
+//! let engine = registry.engine("tiny").unwrap();
+//! assert_eq!(resp.scores, engine.scores(&Tensor::zeros(vec![1, 8, 8]), 42));
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+pub mod protocol;
+mod queue;
+mod server;
+mod stats;
+
+pub use client::{stats_field, Client};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ClassifyRequest, ClassifyResponse, ProtocolError, Request, Response, Status, MAX_FRAME,
+    OP_CLASSIFY, OP_STATS,
+};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use stats::{ServerStats, StatsSnapshot, BATCH_BUCKETS, LATENCY_BUCKETS};

@@ -1,0 +1,252 @@
+//! The batching queue: bounded admission, per-(model, mode) FIFOs, and
+//! the coalescing wait that turns live requests into lane groups.
+//!
+//! Requests land in one FIFO per [`QueueKey`] — a dispatch group must
+//! share a model (one [`ExecPlan`](aqfp_sc_network::ExecPlan) drives the
+//! whole group) and a mode (exact full-N vs deadline early-exit run under
+//! different schedules/policies). A dispatcher blocks in
+//! [`BatchQueue::take_group`] until some key has either filled to the lane
+//! target or aged past the latency budget, then drains up to a lane
+//! group's worth; while that group is in flight it keeps topping up
+//! through [`BatchQueue::try_pop`], so requests arriving mid-run ride
+//! freshly retired lanes instead of waiting for the next dispatch tick.
+//!
+//! Admission control is a hard bound on the *total* queued requests across
+//! all keys: [`BatchQueue::push`] hands the request back instead of
+//! queueing when the bound is hit (the caller turns that into a typed
+//! `Overloaded` response), so memory and worst-case queueing delay stay
+//! bounded no matter how fast clients submit.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use aqfp_sc_nn::Tensor;
+
+/// What a dispatch group must have in common: the registry model name and
+/// whether the requests ride the deadline (early-exit) path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct QueueKey {
+    /// Registry name the group dispatches through.
+    pub model: String,
+    /// `true` for the early-exit deadline path, `false` for exact full-N.
+    pub deadline: bool,
+}
+
+/// One admitted request waiting for (or riding) a dispatch.
+pub(crate) struct Pending {
+    /// Client-chosen id echoed in the response.
+    pub request_id: u64,
+    /// The image to classify (ownership transfers to the lane at start).
+    pub image: Tensor,
+    /// Image-stream seed.
+    pub seed: u64,
+    /// Absolute expiry (`arrival + deadline_us`); `None` for exact-mode
+    /// requests, which never expire.
+    pub expires: Option<Instant>,
+    /// Arrival time, for latency accounting and the coalescing clock.
+    pub enqueued: Instant,
+    /// Where the encoded response frame goes (the connection's writer).
+    pub reply: Sender<Vec<u8>>,
+}
+
+struct Inner {
+    keys: HashMap<QueueKey, VecDeque<Pending>>,
+    total: usize,
+    shutdown: bool,
+}
+
+/// The bounded, condvar-coordinated batching queue.
+pub(crate) struct BatchQueue {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl BatchQueue {
+    pub fn new(capacity: usize) -> Self {
+        BatchQueue {
+            inner: Mutex::new(Inner { keys: HashMap::new(), total: 0, shutdown: false }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits `req` under `key`, or hands it back when the queue is at
+    /// capacity or shutting down (the caller owes the client a typed
+    /// rejection either way).
+    pub fn push(&self, key: QueueKey, req: Pending) -> Result<(), Pending> {
+        let mut inner = self.lock();
+        if inner.shutdown || inner.total >= self.capacity {
+            return Err(req);
+        }
+        inner.total += 1;
+        inner.keys.entry(key).or_default().push_back(req);
+        // Wake every dispatcher: the one committed to this key re-checks
+        // its fill, idle ones pick up a fresh key.
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Requests currently queued (not yet claimed by a dispatcher).
+    pub fn depth(&self) -> usize {
+        self.lock().total
+    }
+
+    /// Marks the queue as shutting down: pushes start failing, and
+    /// dispatchers drain what is queued and then see `take_group` return
+    /// `None`.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until some key is ready to dispatch — its FIFO holds
+    /// `target` requests, or its head request has waited `max_delay` —
+    /// then drains up to `target` requests of that key. Always commits to
+    /// the key with the *oldest* head, so one busy model cannot starve
+    /// another indefinitely. Returns `None` only when shut down and fully
+    /// drained. During shutdown the coalescing wait is skipped: whatever
+    /// is queued dispatches immediately.
+    pub fn take_group(&self, max_delay: Duration, target: usize) -> Option<(QueueKey, Vec<Pending>)> {
+        let target = target.max(1);
+        let mut inner = self.lock();
+        loop {
+            if inner.total == 0 {
+                if inner.shutdown {
+                    return None;
+                }
+                inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            // The key whose head has waited longest.
+            let (key, head_enqueued) = inner
+                .keys
+                .iter()
+                .filter_map(|(k, q)| q.front().map(|h| (k, h.enqueued)))
+                .min_by_key(|&(_, enq)| enq)
+                .map(|(k, enq)| (k.clone(), enq))
+                .expect("total > 0 implies a non-empty FIFO");
+            let waited = head_enqueued.elapsed();
+            let count = inner.keys[&key].len();
+            if count >= target || waited >= max_delay || inner.shutdown {
+                let q = inner.keys.get_mut(&key).expect("key present");
+                let take = count.min(target);
+                let batch: Vec<Pending> = q.drain(..take).collect();
+                if q.is_empty() {
+                    inner.keys.remove(&key);
+                }
+                inner.total -= take;
+                return Some((key, batch));
+            }
+            // Not full yet and the budget has time left: sleep until the
+            // budget expires or a push/shutdown wakes us.
+            let (guard, _) = self
+                .cv
+                .wait_timeout(inner, max_delay - waited)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Non-blocking pop of the next request under `key` — the live-refill
+    /// path a dispatcher uses while its lane group is in flight.
+    pub fn try_pop(&self, key: &QueueKey) -> Option<Pending> {
+        let mut inner = self.lock();
+        let q = inner.keys.get_mut(key)?;
+        let req = q.pop_front()?;
+        if q.is_empty() {
+            inner.keys.remove(key);
+        }
+        inner.total -= 1;
+        Some(req)
+    }
+
+    /// Poison-tolerant lock: the queue state is only mutated by complete
+    /// push/pop operations, so a panicking holder cannot leave it torn.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn pending(id: u64) -> Pending {
+        let (tx, _rx) = channel();
+        Pending {
+            request_id: id,
+            image: Tensor::zeros(vec![1, 2, 2]),
+            seed: id,
+            expires: None,
+            enqueued: Instant::now(),
+            reply: tx,
+        }
+    }
+
+    fn key(model: &str, deadline: bool) -> QueueKey {
+        QueueKey { model: model.to_string(), deadline }
+    }
+
+    #[test]
+    fn capacity_bound_rejects_and_hands_the_request_back() {
+        let q = BatchQueue::new(2);
+        assert!(q.push(key("m", false), pending(0)).is_ok());
+        assert!(q.push(key("m", true), pending(1)).is_ok());
+        // The bound is on the total across keys, not per key.
+        let rejected = q.push(key("other", false), pending(2)).unwrap_err();
+        assert_eq!(rejected.request_id, 2);
+        assert_eq!(q.depth(), 2);
+        // Draining opens a slot again.
+        assert!(q.take_group(Duration::ZERO, 64).is_some());
+        assert!(q.push(key("m", false), pending(3)).is_ok());
+    }
+
+    #[test]
+    fn take_group_dispatches_on_fill_and_splits_keys() {
+        let q = BatchQueue::new(64);
+        for i in 0..4 {
+            q.push(key("a", false), pending(i)).map_err(|p| p.request_id).expect("capacity");
+        }
+        for i in 4..6 {
+            q.push(key("a", true), pending(i)).map_err(|p| p.request_id).expect("capacity");
+        }
+        // Full-at-target dispatches without waiting; zero delay dispatches
+        // anything queued. Heads are taken oldest-first, and a group never
+        // mixes keys.
+        let (k, batch) = q.take_group(Duration::ZERO, 3).expect("work queued");
+        assert_eq!(k, key("a", false));
+        assert_eq!(batch.iter().map(|p| p.request_id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let (k, batch) = q.take_group(Duration::ZERO, 3).expect("work queued");
+        assert_eq!((k.deadline, batch.len()), (false, 1));
+        let (k, batch) = q.take_group(Duration::ZERO, 3).expect("work queued");
+        assert_eq!((k.deadline, batch.len()), (true, 2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn try_pop_respects_key_and_drains_in_order() {
+        let q = BatchQueue::new(8);
+        q.push(key("a", false), pending(0)).map_err(|p| p.request_id).expect("capacity");
+        q.push(key("b", false), pending(1)).map_err(|p| p.request_id).expect("capacity");
+        assert!(q.try_pop(&key("c", false)).is_none());
+        assert_eq!(q.try_pop(&key("b", false)).expect("queued").request_id, 1);
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let q = BatchQueue::new(8);
+        q.push(key("a", false), pending(0)).map_err(|p| p.request_id).expect("capacity");
+        q.shutdown();
+        assert!(q.push(key("a", false), pending(1)).is_err());
+        // The queued request still dispatches (no coalescing wait under
+        // shutdown), then the queue reports done.
+        let (_, batch) = q.take_group(Duration::from_secs(3600), 64).expect("drain");
+        assert_eq!(batch.len(), 1);
+        assert!(q.take_group(Duration::from_secs(3600), 64).is_none());
+    }
+}

